@@ -1,0 +1,759 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Sign-magnitude representation with little-endian `u32` limbs. The
+//! magnitude never has trailing zero limbs, and the sign is [`Sign::Zero`]
+//! exactly when the magnitude is empty. Support counts in the measure
+//! engine are sums of falling factorials of `k` and overflow `i128`
+//! already for moderate numbers of nulls, hence this module.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    fn product(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian base-2^32 limbs; no trailing zeros.
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        BigInt::from(1u32)
+    }
+
+    /// True iff this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// True iff this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        if self.sign == Sign::Minus {
+            BigInt { sign: Sign::Plus, mag: self.mag.clone() }
+        } else {
+            self.clone()
+        }
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u32>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Number of significant bits in the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Bit `i` of the magnitude (little-endian).
+    fn mag_bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        limb < self.mag.len() && (self.mag[limb] >> off) & 1 == 1
+    }
+
+    /// True iff the magnitude is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.mag.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// `self * 2^n` preserving sign.
+    pub fn shl(&self, n: usize) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let (limbs, bits) = (n / 32, n % 32);
+        let mut mag = vec![0u32; limbs];
+        if bits == 0 {
+            mag.extend_from_slice(&self.mag);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.mag {
+                mag.push((l << bits) | carry);
+                carry = l >> (32 - bits);
+            }
+            if carry != 0 {
+                mag.push(carry);
+            }
+        }
+        BigInt::from_mag(self.sign, mag)
+    }
+
+    /// `self / 2^n` (magnitude shift, truncating), preserving sign.
+    pub fn shr(&self, n: usize) -> BigInt {
+        let (limbs, bits) = (n / 32, n % 32);
+        if limbs >= self.mag.len() {
+            return BigInt::zero();
+        }
+        let mut mag: Vec<u32> = self.mag[limbs..].to_vec();
+        if bits > 0 {
+            let mut carry = 0u32;
+            for l in mag.iter_mut().rev() {
+                let new = (*l >> bits) | carry;
+                carry = *l << (32 - bits);
+                *l = new;
+            }
+        }
+        BigInt::from_mag(self.sign, mag)
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Requires `a >= b` (by magnitude).
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for (i, &x) in a.iter().enumerate() {
+            let d = x as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut idx = i + b.len();
+            while carry != 0 {
+                let t = out[idx] as u64 + carry;
+                out[idx] = t as u32;
+                carry = t >> 32;
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    /// Divide magnitude by a single limb; returns (quotient limbs, remainder).
+    fn div_rem_small_mag(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | a[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        (out, rem as u32)
+    }
+
+    /// Truncating division: returns `(q, r)` with `self = q * d + r`,
+    /// `|r| < |d|`, and `r` has the sign of `self` (or is zero).
+    pub fn div_rem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        assert!(!d.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let q_sign = self.sign.product(d.sign);
+        let (q_mag, r_mag) = if d.mag.len() == 1 {
+            let (q, r) = Self::div_rem_small_mag(&self.mag, d.mag[0]);
+            (q, if r == 0 { Vec::new() } else { vec![r] })
+        } else {
+            Self::div_rem_mag(&self.mag, &d.mag)
+        };
+        (
+            BigInt::from_mag(q_sign, q_mag),
+            BigInt::from_mag(self.sign, r_mag),
+        )
+    }
+
+    /// Binary shift-subtract long division on magnitudes.
+    fn div_rem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        let dividend = BigInt { sign: Sign::Plus, mag: a.to_vec() };
+        let divisor = BigInt { sign: Sign::Plus, mag: b.to_vec() };
+        let bits = dividend.bit_len();
+        let mut quotient = vec![0u32; a.len()];
+        let mut rem = BigInt::zero();
+        for i in (0..bits).rev() {
+            rem = rem.shl(1);
+            if dividend.mag_bit(i) {
+                rem = &rem + &BigInt::one();
+            }
+            if Self::cmp_mag(&rem.mag, &divisor.mag) != Ordering::Less {
+                rem = &rem - &divisor;
+                quotient[i / 32] |= 1 << (i % 32);
+            }
+        }
+        while quotient.last() == Some(&0) {
+            quotient.pop();
+        }
+        (quotient, rem.mag)
+    }
+
+    /// Greatest common divisor (always non-negative; `gcd(0, 0) = 0`).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        // Binary GCD: avoids full division.
+        let mut a = self.abs();
+        let mut b = other.abs();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let tz = |x: &BigInt| -> usize {
+            let mut n = 0;
+            for (i, &l) in x.mag.iter().enumerate() {
+                if l == 0 {
+                    n += 32;
+                } else {
+                    n += l.trailing_zeros() as usize;
+                    let _ = i;
+                    break;
+                }
+            }
+            n
+        };
+        let shift = tz(&a).min(tz(&b));
+        a = a.shr(tz(&a));
+        loop {
+            b = b.shr(tz(&b));
+            if Self::cmp_mag(&a.mag, &b.mag) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// `self` raised to the power `exp`.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Convert to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.mag.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for &l in self.mag.iter().rev() {
+            v = v.checked_shl(32)? | l as u128;
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i128::try_from(v).ok(),
+            Sign::Minus => {
+                if v == 1u128 << 127 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(v).ok().map(|x| -x)
+                }
+            }
+        }
+    }
+
+    /// Best-effort conversion to `f64` (may lose precision or overflow to
+    /// infinity; used only for human-readable approximations).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.mag.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        if self.sign == Sign::Minus {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Factorial `n!`.
+    pub fn factorial(n: u64) -> BigInt {
+        let mut acc = BigInt::one();
+        for i in 2..=n {
+            acc = &acc * &BigInt::from(i);
+        }
+        acc
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                let mut v = v as u128;
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let mut mag = Vec::new();
+                while v > 0 {
+                    mag.push(v as u32);
+                    v >>= 32;
+                }
+                BigInt { sign: Sign::Plus, mag }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                let neg = v < 0;
+                let mag_val = (v as i128).unsigned_abs();
+                let mut b = BigInt::from(mag_val);
+                if neg {
+                    b.sign = Sign::Minus;
+                }
+                b
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Minus => 0,
+            Sign::Zero => 1,
+            Sign::Plus => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        match self.sign {
+            Sign::Zero => Ordering::Equal,
+            Sign::Plus => Self::cmp_mag(&self.mag, &other.mag),
+            Sign::Minus => Self::cmp_mag(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.negate(), mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, BigInt::add_mag(&self.mag, &rhs.mag)),
+            (a, _) => match BigInt::cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_mag(a, BigInt::sub_mag(&self.mag, &rhs.mag)),
+                Ordering::Less => {
+                    BigInt::from_mag(a.negate(), BigInt::sub_mag(&rhs.mag, &self.mag))
+                }
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = self.sign.product(rhs.sign);
+        if sign == Sign::Zero {
+            return BigInt::zero();
+        }
+        BigInt::from_mag(sign, BigInt::mul_mag(&self.mag, &rhs.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($tr:ident::$m:ident),*) => {$(
+        impl $tr for BigInt {
+            type Output = BigInt;
+            fn $m(self, rhs: BigInt) -> BigInt {
+                $tr::$m(&self, &rhs)
+            }
+        }
+        impl $tr<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $m(self, rhs: &BigInt) -> BigInt {
+                $tr::$m(&self, rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 9 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut mag = self.mag.clone();
+        while !mag.is_empty() {
+            let (q, r) = BigInt::div_rem_small_mag(&mag, 1_000_000_000);
+            chunks.push(r);
+            mag = q;
+            while mag.last() == Some(&0) {
+                mag.pop();
+            }
+        }
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for c in chunks.iter().rev().skip(1) {
+            write!(f, "{c:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Error produced by [`BigInt::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError(pub String);
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError(s.to_string()));
+        }
+        let mut acc = BigInt::zero();
+        let ten9 = BigInt::from(1_000_000_000u32);
+        // Process 9 decimal digits at a time, left to right; only the first
+        // chunk may be short.
+        let bytes = digits.as_bytes();
+        let first = bytes.len() % 9;
+        let mut pos = 0;
+        if first > 0 {
+            let v: u32 = digits[..first].parse().unwrap();
+            acc = BigInt::from(v);
+            pos = first;
+        }
+        while pos < bytes.len() {
+            let v: u32 = digits[pos..pos + 9].parse().unwrap();
+            acc = &(&acc * &ten9) + &BigInt::from(v);
+            pos += 9;
+        }
+        if neg && !acc.is_zero() {
+            acc.sign = Sign::Minus;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construction_and_roundtrip() {
+        for v in [0i128, 1, -1, 42, -42, u64::MAX as i128, -(u64::MAX as i128)] {
+            assert_eq!(b(v).to_i128(), Some(v));
+            assert_eq!(b(v).to_string().parse::<BigInt>().unwrap(), b(v));
+        }
+    }
+
+    #[test]
+    fn zero_invariants() {
+        assert!(b(0).is_zero());
+        assert_eq!(b(5) + b(-5), b(0));
+        assert_eq!(b(0).sign(), Sign::Zero);
+        assert!(b(0).is_even());
+        assert_eq!(b(0).bit_len(), 0);
+    }
+
+    #[test]
+    fn arithmetic_small() {
+        assert_eq!(b(3) + b(4), b(7));
+        assert_eq!(b(3) - b(4), b(-1));
+        assert_eq!(b(-3) * b(4), b(-12));
+        assert_eq!(b(17).div_rem(&b(5)), (b(3), b(2)));
+        assert_eq!(b(-17).div_rem(&b(5)), (b(-3), b(-2)));
+        assert_eq!(b(17).div_rem(&b(-5)), (b(-3), b(2)));
+    }
+
+    #[test]
+    fn arithmetic_large() {
+        let big = BigInt::from(u128::MAX);
+        let sum = &big + &big;
+        assert_eq!(sum.to_string(), "680564733841876926926749214863536422910");
+        let sq = &big * &big;
+        assert_eq!(sq.div_rem(&big), (big.clone(), BigInt::zero()));
+        assert_eq!(
+            sq.to_string(),
+            "115792089237316195423570985008687907852589419931798687112530834793049593217025"
+        );
+    }
+
+    #[test]
+    fn pow_and_factorial() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(10).pow(20).to_string(), "100000000000000000000");
+        assert_eq!(BigInt::factorial(20), b(2432902008176640000));
+        assert_eq!(
+            BigInt::factorial(30).to_string(),
+            "265252859812191058636308480000000"
+        );
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(0).gcd(&b(0)), b(0));
+        assert_eq!(b(1).gcd(&b(999)), b(1));
+        let a = BigInt::factorial(25);
+        let c = BigInt::factorial(20);
+        assert_eq!(a.gcd(&c), c);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(1).shl(100).shr(100), b(1));
+        assert_eq!(b(12345).shl(37).shr(37), b(12345));
+        assert_eq!(b(1).shl(31).to_i128(), Some(1 << 31));
+        assert_eq!(b(-8).shr(2), b(-2));
+        assert_eq!(b(3).shr(5), b(0));
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![b(3), b(-100), b(0), b(100), b(-3)];
+        v.sort();
+        assert_eq!(v, vec![b(-100), b(-3), b(0), b(3), b(100)]);
+        assert!(BigInt::from(u128::MAX) > b(1));
+        assert!(-BigInt::from(u128::MAX) < b(-1));
+    }
+
+    #[test]
+    fn display_negative_and_chunks() {
+        assert_eq!(b(-1_000_000_007).to_string(), "-1000000007");
+        assert_eq!(b(1_000_000_000).to_string(), "1000000000");
+        assert_eq!(b(999_999_999).to_string(), "999999999");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert_eq!("-0".parse::<BigInt>().unwrap(), b(0));
+        assert_eq!("+7".parse::<BigInt>().unwrap(), b(7));
+    }
+
+    #[test]
+    fn div_rem_multi_limb_divisor() {
+        let a = BigInt::from(u128::MAX) * b(12345) + b(678);
+        let d = BigInt::from(u128::MAX);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q, b(12345));
+        assert_eq!(r, b(678));
+    }
+}

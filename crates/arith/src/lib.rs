@@ -1,0 +1,24 @@
+//! # caz-arith
+//!
+//! Exact arithmetic substrate for the *Certain Answers Meet Zero–One
+//! Laws* reproduction: arbitrary-precision integers ([`BigInt`]), exact
+//! rationals ([`Ratio`]), univariate polynomials over ℚ ([`Poly`]), and
+//! the combinatorial enumerators (set partitions, partial injections)
+//! that drive the support-polynomial engine in `caz-core`.
+//!
+//! Everything is implemented from scratch: the measures `μ(Q|Σ, D)` of
+//! the paper are exact rationals obtained as ratios of leading
+//! coefficients of polynomials whose coefficients overflow machine
+//! integers already for moderate inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod combinatorics;
+pub mod poly;
+pub mod ratio;
+
+pub use bigint::{BigInt, Sign};
+pub use poly::Poly;
+pub use ratio::Ratio;

@@ -1,0 +1,357 @@
+//! Univariate polynomials over the rationals.
+//!
+//! The support-counting functions `k ↦ |Suppᵏ(Q, D)|` of the paper are,
+//! for all large enough `k`, polynomials in `k` (proof of Theorem 3).
+//! Limits of ratios of such functions are ratios of leading coefficients,
+//! which this module computes exactly.
+
+use crate::bigint::BigInt;
+use crate::ratio::Ratio;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A polynomial with rational coefficients, stored in ascending degree
+/// order with no trailing zero coefficients.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    coeffs: Vec<Ratio>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Poly {
+        Poly::constant(Ratio::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Ratio) -> Poly {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// The monomial `c · x^deg`.
+    pub fn monomial(c: Ratio, deg: usize) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Ratio::zero(); deg + 1];
+        coeffs[deg] = c;
+        Poly { coeffs }
+    }
+
+    /// The polynomial `x`.
+    pub fn x() -> Poly {
+        Poly::monomial(Ratio::one(), 1)
+    }
+
+    /// Build from ascending coefficients, trimming trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<Ratio>) -> Poly {
+        while coeffs.last().is_some_and(Ratio::is_zero) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// Ascending coefficients (no trailing zeros).
+    pub fn coeffs(&self) -> &[Ratio] {
+        &self.coeffs
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Leading coefficient, or `None` for the zero polynomial.
+    pub fn leading(&self) -> Option<&Ratio> {
+        self.coeffs.last()
+    }
+
+    /// Coefficient of `x^i` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> Ratio {
+        self.coeffs.get(i).cloned().unwrap_or_default()
+    }
+
+    /// Evaluate at an integer point.
+    pub fn eval_int(&self, x: &BigInt) -> Ratio {
+        // Horner's rule.
+        let mut acc = Ratio::zero();
+        let xr = Ratio::from_int(x.clone());
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * &xr) + c;
+        }
+        acc
+    }
+
+    /// Evaluate at a rational point.
+    pub fn eval(&self, x: &Ratio) -> Ratio {
+        let mut acc = Ratio::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// The falling factorial `(x − c)(x − c − 1)⋯(x − c − j + 1)` as a
+    /// polynomial in `x` — the number of ways to assign `j` pairwise
+    /// distinct "fresh" values out of `x − c` available ones. For `j = 0`
+    /// this is the constant 1.
+    ///
+    /// ```
+    /// use caz_arith::{BigInt, Poly, Ratio};
+    ///
+    /// // Injections of 2 items into k − 1 slots: (k−1)(k−2).
+    /// let ff = Poly::falling_factorial(1, 2);
+    /// assert_eq!(ff.eval_int(&BigInt::from(5)), Ratio::from_int(12));
+    /// ```
+    pub fn falling_factorial(c: i64, j: usize) -> Poly {
+        let mut acc = Poly::one();
+        for i in 0..j {
+            let lin = Poly::from_coeffs(vec![
+                Ratio::from_int(-(c + i as i64)),
+                Ratio::one(),
+            ]);
+            acc = &acc * &lin;
+        }
+        acc
+    }
+
+    /// `x^m` as a polynomial — the total number of valuations of `m` nulls
+    /// with range among `x` constants.
+    pub fn x_pow(m: usize) -> Poly {
+        Poly::monomial(Ratio::one(), m)
+    }
+
+    /// The exact limit of `p(k) / q(k)` as `k → ∞`, provided it exists and
+    /// is finite. Returns `None` when the limit is `+∞`/`−∞` (numerator
+    /// degree exceeds denominator degree). The limit of `0 / q` is 0; the
+    /// ratio `0 / 0` is treated as 0 (the paper's convention for an empty
+    /// support of the conditioning event).
+    pub fn limit_ratio(p: &Poly, q: &Poly) -> Option<Ratio> {
+        match (p.degree(), q.degree()) {
+            (None, _) => Some(Ratio::zero()),
+            (Some(_), None) => None,
+            (Some(dp), Some(dq)) => {
+                if dp < dq {
+                    Some(Ratio::zero())
+                } else if dp == dq {
+                    Some(p.leading().unwrap() / q.leading().unwrap())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = Vec::with_capacity(n);
+        for i in 0..n {
+            coeffs.push(&self.coeff(i) + &rhs.coeff(i));
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = Vec::with_capacity(n);
+        for i in 0..n {
+            coeffs.push(&self.coeff(i) - &rhs.coeff(i));
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Ratio::zero(); self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += &(a * b);
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        Poly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        &self - &rhs
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+impl AddAssign<&Poly> for Poly {
+    fn add_assign(&mut self, rhs: &Poly) {
+        *self = &*self + rhs;
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                f.write_str(if c.is_negative() { " - " } else { " + " })?;
+            } else if c.is_negative() {
+                f.write_str("-")?;
+            }
+            let a = if c.is_negative() { -c } else { c.clone() };
+            match i {
+                0 => write!(f, "{a}")?,
+                _ => {
+                    if !a.is_one() {
+                        write!(f, "{a}·")?;
+                    }
+                    if i == 1 {
+                        write!(f, "k")?;
+                    } else {
+                        write!(f, "k^{i}")?;
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Poly({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: i64) -> Ratio {
+        Ratio::from_frac(p, q)
+    }
+
+    fn p(coeffs: &[i64]) -> Poly {
+        Poly::from_coeffs(coeffs.iter().map(|&c| Ratio::from_int(c)).collect())
+    }
+
+    #[test]
+    fn construction_trims() {
+        assert_eq!(p(&[1, 2, 0, 0]).degree(), Some(1));
+        assert!(p(&[0, 0]).is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = p(&[1, 2]); // 1 + 2k
+        let b = p(&[3, 0, 1]); // 3 + k^2
+        assert_eq!(&a + &b, p(&[4, 2, 1]));
+        assert_eq!(&b - &a, p(&[2, -2, 1]));
+        assert_eq!(&a * &b, p(&[3, 6, 1, 2]));
+        assert_eq!(&a - &a, Poly::zero());
+    }
+
+    #[test]
+    fn evaluation() {
+        let q = p(&[1, -3, 2]); // 2k^2 - 3k + 1 = (2k-1)(k-1)
+        assert_eq!(q.eval_int(&BigInt::from(1)), Ratio::zero());
+        assert_eq!(q.eval_int(&BigInt::from(3)), Ratio::from_int(10));
+        assert_eq!(q.eval(&r(1, 2)), Ratio::zero());
+    }
+
+    #[test]
+    fn falling_factorial_matches_counts() {
+        // ff(k - 2, 3) at k = 6 counts injections of 3 items into 4 slots.
+        let ff = Poly::falling_factorial(2, 3);
+        assert_eq!(ff.degree(), Some(3));
+        assert_eq!(ff.eval_int(&BigInt::from(6)), Ratio::from_int(4 * 3 * 2));
+        assert_eq!(Poly::falling_factorial(0, 0), Poly::one());
+        // ff(k, 2) = k(k-1) = k^2 - k.
+        assert_eq!(Poly::falling_factorial(0, 2), p(&[0, -1, 1]));
+    }
+
+    #[test]
+    fn partition_identity_small() {
+        // For m = 2 nulls and c = 0 named constants:
+        // k^2 = ff(k,2) [two distinct fresh] + ff(k,1) [both equal, fresh].
+        let total = &Poly::falling_factorial(0, 2) + &Poly::falling_factorial(0, 1);
+        assert_eq!(total, Poly::x_pow(2));
+    }
+
+    #[test]
+    fn limits() {
+        // (2k^2 + 1) / (4k^2) -> 1/2
+        let num = p(&[1, 0, 2]);
+        let den = p(&[0, 0, 4]);
+        assert_eq!(Poly::limit_ratio(&num, &den), Some(r(1, 2)));
+        // k / k^2 -> 0
+        assert_eq!(Poly::limit_ratio(&p(&[0, 1]), &p(&[0, 0, 1])), Some(Ratio::zero()));
+        // k^2 / k -> infinity
+        assert_eq!(Poly::limit_ratio(&p(&[0, 0, 1]), &p(&[0, 1])), None);
+        // 0 / q -> 0, and 0 / 0 -> 0 by convention.
+        assert_eq!(Poly::limit_ratio(&Poly::zero(), &p(&[0, 1])), Some(Ratio::zero()));
+        assert_eq!(Poly::limit_ratio(&Poly::zero(), &Poly::zero()), Some(Ratio::zero()));
+        // p / 0 with p nonzero: undefined (treated as divergent).
+        assert_eq!(Poly::limit_ratio(&p(&[1]), &Poly::zero()), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(p(&[1, -3, 2]).to_string(), "2·k^2 - 3·k + 1");
+        assert_eq!(p(&[0, 1]).to_string(), "k");
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert_eq!(
+            Poly::from_coeffs(vec![r(1, 2), r(-1, 3)]).to_string(),
+            "-1/3·k + 1/2"
+        );
+    }
+}

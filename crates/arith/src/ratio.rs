@@ -1,0 +1,338 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Always kept in lowest terms with a strictly positive denominator, so
+//! structural equality coincides with numeric equality.
+
+use crate::bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`, normalized.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Ratio {
+    /// Build `num / den`, normalizing. Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Ratio {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Ratio { num, den };
+        r.normalize();
+        r
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Ratio {
+        Ratio { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Ratio {
+        Ratio { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// An integer as a rational.
+    pub fn from_int<T: Into<BigInt>>(v: T) -> Ratio {
+        Ratio { num: v.into(), den: BigInt::one() }
+    }
+
+    /// `p / q` from machine integers. Panics if `q == 0`.
+    pub fn from_frac<P: Into<BigInt>, Q: Into<BigInt>>(p: P, q: Q) -> Ratio {
+        Ratio::new(p.into(), q.into())
+    }
+
+    fn normalize(&mut self) {
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        if self.den.is_negative() {
+            self.num = -std::mem::take(&mut self.num);
+            self.den = -std::mem::take(&mut self.den);
+        }
+        let g = self.num.gcd(&self.den);
+        if g != BigInt::one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff equal to 1.
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Ratio::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Best-effort `f64` approximation.
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// True iff the value lies in the closed interval `[0, 1]`.
+    pub fn in_unit_interval(&self) -> bool {
+        !self.is_negative() && self.num <= self.den
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl From<BigInt> for Ratio {
+    fn from(v: BigInt) -> Ratio {
+        Ratio::from_int(v)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Ratio {
+        Ratio::from_int(v)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Add for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Ratio::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($tr:ident::$m:ident),*) => {$(
+        impl $tr for Ratio {
+            type Output = Ratio;
+            fn $m(self, rhs: Ratio) -> Ratio {
+                $tr::$m(&self, &rhs)
+            }
+        }
+        impl $tr<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $m(self, rhs: &Ratio) -> Ratio {
+                $tr::$m(&self, rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Ratio> for Ratio {
+    fn sub_assign(&mut self, rhs: &Ratio) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Ratio> for Ratio {
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+/// Error produced by [`Ratio::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError(pub String);
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Parses `p` or `p/q` decimal literals.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRatioError(s.to_string());
+        match s.split_once('/') {
+            None => Ok(Ratio::from_int(s.parse::<BigInt>().map_err(|_| err())?)),
+            Some((p, q)) => {
+                let num = p.trim().parse::<BigInt>().map_err(|_| err())?;
+                let den = q.trim().parse::<BigInt>().map_err(|_| err())?;
+                if den.is_zero() {
+                    return Err(err());
+                }
+                Ok(Ratio::new(num, den))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: i64) -> Ratio {
+        Ratio::from_frac(p, q)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Ratio::zero());
+        assert_eq!(r(0, -5).denom(), &BigInt::one());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(1, 3).recip(), r(3, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 3) > r(1, 2));
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(r(1, 1).is_one());
+        assert!(r(3, 3).is_one());
+        assert!(r(0, 7).is_zero());
+        assert!(r(4, 2).is_integer());
+        assert!(r(1, 2).in_unit_interval());
+        assert!(r(1, 1).in_unit_interval());
+        assert!(r(0, 1).in_unit_interval());
+        assert!(!r(3, 2).in_unit_interval());
+        assert!(!r(-1, 2).in_unit_interval());
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!("3/9".parse::<Ratio>().unwrap(), r(1, 3));
+        assert_eq!("-7".parse::<Ratio>().unwrap(), r(-7, 1));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("x/2".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn f64_approx() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the exact-arithmetic substrate, checked
+//! against `i128` reference arithmetic and ring/field axioms.
+
+use caz_arith::combinatorics::{bell, count_partial_injections, for_each_set_partition};
+use caz_arith::{BigInt, Poly, Ratio};
+use proptest::prelude::*;
+
+fn big(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -1i128 << 100..1i128 << 100, b in -1i128 << 100..1i128 << 100) {
+        prop_assert_eq!(big(a) + big(b), big(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in -1i128 << 100..1i128 << 100, b in -1i128 << 100..1i128 << 100) {
+        prop_assert_eq!(big(a) - big(b), big(a - b));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in -1i128 << 60..1i128 << 60, b in -1i128 << 60..1i128 << 60) {
+        prop_assert_eq!(big(a) * big(b), big(a * b));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+        let (q, r) = big(a as i128).div_rem(&big(b as i128));
+        prop_assert_eq!(q, big(a as i128 / b as i128));
+        prop_assert_eq!(r, big(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |b| *b != 0)) {
+        let (ba, bb) = (big(a), big(b));
+        let (q, r) = ba.div_rem(&bb);
+        prop_assert_eq!(&(&q * &bb) + &r, ba.clone());
+        prop_assert!(r.abs() < bb.abs());
+    }
+
+    #[test]
+    fn gcd_properties(a in any::<i64>(), b in any::<i64>()) {
+        let g = big(a as i128).gcd(&big(b as i128));
+        if a != 0 || b != 0 {
+            prop_assert!((&big(a as i128) % &g).is_zero());
+            prop_assert!((&big(b as i128) % &g).is_zero());
+            prop_assert!(g.is_positive());
+        } else {
+            prop_assert!(g.is_zero());
+        }
+    }
+
+    #[test]
+    fn string_roundtrip(a in any::<i128>()) {
+        let b = big(a);
+        prop_assert_eq!(b.to_string().parse::<BigInt>().unwrap(), b.clone());
+        prop_assert_eq!(b.to_string(), a.to_string());
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in any::<i128>(), n in 0usize..200) {
+        prop_assert_eq!(big(a).shl(n).shr(n), big(a));
+    }
+
+    #[test]
+    fn ratio_field_axioms(
+        (p1, q1) in (any::<i64>(), 1i64..10_000),
+        (p2, q2) in (any::<i64>(), 1i64..10_000),
+        (p3, q3) in (any::<i64>(), 1i64..10_000),
+    ) {
+        let a = Ratio::from_frac(p1, q1);
+        let b = Ratio::from_frac(p2, q2);
+        let c = Ratio::from_frac(p3, q3);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Ratio::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Ratio::one());
+        }
+    }
+
+    #[test]
+    fn ratio_normalized(p in any::<i64>(), q in any::<i64>().prop_filter("nonzero", |q| *q != 0)) {
+        let r = Ratio::from_frac(p, q);
+        prop_assert!(r.denom().is_positive());
+        prop_assert_eq!(r.numer().gcd(r.denom()), BigInt::one());
+    }
+
+    #[test]
+    fn poly_mul_evaluates_pointwise(
+        a in proptest::collection::vec(-20i64..20, 0..5),
+        b in proptest::collection::vec(-20i64..20, 0..5),
+        x in -50i64..50,
+    ) {
+        let pa = Poly::from_coeffs(a.iter().map(|&c| Ratio::from_int(c)).collect());
+        let pb = Poly::from_coeffs(b.iter().map(|&c| Ratio::from_int(c)).collect());
+        let prod = &pa * &pb;
+        let xi = BigInt::from(x);
+        prop_assert_eq!(prod.eval_int(&xi), &pa.eval_int(&xi) * &pb.eval_int(&xi));
+        let sum = &pa + &pb;
+        prop_assert_eq!(sum.eval_int(&xi), &pa.eval_int(&xi) + &pb.eval_int(&xi));
+    }
+
+    #[test]
+    fn falling_factorial_counts_injections(c in 0i64..6, j in 0usize..5, k in 0i64..20) {
+        // ff(k - c, j) must equal the number of ways to pick an ordered
+        // j-tuple of distinct values among max(k - c, 0) available ones
+        // (zero when k - c < j).
+        let ff = Poly::falling_factorial(c, j);
+        let avail = (k - c).max(-1); // allow negatives to exercise zeros
+        let mut expected = 1i128;
+        for i in 0..j as i64 {
+            expected *= (avail - i).max(0) as i128;
+            if avail - i < 0 { expected = 0; }
+        }
+        // Only meaningful when k >= c (the engine's regime).
+        if k >= c + j as i64 {
+            prop_assert_eq!(ff.eval_int(&BigInt::from(k)), Ratio::from_int(expected));
+        }
+    }
+}
+
+#[test]
+fn partition_class_sizes_sum_to_bell() {
+    // Cross-module identity: iterating partitions and counting agrees with
+    // the closed-form Bell number; injections likewise.
+    for m in 0..=6 {
+        let mut n = 0u64;
+        for_each_set_partition(m, |_, _| n += 1);
+        assert_eq!(BigInt::from(n), bell(m));
+    }
+    assert_eq!(count_partial_injections(3, 0), BigInt::one());
+    assert_eq!(count_partial_injections(0, 5), BigInt::one());
+}

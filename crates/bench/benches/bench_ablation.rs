@@ -1,0 +1,82 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * constraint events check dependencies *directly* on v(D) instead of
+//!   evaluating their first-order encoding — measure what that buys;
+//! * Sep uses an early-exit search instead of materializing the full
+//!   support bitmap — measure the difference for a single comparison
+//!   (the bitmap engine amortizes over all pairs, which is its job);
+//! * the Theorem-1 fast path (naïve evaluation) vs the first-principles
+//!   polynomial engine.
+
+use caz_bench::workloads::intro_example;
+use caz_core::{mu_conditional_exact, BoolQueryEvent, ConstraintEvent};
+use caz_idb::Schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ex = intro_example();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    // 1. Direct constraint checking vs FO-encoded constraints.
+    let schema = Schema::from_pairs([("R1", 2), ("R2", 2)]);
+    let sigma_direct = ConstraintEvent::new(ex.sigma.clone());
+    let sigma_formula = BoolQueryEvent::new(ex.sigma.to_query(&schema).unwrap());
+    let q_ev = BoolQueryEvent::new(ex.bool_query.clone());
+    g.bench_function("conditional/direct_constraint_check", |b| {
+        b.iter(|| black_box(mu_conditional_exact(&q_ev, &sigma_direct, &ex.db)))
+    });
+    g.bench_function("conditional/fo_encoded_constraints", |b| {
+        b.iter(|| black_box(mu_conditional_exact(&q_ev, &sigma_formula, &ex.db)))
+    });
+
+    // 2. One comparison: early-exit Sep vs full bitmap table.
+    g.bench_function("single_pair/early_exit_sep", |b| {
+        b.iter(|| black_box(caz_compare::strictly_better(&ex.query, &ex.db, &ex.a, &ex.b)))
+    });
+    g.bench_function("single_pair/full_bitmap_table", |b| {
+        b.iter(|| {
+            let cands = [ex.a.clone(), ex.b.clone()];
+            let table = caz_compare::support_table(&ex.query, &ex.db, &cands);
+            black_box(table.strictly_better(0, 1))
+        })
+    });
+
+    // 3. Join fast path in the evaluator vs plain domain iteration,
+    //    on a join-heavy conjunctive query.
+    let jdb = caz_idb::parse_database(
+        "R(a, b). R(b, c). R(c, d). R(d, e). R(e, a). S(b, 1). S(d, 2).",
+    )
+    .unwrap()
+    .db;
+    let jq = caz_logic::parse_query(
+        "Q(x) := exists y, z, w. R(x, y) & R(y, z) & R(z, w) & S(w, '1')",
+    )
+    .unwrap();
+    let consts = jq.generic_consts();
+    g.bench_function("eval/join_fast_path", |b| {
+        b.iter(|| {
+            let ev = caz_logic::Evaluator::new(&jdb, &consts);
+            black_box(ev.answers(&jq))
+        })
+    });
+    g.bench_function("eval/domain_iteration", |b| {
+        b.iter(|| {
+            let ev = caz_logic::Evaluator::new(&jdb, &consts).without_joins();
+            black_box(ev.answers(&jq))
+        })
+    });
+
+    // 4. Theorem 1 fast path vs the polynomial engine.
+    g.bench_function("mu/theorem1_naive", |b| {
+        b.iter(|| black_box(caz_core::mu(&ex.query, &ex.db, Some(&ex.a))))
+    });
+    g.bench_function("mu/polynomial_engine", |b| {
+        b.iter(|| black_box(caz_core::mu_via_polynomials(&ex.query, &ex.db, Some(&ex.a))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E14/E15 — Theorem 7 / Proposition 8: Best(Q, D) and Best_μ(Q, D)
+//! over growing candidate spaces, plus the §5 example.
+
+use caz_bench::workloads::best_example;
+use caz_compare::{best_answers, best_mu_answers};
+use caz_idb::parse_database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best");
+    g.sample_size(10);
+    let ex = best_example();
+    g.bench_function("section5_example/best", |b| {
+        b.iter(|| black_box(best_answers(&ex.query, &ex.db)))
+    });
+    g.bench_function("section5_example/best_mu", |b| {
+        b.iter(|| black_box(best_mu_answers(&ex.query, &ex.db)))
+    });
+    for n in [2usize, 3, 4] {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("R({i}, _n{i}). "));
+        }
+        src.push_str("S(0, _n0).");
+        let db = parse_database(&src).unwrap().db;
+        let q = caz_logic::parse_query("Q(x, y) := R(x, y) & !S(x, y)").unwrap();
+        g.bench_with_input(BenchmarkId::new("best_scaling", n), &n, |b, _| {
+            b.iter(|| black_box(best_answers(&q, &db)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E10 — Theorem 5: the chase's polynomial scaling, and the chase fast
+//! path vs the polynomial engine for conditional measures under FDs.
+
+use caz_bench::workloads::chase_chain;
+use caz_constraints::{chase, parse_constraints};
+use caz_core::mu_conditional;
+use caz_idb::parse_database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chase");
+    g.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let (db, fds) = chase_chain(n);
+        g.bench_with_input(BenchmarkId::new("chase_chain", n), &n, |b, _| {
+            b.iter(|| black_box(chase(&db, &fds).unwrap().merged_nulls()))
+        });
+    }
+    let db = parse_database("R(a, _x). R(a, _y). R(b, _z). S(_x, _y).").unwrap().db;
+    let fds = [caz_constraints::Fd::new("R", vec![0], 1)];
+    let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
+    let q = caz_logic::parse_query("Q := exists u. S(u, u)").unwrap();
+    g.bench_function("mu_conditional_fd/chase_path", |b| {
+        b.iter(|| black_box(caz_core::mu_conditional_fd(&q, &fds, &db, None).unwrap()))
+    });
+    g.bench_function("mu_conditional_fd/poly_engine", |b| {
+        b.iter(|| black_box(mu_conditional(&q, &sigma, &db, None)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E11 — Theorem 6: brute-force ⊴ on the coloring hardness family.
+//! The cost explodes with graph size; that is the theorem's content.
+
+use caz_compare::{coloring_comparison_instance, dominated, Graph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compare_fo");
+    g.sample_size(10);
+    for (label, graph) in [
+        ("K3", Graph::complete(3)),
+        ("C4", Graph::cycle(4)),
+        ("K4", Graph::complete(4)),
+    ] {
+        let inst = coloring_comparison_instance(&graph);
+        g.bench_with_input(BenchmarkId::new("dominated", label), &label, |b, _| {
+            b.iter(|| black_box(dominated(&inst.query, &inst.db, &inst.a, &inst.b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

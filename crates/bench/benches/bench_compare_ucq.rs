@@ -1,0 +1,29 @@
+//! E12 — Theorem 8: UCQ comparison via the small-certificate algorithm
+//! vs the generic bounded-range engine. The crossover as the database
+//! grows is the reproduction of the theorem's PTIME claim.
+
+use caz_bench::workloads::ucq_workload;
+use caz_compare::{sep, UcqComparator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compare_ucq");
+    g.sample_size(10);
+    for n in [3usize, 6, 9] {
+        let (db, q, a, b) = ucq_workload(n);
+        let cmp = UcqComparator::new(&q).unwrap();
+        g.bench_with_input(BenchmarkId::new("ucq_certificate", n), &n, |bch, _| {
+            bch.iter(|| black_box(cmp.sep(&db, &a, &b)))
+        });
+        if db.nulls().len() <= 3 {
+            g.bench_with_input(BenchmarkId::new("generic_engine", n), &n, |bch, _| {
+                bch.iter(|| black_box(sep(&q, &db, &a, &b)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

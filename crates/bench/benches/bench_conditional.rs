@@ -1,0 +1,29 @@
+//! E6/E7/E9 — Theorem 3: the exact conditional measure μ(Q|Σ, D) via
+//! support polynomials, swept over the Proposition 4 family (the
+//! denominator size r controls the named-constant pool) and compared
+//! with finite-k enumeration.
+
+use caz_bench::workloads::prop4_instance;
+use caz_core::{mu_conditional, mu_k_conditional, BoolQueryEvent, ConstraintEvent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conditional");
+    g.sample_size(10);
+    for r in [2u32, 4, 8, 12] {
+        let (db, sigma, q) = prop4_instance(r / 2, r);
+        g.bench_with_input(BenchmarkId::new("closed_form", r), &r, |b, _| {
+            b.iter(|| black_box(mu_conditional(&q, &sigma, &db, None)))
+        });
+        let qev = BoolQueryEvent::new(q.clone());
+        let sev = ConstraintEvent::new(sigma.clone());
+        g.bench_with_input(BenchmarkId::new("enumeration_k", r), &r, |b, &r| {
+            b.iter(|| black_box(mu_k_conditional(&qev, &sev, &db, r as usize + 2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E19 — Datalog (beyond FO): evaluation and measures for recursive
+//! queries, scaled by chain length.
+
+use caz_datalog::{naive_eval_datalog, output_facts, parse_program, DatalogEvent};
+use caz_idb::{cst, parse_database, Tuple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn chain_db(n: usize, nulls_every: usize) -> caz_idb::Database {
+    let mut src = String::new();
+    for i in 0..n {
+        if nulls_every > 0 && i % nulls_every == 0 {
+            src.push_str(&format!("edge(v{i}, _m{i}). edge(_m{i}, v{}).", i + 1));
+        } else {
+            src.push_str(&format!("edge(v{i}, v{}).", i + 1));
+        }
+    }
+    parse_database(&src).unwrap().db
+}
+
+fn bench(c: &mut Criterion) {
+    let prog = parse_program(
+        "path(x, y) :- edge(x, y).
+         path(x, z) :- path(x, y), edge(y, z).
+         output path",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("datalog");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let db = chain_db(n, 0);
+        g.bench_with_input(BenchmarkId::new("tc_complete", n), &n, |b, _| {
+            b.iter(|| black_box(output_facts(&prog, &db)))
+        });
+    }
+    for n in [4usize, 8] {
+        let db = chain_db(n, 4);
+        g.bench_with_input(BenchmarkId::new("tc_naive_eval", n), &n, |b, _| {
+            b.iter(|| black_box(naive_eval_datalog(&prog, &db)))
+        });
+        let t = Tuple::new(vec![cst("v0"), cst(&format!("v{n}"))]);
+        let ev = DatalogEvent::new(prog.clone(), t);
+        g.bench_with_input(BenchmarkId::new("tc_mu_exact", n), &n, |b, _| {
+            b.iter(|| black_box(caz_core::mu_exact(&ev, &db)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

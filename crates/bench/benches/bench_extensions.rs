@@ -1,0 +1,63 @@
+//! E17/E18 — the §6 extensions: three-valued approximation and
+//! preference-weighted measures.
+
+use caz_arith::Ratio;
+use caz_core::{mu_weighted, mu_weighted_k, three_valued_quality, BoolQueryEvent, Preference};
+use caz_idb::{parse_database, Cst};
+use caz_logic::three_valued::{eval3_query, NullMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    let p = parse_database(
+        "Emp(ann, _d1). Emp(bob, _d1). Emp(cal, _d2). Emp(dee, sales). Closed(sales).",
+    )
+    .unwrap();
+    let q = caz_logic::parse_query(
+        "SameDept(w) := exists d. Emp('ann', d) & Emp(w, d) & w != 'ann'",
+    )
+    .unwrap();
+    for mode in [NullMode::Sql, NullMode::Marked] {
+        g.bench_with_input(
+            BenchmarkId::new("eval3_query", format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(eval3_query(&q, &p.db, mode))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("quality_report", format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(three_valued_quality(&q, &p.db, mode))),
+        );
+    }
+
+    let diag = parse_database("Diag(pat1, _d). Chronic(asthma). Chronic(diabetes).").unwrap();
+    let qd = caz_logic::parse_query(
+        "HasChronic := exists d. Diag('pat1', d) & Chronic(d)",
+    )
+    .unwrap();
+    let ev = BoolQueryEvent::new(qd);
+    let mut pref = Preference::uniform();
+    pref.set(
+        diag.nulls["d"],
+        [
+            (Cst::new("asthma"), Ratio::from_frac(1, 4)),
+            (Cst::new("flu"), Ratio::from_frac(1, 2)),
+        ],
+    )
+    .unwrap();
+    g.bench_function("weighted/limit_closed_form", |b| {
+        b.iter(|| black_box(mu_weighted(&ev, &diag.db, &pref)))
+    });
+    for k in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("weighted/finite_k", k), &k, |b, &k| {
+            b.iter(|| black_box(mu_weighted_k(&ev, &diag.db, &pref, k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

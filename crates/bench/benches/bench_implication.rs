@@ -1,0 +1,29 @@
+//! E5 — Proposition 3: the implication measure μ(Σ→Q, D) in both
+//! regimes (μ(Σ)=1 and μ(Σ)=0), vs the plain measure it collapses to.
+
+use caz_constraints::parse_constraints;
+use caz_idb::parse_database;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
+    let q = caz_logic::parse_query("F := exists u. R(u, u)").unwrap();
+    let db_sat = parse_database("R(a, _x). R(b, _y).").unwrap().db;
+    let db_unsat = parse_database("R(a, _x). R(a, _y).").unwrap().db;
+    let mut g = c.benchmark_group("implication");
+    g.sample_size(20);
+    g.bench_function("mu_implication/sigma_ac_true", |b| {
+        b.iter(|| black_box(caz_core::mu_implication(&sigma, &q, &db_sat)))
+    });
+    g.bench_function("mu_implication/sigma_ac_false", |b| {
+        b.iter(|| black_box(caz_core::mu_implication(&sigma, &q, &db_unsat)))
+    });
+    g.bench_function("mu_plain", |b| {
+        b.iter(|| black_box(caz_core::mu(&q, &db_sat, None)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

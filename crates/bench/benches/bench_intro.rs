@@ -1,0 +1,42 @@
+//! E1 — the §1 suppliers example: cost of each notion on the same input.
+//!
+//! The paper's pitch is that naïve evaluation is cheap while certainty
+//! notions are expensive; this bench quantifies the ladder
+//! naïve ≪ μ-closed-form ≪ certain ≪ best on one database.
+
+use caz_bench::workloads::intro_example;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ex = intro_example();
+    let mut g = c.benchmark_group("intro");
+    g.sample_size(20);
+    g.bench_function("naive_eval", |b| {
+        b.iter(|| black_box(caz_logic::naive_eval(&ex.query, &ex.db)))
+    });
+    g.bench_function("mu_theorem1", |b| {
+        b.iter(|| black_box(caz_core::mu(&ex.query, &ex.db, Some(&ex.a))))
+    });
+    g.bench_function("mu_poly_engine", |b| {
+        b.iter(|| black_box(caz_core::mu_via_polynomials(&ex.query, &ex.db, Some(&ex.a))))
+    });
+    g.bench_function("certain_answers", |b| {
+        b.iter(|| black_box(caz_core::certain_answers(&ex.query, &ex.db)))
+    });
+    g.bench_function("best_answers", |b| {
+        b.iter(|| black_box(caz_compare::best_answers(&ex.query, &ex.db)))
+    });
+    g.bench_function("mu_conditional_fd", |b| {
+        b.iter(|| {
+            black_box(
+                caz_core::mu_conditional_fd(&ex.bool_query, std::slice::from_ref(&ex.fd), &ex.db, None)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E3 — Theorem 2: the database-counting measure mᵏ vs the
+//! valuation-counting μᵏ. Counting distinct v(D) requires hashing whole
+//! databases; the bench shows the overhead that Theorem 2 says buys
+//! nothing in the limit.
+
+use caz_core::{m_k, mu_k, BoolQueryEvent};
+use caz_idb::parse_database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let db = parse_database("R(1, _a). R(1, _b). S(_a, _c).").unwrap().db;
+    let q = caz_logic::parse_query("Q := exists x. R(1, x) & S(x, x)").unwrap();
+    let ev = BoolQueryEvent::new(q);
+    let mut g = c.benchmark_group("m_measure");
+    g.sample_size(10);
+    for k in [4usize, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("mu_k", k), &k, |b, &k| {
+            b.iter(|| black_box(mu_k(&ev, &db, k)))
+        });
+        g.bench_with_input(BenchmarkId::new("m_k", k), &k, |b, &k| {
+            b.iter(|| black_box(m_k(&ev, &db, k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

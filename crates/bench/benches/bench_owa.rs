@@ -1,0 +1,31 @@
+//! E4 — Proposition 2: exact open-world counting. The cost is
+//! 2^(slots) — the bench shows the wall that forces the universe cap.
+
+use caz_core::owa_m_k;
+use caz_idb::Database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut db = Database::new();
+    db.relation_mut("U", 1);
+    let q1 = caz_logic::parse_query("Q1 := !(exists x. U(x))").unwrap();
+    let mut g = c.benchmark_group("owa");
+    g.sample_size(10);
+    for k in [4usize, 8, 12, 16] {
+        g.bench_with_input(BenchmarkId::new("owa_m_k_empty_unary", k), &k, |b, &k| {
+            b.iter(|| black_box(owa_m_k(&q1, &db, k).unwrap()))
+        });
+    }
+    let nulled = caz_idb::parse_database("U(_x). U(_y).").unwrap().db;
+    let q2 = caz_logic::parse_query("Q := exists x. U(x)").unwrap();
+    for k in [4usize, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("owa_m_k_two_nulls", k), &k, |b, &k| {
+            b.iter(|| black_box(owa_m_k(&q2, &nulled, k).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

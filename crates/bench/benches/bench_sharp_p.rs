@@ -1,0 +1,33 @@
+//! E8 — Proposition 6: PTIME satisfiability for unary keys/FKs vs the
+//! #P-shaped cost of exact support counting as nulls grow.
+
+use caz_bench::workloads::{keyfk_workload, null_scaling_db};
+use caz_constraints::{satisfiable_keys_fks, UnaryFk, UnaryKey};
+use caz_core::{support_poly, BoolQueryEvent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharp_p");
+    g.sample_size(10);
+    let keys = [UnaryKey::new("Cust", 0)];
+    let fks = [UnaryFk::new("Orders", 1, "Cust", 0)];
+    for n in [8usize, 16, 32, 64] {
+        let (db, schema) = keyfk_workload(n);
+        g.bench_with_input(BenchmarkId::new("keyfk_satisfiability", n), &n, |b, _| {
+            b.iter(|| black_box(satisfiable_keys_fks(&keys, &fks, &db, &schema)))
+        });
+    }
+    let q = caz_logic::parse_query("Q := exists x. R(x, x)").unwrap();
+    for m in [2usize, 3, 4, 5] {
+        let db = null_scaling_db(m);
+        let ev = BoolQueryEvent::new(q.clone());
+        g.bench_with_input(BenchmarkId::new("support_poly_census", m), &m, |b, _| {
+            b.iter(|| black_box(support_poly(&ev, &db).total_classes))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 — Theorem 1: three routes to μ(Q, D) and their costs as the
+//! number of nulls grows. Theorem 1's route (naïve evaluation) is
+//! polynomial; the first-principles routes are exponential in m.
+
+use caz_bench::workloads::null_scaling_db;
+use caz_core::{mu_k, supp_k_count, BoolQueryEvent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let q = caz_logic::parse_query("Q := exists x. R(x, x)").unwrap();
+    let mut g = c.benchmark_group("zero_one");
+    g.sample_size(10);
+    for m in [1usize, 2, 3, 4] {
+        let db = null_scaling_db(m);
+        g.bench_with_input(BenchmarkId::new("naive_theorem1", m), &db, |b, db| {
+            b.iter(|| black_box(caz_core::mu(&q, db, None)))
+        });
+        let ev = BoolQueryEvent::new(q.clone());
+        g.bench_with_input(BenchmarkId::new("poly_engine", m), &db, |b, db| {
+            b.iter(|| black_box(caz_core::mu_exact(&ev, db)))
+        });
+        g.bench_with_input(BenchmarkId::new("enumeration_k8", m), &db, |b, db| {
+            b.iter(|| black_box(mu_k(&ev, db, 8)))
+        });
+        g.bench_with_input(BenchmarkId::new("supp_count_k8", m), &db, |b, db| {
+            b.iter(|| black_box(supp_k_count(&ev, db, 8)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! The experiment registry: one entry per experiment in DESIGN.md §4.
+//!
+//! Each experiment both *validates* (asserts the theorem's statement on
+//! its workload) and *reports* (returns the table recorded in
+//! EXPERIMENTS.md). `cargo run -p caz-bench --bin harness` regenerates
+//! everything.
+
+pub mod compare_exp;
+pub mod extensions;
+pub mod constraints_exp;
+pub mod measures;
+
+/// An experiment: id, one-line description, and runner.
+pub struct Experiment {
+    /// Identifier (E1…E16).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Produce the report (panics if the paper's claim fails to hold).
+    pub run: fn() -> String,
+}
+
+/// All experiments, in DESIGN.md order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "E1", title: "§1 intro example", run: measures::e01_intro },
+        Experiment {
+            id: "E2",
+            title: "Theorem 1: 0–1 law on random sweeps",
+            run: || measures::e02_zero_one(10),
+        },
+        Experiment { id: "E3", title: "Theorem 2: μ vs m", run: measures::e03_m_measure },
+        Experiment { id: "E4", title: "Proposition 2: OWA", run: measures::e04_owa },
+        Experiment {
+            id: "E5",
+            title: "Proposition 3: implication measure",
+            run: measures::e05_implication,
+        },
+        Experiment {
+            id: "E6",
+            title: "Theorem 3 / Proposition 4: conditional rationals",
+            run: constraints_exp::e06_conditional_rationals,
+        },
+        Experiment {
+            id: "E7",
+            title: "§4.3: naïve evaluation breaks under constraints",
+            run: constraints_exp::e07_naive_breaks,
+        },
+        Experiment {
+            id: "E8",
+            title: "Proposition 6: satisfiability vs #P counting",
+            run: constraints_exp::e08_sharp_p,
+        },
+        Experiment {
+            id: "E9",
+            title: "Theorem 4: a.c.-true constraints vanish",
+            run: constraints_exp::e09_theorem4,
+        },
+        Experiment {
+            id: "E10",
+            title: "Theorem 5 / Corollary 4: FDs via the chase",
+            run: constraints_exp::e10_chase,
+        },
+        Experiment {
+            id: "E11",
+            title: "Theorem 6: the coNP/DP wall",
+            run: || compare_exp::e11_compare_fo(5),
+        },
+        Experiment {
+            id: "E12",
+            title: "Theorem 8: UCQ comparisons in PTIME",
+            run: compare_exp::e12_compare_ucq,
+        },
+        Experiment {
+            id: "E13",
+            title: "Proposition 7: best × μ orthogonality",
+            run: compare_exp::e13_orthogonality,
+        },
+        Experiment { id: "E14", title: "§5 best answers", run: compare_exp::e14_best },
+        Experiment {
+            id: "E15",
+            title: "Theorem 7 / Proposition 8: Best and Best_μ",
+            run: compare_exp::e15_best_scaling,
+        },
+        Experiment {
+            id: "E16",
+            title: "Corollary 3: Pos∀G",
+            run: measures::e16_pos_forall_g,
+        },
+        Experiment {
+            id: "E17",
+            title: "§6 extension: three-valued approximation quality",
+            run: || extensions::e17_approximation_quality(12),
+        },
+        Experiment {
+            id: "E18",
+            title: "§6 extension: preference-weighted measures",
+            run: extensions::e18_weighted_measures,
+        },
+        Experiment {
+            id: "E19",
+            title: "Theorem 1 beyond FO: Datalog",
+            run: extensions::e19_datalog,
+        },
+    ]
+}

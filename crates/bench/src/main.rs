@@ -1,0 +1,40 @@
+//! The experiment harness: regenerates every experiment table.
+//!
+//! ```text
+//! cargo run --release -p caz-bench --bin harness           # all
+//! cargo run --release -p caz-bench --bin harness -- E6 E8  # selected
+//! cargo run --release -p caz-bench --bin harness -- --list # index
+//! ```
+
+use caz_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = experiments::all();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for e in &experiments {
+            println!("{:>4}  {}", e.id, e.title);
+        }
+        return;
+    }
+    let selected: Vec<_> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        experiments
+            .iter()
+            .filter(|e| args.iter().any(|a| a.eq_ignore_ascii_case(e.id)))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; known ids:");
+        for e in &experiments {
+            eprintln!("  {:>4}  {}", e.id, e.title);
+        }
+        std::process::exit(1);
+    }
+    for e in selected {
+        println!("━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+        println!("{} — {}\n", e.id, e.title);
+        println!("{}", (e.run)());
+    }
+}

@@ -1,0 +1,145 @@
+//! Best answers: `Best(Q, D) = {ā | ¬∃b̄ : ā ⊲ b̄}` (Section 5), and the
+//! combined notion `Best_μ(Q, D)` restricting to almost certainly true
+//! answers (Section 5.2, Proposition 8).
+
+use crate::bitmap::{adom_candidates, support_table, SupportTable};
+use caz_idb::{Database, Tuple};
+use caz_logic::Query;
+use std::collections::BTreeSet;
+
+/// `Best(Q, D)` among tuples over `adom(D)`: the ⊴-maximal answers.
+/// Nonempty whenever `adom(D)` is (unlike certain answers), and equal to
+/// the certain answers when those are nonempty.
+///
+/// ```
+/// use caz_compare::best_answers;
+/// use caz_idb::parse_database;
+/// use caz_logic::parse_query;
+///
+/// // §5 of the paper: certain answers are empty, yet (2, ⊥2) is the
+/// // unique best answer to R − S.
+/// let p = parse_database("R(1, _n1). R(2, _n2). S(1, _n2). S(_n3, _n1).").unwrap();
+/// let q = parse_query("Q(x, y) := R(x, y) & !S(x, y)").unwrap();
+/// let best = best_answers(&q, &p.db);
+/// assert_eq!(best.len(), 1);
+/// ```
+pub fn best_answers(q: &Query, db: &Database) -> BTreeSet<Tuple> {
+    let candidates = adom_candidates(db, q.arity());
+    best_among(q, db, &candidates)
+}
+
+/// `Best` restricted to an explicit candidate set.
+pub fn best_among(q: &Query, db: &Database, candidates: &[Tuple]) -> BTreeSet<Tuple> {
+    let table = support_table(q, db, candidates);
+    table
+        .best_indices()
+        .into_iter()
+        .map(|i| table.candidates[i].clone())
+        .collect()
+}
+
+/// `Best_μ(Q, D) = Best(Q, D) ∩ {ā | μ(Q, D, ā) = 1}`: best answers that
+/// are also almost certainly true. May be empty (Proposition 7 shows
+/// best and almost-certainly-true are orthogonal).
+pub fn best_mu_answers(q: &Query, db: &Database) -> BTreeSet<Tuple> {
+    best_answers(q, db)
+        .into_iter()
+        .filter(|t| caz_core::almost_certainly_true(q, db, Some(t)))
+        .collect()
+}
+
+/// The full support table over `adom` candidates (for callers needing
+/// counts or pairwise information as well).
+pub fn full_table(q: &Query, db: &Database) -> SupportTable {
+    let candidates = adom_candidates(db, q.arity());
+    support_table(q, db, &candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_core::certain_answers;
+    use caz_idb::{cst, parse_database, Value};
+    use caz_logic::parse_query;
+
+    #[test]
+    fn section_5_best_answer_example() {
+        // R = {(1,⊥1),(2,⊥2)}, S = {(1,⊥2),(⊥3,⊥1)}, Q = R − S:
+        // certain answers empty, Best(Q,D) = {(2,⊥2)}.
+        let p = parse_database("R(1, _n1). R(2, _n2). S(1, _n2). S(_n3, _n1).").unwrap();
+        let q = parse_query("Q(x, y) := R(x, y) & !S(x, y)").unwrap();
+        assert!(certain_answers(&q, &p.db).is_empty());
+        let best = best_answers(&q, &p.db);
+        let b = Tuple::new(vec![cst("2"), Value::Null(p.nulls["n2"])]);
+        assert_eq!(best, [b].into());
+    }
+
+    #[test]
+    fn best_equals_certain_when_certain_nonempty() {
+        let p = parse_database("R(a, _x). R(b, c).").unwrap();
+        let q = parse_query("Q(u, v) := R(u, v)").unwrap();
+        let certain = certain_answers(&q, &p.db);
+        assert_eq!(certain.len(), 2);
+        let best = best_answers(&q, &p.db);
+        assert_eq!(best, certain);
+    }
+
+    #[test]
+    fn best_nonempty_on_nonempty_domain() {
+        let p = parse_database("R(_x).").unwrap();
+        // A query with no certain and no possible answers still has best
+        // answers (everything is vacuously maximal).
+        let q = parse_query("Q(u) := R(u) & !R(u)").unwrap();
+        assert!(certain_answers(&q, &p.db).is_empty());
+        let best = best_answers(&q, &p.db);
+        assert_eq!(best.len(), 1, "all candidates have empty support: all best");
+    }
+
+    #[test]
+    fn proposition_7_orthogonality() {
+        // The proof's construction: A = {a}, B = {b}, R = {(⊥,⊥′)};
+        // Q(x) = (B(x) ∧ ∃y R(y,y)) ∨ (A(x) ∧ ¬∃y R(y,y)).
+        // Both a and b are best; μ(a) = 1, μ(b) = 0.
+        let p = parse_database("A(a). B(b). R(_x, _y).").unwrap();
+        let q = parse_query(
+            "Q(z) := (B(z) & (exists y. R(y, y))) | (A(z) & !(exists y. R(y, y)))",
+        )
+        .unwrap();
+        let ta = Tuple::new(vec![cst("a")]);
+        let tb = Tuple::new(vec![cst("b")]);
+        let best = best_answers(&q, &p.db);
+        assert!(best.contains(&ta), "(best, μ=1) realizable");
+        assert!(best.contains(&tb), "(best, μ=0) realizable");
+        assert!(caz_core::almost_certainly_true(&q, &p.db, Some(&ta)));
+        assert!(caz_core::almost_certainly_false(&q, &p.db, Some(&tb)));
+        // Best_μ keeps only a.
+        assert_eq!(best_mu_answers(&q, &p.db), [ta].into());
+
+        // Expansion with G = {g} and Q′(x) = G(x) ∨ Q(x): g dominates
+        // everything, so a and b drop out of Best while keeping their μ.
+        let p2 = parse_database("A(a). B(b). G(g). R(_x, _y).").unwrap();
+        let q2 = parse_query(
+            "Q(z) := G(z) | (B(z) & (exists y. R(y, y))) | (A(z) & !(exists y. R(y, y)))",
+        )
+        .unwrap();
+        let ta2 = Tuple::new(vec![cst("a")]);
+        let tb2 = Tuple::new(vec![cst("b")]);
+        let tg = Tuple::new(vec![cst("g")]);
+        let best2 = best_answers(&q2, &p2.db);
+        assert!(best2.contains(&tg));
+        assert!(!best2.contains(&ta2), "(non-best, μ=1) realizable");
+        assert!(!best2.contains(&tb2), "(non-best, μ=0) realizable");
+        assert!(caz_core::almost_certainly_true(&q2, &p2.db, Some(&ta2)));
+        assert!(caz_core::almost_certainly_false(&q2, &p2.db, Some(&tb2)));
+    }
+
+    #[test]
+    fn boolean_best() {
+        // Arity 0: the single empty-tuple candidate is best iff… always.
+        let p = parse_database("R(_x).").unwrap();
+        let q = parse_query("Q := exists u. R(u)").unwrap();
+        let best = best_answers(&q, &p.db);
+        assert_eq!(best.len(), 1);
+        assert_eq!(best.iter().next().unwrap().arity(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The comparison orders `⊴` and `⊲` on candidate answers (Section 5).
+
+use crate::sep::sep;
+use caz_idb::{Database, Tuple};
+use caz_logic::Query;
+
+/// `ā ⊴_{Q,D} b̄`: `Supp(Q, D, ā) ⊆ Supp(Q, D, b̄)` — `b̄` has at least
+/// as much support. coNP-complete in data complexity for FO queries
+/// (Theorem 6); decided exactly here by bounded search.
+pub fn dominated(q: &Query, db: &Database, a: &Tuple, b: &Tuple) -> bool {
+    !sep(q, db, a, b)
+}
+
+/// `ā ⊲_{Q,D} b̄`: strict inclusion of supports — `b̄` is a strictly
+/// better answer. DP-complete in data complexity for FO queries
+/// (Theorem 6).
+pub fn strictly_better(q: &Query, db: &Database, a: &Tuple, b: &Tuple) -> bool {
+    !sep(q, db, a, b) && sep(q, db, b, a)
+}
+
+/// Support-equivalence: `Supp(ā) = Supp(b̄)`.
+pub fn equivalent(q: &Query, db: &Database, a: &Tuple, b: &Tuple) -> bool {
+    !sep(q, db, a, b) && !sep(q, db, b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_idb::{cst, parse_database, Value};
+    use caz_logic::parse_query;
+
+    #[test]
+    fn intro_example_comparison() {
+        // §1: (c2,⊥2) has strictly more support than (c1,⊥1) for
+        // Q = R1 − R2 on the suppliers database.
+        let p = parse_database(
+            "R1(c1, _p1). R1(c2, _p1). R1(c2, _p2).
+             R2(c1, _p2). R2(c2, _p1). R2(_c3, _p1).",
+        )
+        .unwrap();
+        let q = parse_query("Q(x, y) := R1(x, y) & !R2(x, y)").unwrap();
+        let a = Tuple::new(vec![cst("c1"), Value::Null(p.nulls["p1"])]);
+        let b = Tuple::new(vec![cst("c2"), Value::Null(p.nulls["p2"])]);
+        assert!(strictly_better(&q, &p.db, &a, &b));
+        assert!(!strictly_better(&q, &p.db, &b, &a));
+        assert!(dominated(&q, &p.db, &a, &b));
+        assert!(!dominated(&q, &p.db, &b, &a));
+    }
+
+    #[test]
+    fn order_properties() {
+        let p = parse_database("R(1, _n1). R(2, _n2). S(1, _n2). S(_n3, _n1).").unwrap();
+        let q = parse_query("Q(x, y) := R(x, y) & !S(x, y)").unwrap();
+        let a = Tuple::new(vec![cst("1"), Value::Null(p.nulls["n1"])]);
+        let b = Tuple::new(vec![cst("2"), Value::Null(p.nulls["n2"])]);
+        // Reflexivity of ⊴, irreflexivity of ⊲.
+        assert!(dominated(&q, &p.db, &a, &a));
+        assert!(!strictly_better(&q, &p.db, &a, &a));
+        // The §5 example: ā ⊲ b̄.
+        assert!(strictly_better(&q, &p.db, &a, &b));
+        assert!(!equivalent(&q, &p.db, &a, &b));
+        assert!(equivalent(&q, &p.db, &a, &a));
+    }
+
+    #[test]
+    fn transitivity_spot_check() {
+        let p = parse_database("U(_x). A(a). B(b). C(c).").unwrap();
+        // Supports: a ∈ Q iff ⊥='a'; b iff ⊥∈{a,b}; c always.
+        let q = parse_query(
+            "Q(z) := (A(z) & U('a')) | (B(z) & (U('a') | U('b'))) | C(z)",
+        )
+        .unwrap();
+        let ta = Tuple::new(vec![cst("a")]);
+        let tb = Tuple::new(vec![cst("b")]);
+        let tc = Tuple::new(vec![cst("c")]);
+        assert!(strictly_better(&q, &p.db, &ta, &tb));
+        assert!(strictly_better(&q, &p.db, &tb, &tc));
+        assert!(strictly_better(&q, &p.db, &ta, &tc));
+    }
+}

@@ -1,0 +1,305 @@
+//! Hardness-instance families: the graph-coloring reductions behind
+//! Theorem 6 (coNP/DP lower bounds for comparisons).
+//!
+//! Lower bounds cannot be "run", but the reduction families can: the
+//! instances below make the brute-force comparison engine exhibit the
+//! exponential behavior the theorem says is unavoidable for FO queries,
+//! against which the UCQ fast path's polynomial scaling is contrasted
+//! in the benchmarks.
+//!
+//! Encoding (for `Sep` = 3-colorability): the database stores one null
+//! per vertex as its color, `Col(vertex, ⊥_v)`, the edge relation over
+//! vertex constants, and a 3-constant palette. The sentence
+//!
+//! ```text
+//! valid := (forall x, c. Col(x,c) -> Palette(c))
+//!        & !(exists u, w, c. Edge(u,w) & Col(u,c) & Col(w,c))
+//! ```
+//!
+//! holds in `v(D)` iff `v` is a proper 3-coloring. With marker relations
+//! `A = {ca}`, `B = {cb}` and the query
+//! `Q(z) := A(z) ∨ (B(z) ∧ ¬valid)`, the support of `ā = (ca)` is all
+//! valuations and that of `b̄ = (cb)` is the improper ones, so
+//! `Sep(Q, D, ā, b̄)` holds iff the graph is 3-colorable, and
+//! `ā ⊴ b̄` iff it is **not**.
+
+use caz_idb::{cst, Database, NullId, Tuple, Value};
+use caz_logic::{parse_query, Query};
+use rand::{Rng, RngExt};
+
+/// An undirected graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge list (unordered pairs).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// The cycle `C_n`.
+    pub fn cycle(n: usize) -> Graph {
+        Graph {
+            n,
+            edges: (0..n).map(|i| (i, (i + 1) % n)).collect(),
+        }
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// A random graph `G(n, p)`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.random_bool(p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// Reference 3-colorability by brute force (`3ⁿ`).
+    pub fn is_3_colorable(&self) -> bool {
+        let mut colors = vec![0u8; self.n];
+        self.color_rec(0, &mut colors)
+    }
+
+    fn color_rec(&self, v: usize, colors: &mut Vec<u8>) -> bool {
+        if v == self.n {
+            return true;
+        }
+        'next: for c in 1..=3u8 {
+            for &(a, b) in &self.edges {
+                if a == v && b == v {
+                    continue 'next; // self-loop: no proper coloring
+                }
+                let other = if a == v { b } else if b == v { a } else { continue };
+                if other < v && colors[other] == c {
+                    continue 'next;
+                }
+            }
+            colors[v] = c;
+            if self.color_rec(v + 1, colors) {
+                return true;
+            }
+        }
+        colors[v] = 0;
+        false
+    }
+}
+
+/// A comparison instance encoding 3-colorability.
+pub struct ColoringInstance {
+    /// The encoded database (one color null per vertex).
+    pub db: Database,
+    /// The comparison query `Q(z) := A(z) ∨ (B(z) ∧ ¬valid)`.
+    pub query: Query,
+    /// `ā = (ca)`: supported by every valuation.
+    pub a: Tuple,
+    /// `b̄ = (cb)`: supported exactly by the improper colorings.
+    pub b: Tuple,
+    /// The color nulls, one per vertex.
+    pub color_nulls: Vec<NullId>,
+}
+
+/// Build the Theorem-6-style instance for a graph: `ā ⊴_{Q,D} b̄` iff
+/// the graph is **not** 3-colorable, and `Sep(Q, D, ā, b̄)` iff it is.
+pub fn coloring_comparison_instance(g: &Graph) -> ColoringInstance {
+    let mut db = Database::new();
+    let color_nulls: Vec<NullId> = (0..g.n).map(|_| NullId::fresh()).collect();
+    for (v, &null) in color_nulls.iter().enumerate() {
+        db.insert(
+            "Col",
+            Tuple::new(vec![cst(&format!("v{v}")), Value::Null(null)]),
+        );
+    }
+    // Edges in both directions so the validity sentence needs no
+    // symmetry axiom.
+    db.relation_mut("Edge", 2);
+    for &(u, w) in &g.edges {
+        db.insert("Edge", Tuple::new(vec![cst(&format!("v{u}")), cst(&format!("v{w}"))]));
+        db.insert("Edge", Tuple::new(vec![cst(&format!("v{w}")), cst(&format!("v{u}"))]));
+    }
+    for c in ["red", "green", "blue"] {
+        db.insert("Palette", Tuple::new(vec![cst(c)]));
+    }
+    db.insert("A", Tuple::new(vec![cst("ca")]));
+    db.insert("B", Tuple::new(vec![cst("cb")]));
+    let query = parse_query(
+        "Q(z) := A(z) | (B(z) & !( (forall x, c. Col(x, c) -> Palette(c)) \
+         & !(exists u, w, c. Edge(u, w) & Col(u, c) & Col(w, c)) ))",
+    )
+    .expect("reduction query parses");
+    ColoringInstance {
+        db,
+        query,
+        a: Tuple::new(vec![cst("ca")]),
+        b: Tuple::new(vec![cst("cb")]),
+        color_nulls,
+    }
+}
+
+/// A ⊲-comparison instance over a *pair* of graphs — the DP shape of
+/// Theorem 6's second claim (DP = intersections of NP and coNP
+/// languages; the canonical pair is "G₁ 3-colorable ∧ G₂ not").
+pub struct DpInstance {
+    /// The encoded database (independent null sets for the two graphs).
+    pub db: Database,
+    /// `Q(z) := (A(z) ∧ ¬valid₁) ∨ (B(z) ∧ ¬valid₂)`.
+    pub query: Query,
+    /// `ā = (ca)`: supported by the valuations miscoloring `G₁`.
+    pub a: Tuple,
+    /// `b̄ = (cb)`: supported by the valuations miscoloring `G₂`.
+    pub b: Tuple,
+}
+
+/// Build the DP instance: `ā ⊲ b̄` iff `g1` **is** 3-colorable and `g2`
+/// is **not** (both graphs must have at least one vertex, so that a
+/// miscoloring of each exists and the supports are comparable).
+pub fn dp_comparison_instance(g1: &Graph, g2: &Graph) -> DpInstance {
+    assert!(g1.n >= 1 && g2.n >= 1, "DP instance needs nonempty graphs");
+    let mut db = Database::new();
+    for (idx, g) in [(1usize, g1), (2usize, g2)] {
+        for v in 0..g.n {
+            db.insert(
+                &format!("Col{idx}"),
+                Tuple::new(vec![cst(&format!("g{idx}v{v}")), Value::Null(NullId::fresh())]),
+            );
+        }
+        db.relation_mut(&format!("Edge{idx}"), 2);
+        for &(u, w) in &g.edges {
+            for (s, t) in [(u, w), (w, u)] {
+                db.insert(
+                    &format!("Edge{idx}"),
+                    Tuple::new(vec![
+                        cst(&format!("g{idx}v{s}")),
+                        cst(&format!("g{idx}v{t}")),
+                    ]),
+                );
+            }
+        }
+    }
+    for c in ["red", "green", "blue"] {
+        db.insert("Palette", Tuple::new(vec![cst(c)]));
+    }
+    db.insert("A", Tuple::new(vec![cst("ca")]));
+    db.insert("B", Tuple::new(vec![cst("cb")]));
+    let valid = |idx: usize| {
+        format!(
+            "(forall x, c. Col{idx}(x, c) -> Palette(c)) \
+             & !(exists u, w, c. Edge{idx}(u, w) & Col{idx}(u, c) & Col{idx}(w, c))"
+        )
+    };
+    let query = parse_query(&format!(
+        "Q(z) := (A(z) & !({})) | (B(z) & !({}))",
+        valid(1),
+        valid(2)
+    ))
+    .expect("DP reduction query parses");
+    DpInstance {
+        db,
+        query,
+        a: Tuple::new(vec![cst("ca")]),
+        b: Tuple::new(vec![cst("cb")]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orders::{dominated, strictly_better};
+    use crate::sep::sep;
+
+    #[test]
+    fn reference_colorability() {
+        assert!(Graph::cycle(4).is_3_colorable());
+        assert!(Graph::cycle(5).is_3_colorable());
+        assert!(Graph::complete(3).is_3_colorable());
+        assert!(!Graph::complete(4).is_3_colorable());
+        assert!(Graph::complete(4).edges.len() == 6);
+    }
+
+    #[test]
+    fn reduction_is_faithful_on_small_graphs() {
+        for g in [
+            Graph::cycle(3),
+            Graph::complete(3),
+            Graph::complete(4),
+            Graph { n: 2, edges: vec![(0, 1)] },
+            Graph { n: 1, edges: vec![] },
+        ] {
+            let inst = coloring_comparison_instance(&g);
+            let colorable = g.is_3_colorable();
+            assert_eq!(
+                sep(&inst.query, &inst.db, &inst.a, &inst.b),
+                colorable,
+                "Sep ⇔ 3-colorable for {g:?}"
+            );
+            assert_eq!(
+                dominated(&inst.query, &inst.db, &inst.a, &inst.b),
+                !colorable,
+                "⊴ ⇔ non-3-colorable for {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_loops_are_uncolorable() {
+        let looped = Graph { n: 1, edges: vec![(0, 0)] };
+        assert!(!looped.is_3_colorable());
+        let free = Graph { n: 1, edges: vec![] };
+        assert!(free.is_3_colorable());
+        // And the Sep reduction agrees on the looped graph.
+        let inst = coloring_comparison_instance(&looped);
+        assert!(!sep(&inst.query, &inst.db, &inst.a, &inst.b));
+    }
+
+    #[test]
+    fn dp_reduction_is_faithful() {
+        // Compact (non-)3-colorable gadgets keep the null count small:
+        // a free vertex is colorable, a self-loop is not.
+        let yes = Graph { n: 1, edges: vec![] };
+        let no = Graph { n: 1, edges: vec![(0, 0)] };
+        for (g1, c1) in [(&yes, true), (&no, false)] {
+            for (g2, c2) in [(&yes, true), (&no, false)] {
+                let inst = dp_comparison_instance(g1, g2);
+                let expected = c1 && !c2;
+                assert_eq!(
+                    strictly_better(&inst.query, &inst.db, &inst.a, &inst.b),
+                    expected,
+                    "g1 3col={c1}, g2 3col={c2}"
+                );
+            }
+        }
+        // One larger spot check: C3 (colorable) against the loop.
+        let inst = dp_comparison_instance(&Graph::cycle(3), &no);
+        assert!(strictly_better(&inst.query, &inst.db, &inst.a, &inst.b));
+    }
+
+    #[test]
+    fn random_graphs_agree_with_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..4 {
+            let g = Graph::random(&mut rng, 4, 0.6);
+            let inst = coloring_comparison_instance(&g);
+            assert_eq!(
+                sep(&inst.query, &inst.db, &inst.a, &inst.b),
+                g.is_3_colorable(),
+                "{g:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Polynomial-time comparisons for unions of conjunctive queries
+//! (Theorem 8).
+//!
+//! Naïve evaluation does not help with `⊴` even for UCQs (the §5.1
+//! example). Instead, Theorem 8 gives a small-certificate criterion:
+//! `Sep(Q, D, ā, b̄)` holds iff there are
+//!
+//! * a sub-instance `D′ ⊆ D` with at most `p + k` tuples whose active
+//!   domain contains all components of `ā` (`p` = max atoms per
+//!   disjunct, `k` = arity), and
+//! * a valuation `v′` on the nulls of `D′` with range in
+//!   `A = Const(D) ∪ C ∪ A_m`,
+//!
+//! such that `v′(ā) ∈ Q(v′(D′))` and `v′(b̄) ∉ Q^naïve(v′(D))` — note
+//! `v′(D)` may still contain nulls, whence the naïve evaluation. For a
+//! fixed query this is polynomial in the size of `D`.
+
+use caz_idb::{Cst, Database, NullId, Tuple, Valuation, Value};
+use caz_logic::{naive_contains, tuple_in_answer, Query, Ucq};
+use std::collections::BTreeSet;
+
+/// A UCQ packaged for PTIME comparisons.
+pub struct UcqComparator {
+    query: Query,
+    /// `p + k`: the certificate size bound.
+    bound: usize,
+}
+
+impl UcqComparator {
+    /// Normalize a query; `None` if it is not a union of conjunctive
+    /// queries.
+    pub fn new(q: &Query) -> Option<UcqComparator> {
+        let ucq = Ucq::from_query(q)?;
+        Some(UcqComparator {
+            query: q.clone(),
+            bound: ucq.max_atoms() + q.arity(),
+        })
+    }
+
+    /// The certificate size bound `p + k`.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// `Sep(Q, D, ā, b̄)` via the small-certificate criterion.
+    pub fn sep(&self, db: &Database, a: &Tuple, b: &Tuple) -> bool {
+        // The witness pool A = Const(D) ∪ C ∪ A_m.
+        let mut pool: Vec<Cst> = db.consts().into_iter().collect();
+        pool.extend(self.query.generic_consts());
+        for t in [a, b] {
+            pool.extend(t.consts());
+        }
+        pool.sort_by_key(|c| c.name());
+        pool.dedup();
+        for i in 0..db.nulls().len() {
+            pool.push(Cst::fresh_in("ucq", i));
+        }
+
+        // All tuples of D as (relation, tuple) facts.
+        let facts: Vec<(String, Tuple)> = db
+            .relations()
+            .flat_map(|r| {
+                let name = r.name().resolve();
+                r.iter().map(move |t| (name.clone(), t.clone()))
+            })
+            .collect();
+
+        let needed: BTreeSet<Value> = a.values().iter().copied().collect();
+        let mut chosen: Vec<usize> = Vec::new();
+        self.search_subsets(db, &facts, &pool, &needed, a, b, 0, &mut chosen)
+    }
+
+    /// Enumerate sub-instances of at most `bound` facts (with pruning on
+    /// the ā-coverage requirement) and test the certificate.
+    #[allow(clippy::too_many_arguments)]
+    fn search_subsets(
+        &self,
+        db: &Database,
+        facts: &[(String, Tuple)],
+        pool: &[Cst],
+        needed: &BTreeSet<Value>,
+        a: &Tuple,
+        b: &Tuple,
+        start: usize,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        // Test the current sub-instance (including the empty one when ā
+        // needs no coverage, e.g. Boolean queries).
+        if self.test_certificate(db, facts, pool, needed, a, b, chosen) {
+            return true;
+        }
+        if chosen.len() == self.bound {
+            return false;
+        }
+        for i in start..facts.len() {
+            chosen.push(i);
+            if self.search_subsets(db, facts, pool, needed, a, b, i + 1, chosen) {
+                chosen.pop();
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn test_certificate(
+        &self,
+        db: &Database,
+        facts: &[(String, Tuple)],
+        pool: &[Cst],
+        needed: &BTreeSet<Value>,
+        a: &Tuple,
+        b: &Tuple,
+        chosen: &[usize],
+    ) -> bool {
+        // D′ must cover the components of ā.
+        let mut sub = Database::new();
+        // Keep the schema so evaluation sees the right relations.
+        for r in db.relations() {
+            sub.relation_mut(&r.name().resolve(), r.arity());
+        }
+        let mut adom: BTreeSet<Value> = BTreeSet::new();
+        for &i in chosen {
+            let (name, t) = &facts[i];
+            adom.extend(t.values().iter().copied());
+            sub.insert(name, t.clone());
+        }
+        if !needed.iter().all(|v| adom.contains(v)) {
+            return false;
+        }
+        // Valuations v′ on the nulls of D′ with range in the pool.
+        let nulls: Vec<NullId> = sub.nulls().into_iter().collect();
+        let mut v = Valuation::new();
+        self.test_valuations(db, &sub, &nulls, pool, a, b, 0, &mut v)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn test_valuations(
+        &self,
+        db: &Database,
+        sub: &Database,
+        nulls: &[NullId],
+        pool: &[Cst],
+        a: &Tuple,
+        b: &Tuple,
+        i: usize,
+        v: &mut Valuation,
+    ) -> bool {
+        if i == nulls.len() {
+            let va = v.apply_tuple(a);
+            if !va.is_complete() {
+                return false; // ā has nulls outside D′ — not covered
+            }
+            let vsub = v.apply_db(sub);
+            if !tuple_in_answer(&self.query, &vsub, &va) {
+                return false;
+            }
+            let vdb = v.apply_db(db);
+            let vb = v.apply_tuple(b);
+            !naive_contains(&self.query, &vdb, &vb)
+        } else {
+            for &c in pool {
+                v.bind(nulls[i], c);
+                if self.test_valuations(db, sub, nulls, pool, a, b, i + 1, v) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    /// `ā ⊴ b̄` in polynomial time.
+    pub fn dominated(&self, db: &Database, a: &Tuple, b: &Tuple) -> bool {
+        !self.sep(db, a, b)
+    }
+
+    /// `ā ⊲ b̄` in polynomial time.
+    pub fn strictly_better(&self, db: &Database, a: &Tuple, b: &Tuple) -> bool {
+        !self.sep(db, a, b) && self.sep(db, b, a)
+    }
+
+    /// `Best(Q, D)` over `adom` candidates using pairwise PTIME
+    /// comparisons.
+    pub fn best_answers(&self, db: &Database) -> BTreeSet<Tuple> {
+        let candidates = crate::bitmap::adom_candidates(db, self.query.arity());
+        let mut best = BTreeSet::new();
+        for a in &candidates {
+            let beaten = candidates
+                .iter()
+                .any(|b| b != a && self.strictly_better(db, a, b));
+            if !beaten {
+                best.insert(a.clone());
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sep::sep as brute_sep;
+    use caz_idb::{cst, parse_database, Value};
+    use caz_logic::parse_query;
+
+    #[test]
+    fn rejects_non_ucq() {
+        let q = parse_query("Q(x) := !R(x, x)").unwrap();
+        assert!(UcqComparator::new(&q).is_none());
+    }
+
+    #[test]
+    fn section_5_1_example() {
+        // R = {(1,⊥),(⊥,2)}, Q returns R, ā = (1,2), b̄ = (1,1):
+        // Sep(ā, b̄) holds (⊥ ↦ 2) although naïve implication says true.
+        let p = parse_database("R(1, _x). R(_x, 2).").unwrap();
+        let q = parse_query("Q(u, v) := R(u, v)").unwrap();
+        let cmp = UcqComparator::new(&q).unwrap();
+        let a = Tuple::new(vec![cst("1"), cst("2")]);
+        let b = Tuple::new(vec![cst("1"), cst("1")]);
+        assert!(cmp.sep(&p.db, &a, &b));
+        assert!(!cmp.dominated(&p.db, &a, &b));
+        // And Sep(b̄, ā) is false: every valuation supporting b̄ (⊥↦1)
+        // also supports ā? v(⊥)=1: R = {(1,1),(1,2)}: ā=(1,2) ∈ R ✓.
+        assert!(!cmp.sep(&p.db, &b, &a));
+        assert!(cmp.strictly_better(&p.db, &b, &a));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_examples() {
+        let cases = [
+            ("R(1, _x). R(_x, 2).", "Q(u, v) := R(u, v)"),
+            ("R(a, _x). S(_x, b). S(a, a).", "Q(u) := exists y. R(u, y) & S(y, u)"),
+            (
+                "R(a, _x). S(_y).",
+                "Q(u) := R(u, u) | (exists w. R(u, w) & S(w))",
+            ),
+        ];
+        for (dbsrc, qsrc) in cases {
+            let p = parse_database(dbsrc).unwrap();
+            let q = parse_query(qsrc).unwrap();
+            let cmp = UcqComparator::new(&q).unwrap();
+            let candidates = crate::bitmap::adom_candidates(&p.db, q.arity());
+            for a in &candidates {
+                for b in &candidates {
+                    assert_eq!(
+                        cmp.sep(&p.db, a, b),
+                        brute_sep(&q, &p.db, a, b),
+                        "Sep({a}, {b}) for {qsrc} on {dbsrc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_ucq_comparisons() {
+        let p = parse_database("R(_x). S(a).").unwrap();
+        let q = parse_query("Q := exists u. R(u) & S(u)").unwrap();
+        let cmp = UcqComparator::new(&q).unwrap();
+        let unit = Tuple::empty();
+        // Supp(()) vs itself: no separation.
+        assert!(!cmp.sep(&p.db, &unit, &unit));
+        assert!(cmp.dominated(&p.db, &unit, &unit));
+    }
+
+    #[test]
+    fn best_answers_ucq_matches_bitmap_engine() {
+        let p = parse_database("R(1, _n1). R(2, _n2). R(2, 5).").unwrap();
+        let q = parse_query("Q(x, y) := R(x, y)").unwrap();
+        let cmp = UcqComparator::new(&q).unwrap();
+        let fast = cmp.best_answers(&p.db);
+        let slow = crate::best::best_answers(&q, &p.db);
+        assert_eq!(fast, slow);
+        // Certain answers (all of R) are exactly the best answers here.
+        let b = Tuple::new(vec![cst("2"), Value::Null(p.nulls["n2"])]);
+        assert!(fast.contains(&b));
+    }
+}

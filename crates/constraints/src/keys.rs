@@ -1,0 +1,177 @@
+//! Unary keys and foreign keys with RDBMS semantics (Proposition 6).
+
+use crate::fd::Fd;
+use crate::ind::Ind;
+use caz_idb::{Database, Symbol, Value};
+use caz_logic::Formula;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A unary key: column `col` of `rel` determines the whole tuple — no two
+/// distinct tuples of the relation share the key value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct UnaryKey {
+    /// Constrained relation.
+    pub rel: Symbol,
+    /// Key column (0-based).
+    pub col: usize,
+}
+
+impl UnaryKey {
+    /// Build a key on `rel[col]`.
+    pub fn new(rel: &str, col: usize) -> UnaryKey {
+        UnaryKey { rel: Symbol::intern(rel), col }
+    }
+
+    /// The equivalent set of FDs `{col} → i` for every column `i`.
+    pub fn as_fds(&self, arity: usize) -> Vec<Fd> {
+        (0..arity)
+            .filter(|&i| i != self.col)
+            .map(|i| Fd { rel: self.rel, lhs: vec![self.col], rhs: i })
+            .collect()
+    }
+
+    /// The key as a first-order sentence.
+    pub fn to_formula(&self, arity: usize) -> Formula {
+        Formula::And(
+            self.as_fds(arity)
+                .into_iter()
+                .map(|fd| fd.to_formula(arity))
+                .collect(),
+        )
+    }
+
+    /// Direct check on a complete database.
+    pub fn holds_in(&self, db: &Database) -> bool {
+        debug_assert!(db.is_complete());
+        let Some(rel) = db.relation_sym(self.rel) else {
+            return true;
+        };
+        let mut seen: HashMap<Value, &caz_idb::Tuple> = HashMap::new();
+        for t in rel.iter() {
+            if let Some(prev) = seen.insert(t[self.col], t) {
+                if prev != t {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for UnaryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key {}[{}]", self.rel, self.col + 1)
+    }
+}
+
+/// A unary foreign key: every value in `rel[col]` occurs in
+/// `ref_rel[ref_col]`, where `ref_rel[ref_col]` is declared a key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct UnaryFk {
+    /// Referencing relation.
+    pub rel: Symbol,
+    /// Referencing column (0-based).
+    pub col: usize,
+    /// Referenced relation.
+    pub ref_rel: Symbol,
+    /// Referenced (key) column (0-based).
+    pub ref_col: usize,
+}
+
+impl UnaryFk {
+    /// Build `rel[col] → ref_rel[ref_col]`.
+    pub fn new(rel: &str, col: usize, ref_rel: &str, ref_col: usize) -> UnaryFk {
+        UnaryFk {
+            rel: Symbol::intern(rel),
+            col,
+            ref_rel: Symbol::intern(ref_rel),
+            ref_col,
+        }
+    }
+
+    /// The inclusion-dependency part of the foreign key.
+    pub fn as_ind(&self) -> Ind {
+        Ind {
+            from_rel: self.rel,
+            from_cols: vec![self.col],
+            to_rel: self.ref_rel,
+            to_cols: vec![self.ref_col],
+        }
+    }
+
+    /// The implied key on the referenced column.
+    pub fn implied_key(&self) -> UnaryKey {
+        UnaryKey { rel: self.ref_rel, col: self.ref_col }
+    }
+
+    /// The foreign key as a sentence (inclusion only; combine with
+    /// [`UnaryFk::implied_key`] for full RDBMS semantics).
+    pub fn to_formula(&self, from_arity: usize, to_arity: usize) -> Formula {
+        self.as_ind().to_formula(from_arity, to_arity)
+    }
+
+    /// Direct check of the inclusion on a complete database.
+    pub fn holds_in(&self, db: &Database) -> bool {
+        self.as_ind().holds_in(db)
+    }
+}
+
+impl fmt::Display for UnaryFk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fk {}[{}] -> {}[{}]",
+            self.rel,
+            self.col + 1,
+            self.ref_rel,
+            self.ref_col + 1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_idb::parse_database;
+    use caz_logic::{eval_bool, Query};
+
+    #[test]
+    fn key_direct_check() {
+        let key = UnaryKey::new("R", 0);
+        let ok = parse_database("R(1, a). R(2, a).").unwrap().db;
+        assert!(key.holds_in(&ok));
+        let bad = parse_database("R(1, a). R(1, b).").unwrap().db;
+        assert!(!key.holds_in(&bad));
+    }
+
+    #[test]
+    fn key_formula_agrees() {
+        let key = UnaryKey::new("R", 0);
+        let q = Query::boolean("key", key.to_formula(2)).unwrap();
+        for src in ["R(1, a). R(2, a).", "R(1, a). R(1, b).", "R(1, a)."] {
+            let db = parse_database(src).unwrap().db;
+            assert_eq!(eval_bool(&q, &db), key.holds_in(&db), "{src}");
+        }
+    }
+
+    #[test]
+    fn key_as_fds() {
+        let key = UnaryKey::new("R", 1);
+        let fds = key.as_fds(3);
+        assert_eq!(fds.len(), 2);
+        assert!(fds.iter().all(|fd| fd.lhs == vec![1]));
+        assert!(fds.iter().any(|fd| fd.rhs == 0));
+        assert!(fds.iter().any(|fd| fd.rhs == 2));
+    }
+
+    #[test]
+    fn fk_checks() {
+        let fk = UnaryFk::new("Orders", 1, "Customers", 0);
+        let ok = parse_database("Orders(o1, c1). Customers(c1, x).").unwrap().db;
+        assert!(fk.holds_in(&ok));
+        assert!(fk.implied_key().holds_in(&ok));
+        let bad = parse_database("Orders(o1, c9). Customers(c1, x).").unwrap().db;
+        assert!(!bad.is_empty() && !fk.holds_in(&bad));
+    }
+}

@@ -1,0 +1,31 @@
+//! # caz-constraints
+//!
+//! Integrity constraints over incomplete databases: the constraint
+//! substrate for Section 4 of *Certain Answers Meet Zero–One Laws*.
+//!
+//! * [`Fd`], [`Ind`], [`UnaryKey`], [`UnaryFk`]: the dependency classes
+//!   the paper works with, each with a direct checker and a compilation
+//!   to a generic first-order sentence;
+//! * [`ConstraintSet`]: a set `Σ` viewed as one Boolean query, plus a
+//!   text format ([`parse_constraints`]);
+//! * [`chase()`]: the FD chase (confluent up to null renaming), driving
+//!   Theorem 5's reduction of `μ(Q|Σ, D)` to `μ(Q, chase_Σ(D))`;
+//! * [`satisfiability`]: exact satisfiability of `Σ` in `D`
+//!   (Proposition 6), with fast paths for FDs and keys/foreign keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod fd;
+pub mod ind;
+pub mod keys;
+pub mod satisfiability;
+pub mod set;
+
+pub use chase::{chase, fds_satisfiable, ChaseFailure, ChaseResult};
+pub use fd::Fd;
+pub use ind::Ind;
+pub use keys::{UnaryFk, UnaryKey};
+pub use satisfiability::{satisfiable, satisfiable_generic, satisfiable_keys_fks};
+pub use set::{parse_constraints, Constraint, ConstraintSet};

@@ -1,0 +1,119 @@
+//! Property tests for the constraint substrate: chase soundness,
+//! confluence, and satisfiability agreement.
+
+use caz_constraints::{chase, fds_satisfiable, parse_constraints, satisfiable, Fd};
+use caz_idb::{
+    is_isomorphic, random_database, DbGenConfig, Schema, Valuation,
+};
+use caz_logic::eval_bool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gen_db(seed: u64) -> caz_idb::Database {
+    let cfg = DbGenConfig {
+        relations: vec![("R".into(), 2), ("T".into(), 2)],
+        tuples_per_relation: 4,
+        num_constants: 3,
+        num_nulls: 3,
+        null_prob: 0.5,
+    };
+    random_database(&mut StdRng::seed_from_u64(seed), &cfg)
+}
+
+fn the_fds() -> Vec<Fd> {
+    vec![Fd::new("R", vec![0], 1), Fd::new("T", vec![1], 0)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Soundness: a successful chase output satisfies the FDs under any
+    /// bijective valuation (nulls distinct), i.e. naïvely.
+    #[test]
+    fn chase_output_satisfies_fds(seed in 0u64..10_000) {
+        let db = gen_db(seed);
+        let fds = the_fds();
+        if let Ok(out) = chase(&db, &fds) {
+            let v = Valuation::bijective(out.db.nulls(), "pc");
+            let complete = v.apply_db(&out.db);
+            for fd in &fds {
+                prop_assert!(fd.holds_in(&complete), "chase output violates {fd}");
+            }
+            // The mapping sends D onto chase(D): applying it to D gives
+            // exactly the chased database.
+            let image = db.map(|val| match val {
+                caz_idb::Value::Null(n) => out.mapping[&n],
+                c => c,
+            });
+            prop_assert_eq!(image, out.db.clone());
+        }
+    }
+
+    /// Confluence: chasing with the FDs in either order gives isomorphic
+    /// results (or both fail).
+    #[test]
+    fn chase_confluent(seed in 0u64..10_000) {
+        let db = gen_db(seed);
+        let fds = the_fds();
+        let rev: Vec<Fd> = fds.iter().rev().cloned().collect();
+        match (chase(&db, &fds), chase(&db, &rev)) {
+            (Ok(a), Ok(b)) => prop_assert!(is_isomorphic(&a.db, &b.db)),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "divergent chase outcomes: {:?} vs {:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// FD satisfiability = chase success = brute-force satisfiability.
+    #[test]
+    fn fd_satisfiability_three_ways(seed in 0u64..10_000) {
+        let db = gen_db(seed);
+        let fds = the_fds();
+        let by_chase = fds_satisfiable(&db, &fds);
+        let schema = Schema::from_pairs([("R", 2), ("T", 2)]);
+        let set = parse_constraints("fd R: 1 -> 2\nfd T: 2 -> 1").unwrap();
+        let by_dispatch = satisfiable(&set, &db, &schema).unwrap();
+        prop_assert_eq!(by_chase, by_dispatch);
+        let by_brute =
+            caz_constraints::satisfiable_generic(&set.to_query(&schema).unwrap(), &db);
+        prop_assert_eq!(by_chase, by_brute);
+    }
+
+    /// Constraint formulas and direct checks agree on complete databases.
+    #[test]
+    fn formula_vs_direct_checks(seed in 0u64..10_000) {
+        let mut cfg = DbGenConfig {
+            relations: vec![("R".into(), 2), ("U".into(), 1)],
+            tuples_per_relation: 3,
+            num_constants: 3,
+            num_nulls: 0,
+            null_prob: 0.0,
+        };
+        cfg.num_nulls = 0;
+        let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
+        let schema = Schema::from_pairs([("R", 2), ("U", 1)]);
+        for cons in ["key R[1]", "fd R: 1 -> 2", "ind R[1] <= U[1]", "fk R[2] -> U[1]"] {
+            let set = parse_constraints(cons).unwrap();
+            let direct = set.holds_in(&db);
+            let via_formula = eval_bool(&set.to_query(&schema).unwrap(), &db);
+            prop_assert_eq!(direct, via_formula, "{} on\n{}", cons, db);
+        }
+    }
+
+    /// Chasing an already-satisfying database is the identity.
+    #[test]
+    fn chase_idempotent(seed in 0u64..10_000) {
+        let db = gen_db(seed);
+        let fds = the_fds();
+        if let Ok(out) = chase(&db, &fds) {
+            let again = chase(&out.db, &fds).expect("re-chasing cannot fail");
+            prop_assert_eq!(again.merged_nulls(), 0);
+            prop_assert_eq!(again.db, out.db);
+        }
+    }
+}

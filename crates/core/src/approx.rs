@@ -1,0 +1,187 @@
+//! Quality of approximations — the open question §6 of the paper poses:
+//! *"measure the quality of queries approximating certain answers, by
+//! measuring the likelihood of a certain answer not being returned by
+//! the approximating query."*
+//!
+//! The approximating evaluator here is three-valued evaluation
+//! (`caz_logic::three_valued`), the scheme real DBMSs implement. For a
+//! query and database we compare:
+//!
+//! * the exact **certain answers** (`μ`-certain ground truth),
+//! * the **almost certainly true** answers (naïve evaluation, μ = 1),
+//! * the answers the 3VL evaluator marks **True** (its sound claim) and
+//!   **Unknown** (its possible claim),
+//!
+//! and classify every discrepancy, with its measure attached. A missed
+//! certain answer has μ = 1 by definition — the likelihood §6 asks
+//! about is exactly the frequency of such misses, which the experiment
+//! sweeps report; an *unsound* answer (3VL-True but not certain) is
+//! quantified by its μ.
+
+use crate::support::{certain_answers, is_possible_answer};
+use caz_arith::Ratio;
+use caz_idb::{Database, Tuple};
+use caz_logic::three_valued::{eval3_query, NullMode, Truth};
+use caz_logic::{naive_eval, Query};
+use std::collections::BTreeSet;
+
+/// The comparison of an approximating evaluator against the exact
+/// notions, for one query and database.
+#[derive(Clone, Debug)]
+pub struct ApproxReport {
+    /// Exact certain answers.
+    pub certain: BTreeSet<Tuple>,
+    /// Almost certainly true answers (naïve evaluation).
+    pub almost_certain: BTreeSet<Tuple>,
+    /// Tuples the 3VL evaluator returns as True.
+    pub claimed_true: BTreeSet<Tuple>,
+    /// Tuples the 3VL evaluator returns as Unknown.
+    pub claimed_unknown: BTreeSet<Tuple>,
+    /// Certain answers the approximation failed to return (each has
+    /// μ = 1; their *frequency* is §6's quality metric).
+    pub missed_certain: BTreeSet<Tuple>,
+    /// 3VL-True answers that are not certain, with their exact measure
+    /// μ(Q, D, ā) — nonempty means the approximation is unsound on this
+    /// input.
+    pub unsound: Vec<(Tuple, Ratio)>,
+    /// Possible answers (nonempty support) not even in the Unknown set:
+    /// completeness gaps of the "maybe" side.
+    pub missed_possible: BTreeSet<Tuple>,
+}
+
+impl ApproxReport {
+    /// The approximation is sound on this input (True ⊆ certain).
+    pub fn is_sound(&self) -> bool {
+        self.unsound.is_empty()
+    }
+
+    /// The approximation is complete for certain answers on this input.
+    pub fn is_complete(&self) -> bool {
+        self.missed_certain.is_empty()
+    }
+
+    /// Fraction of certain answers returned (1 when there are none).
+    pub fn recall(&self) -> Ratio {
+        if self.certain.is_empty() {
+            return Ratio::one();
+        }
+        Ratio::from_frac(
+            (self.certain.len() - self.missed_certain.len()) as i64,
+            self.certain.len() as i64,
+        )
+    }
+}
+
+/// Compare three-valued evaluation in the given mode against the exact
+/// notions.
+pub fn three_valued_quality(q: &Query, db: &Database, mode: NullMode) -> ApproxReport {
+    let certain = certain_answers(q, db);
+    let almost_certain = naive_eval(q, db);
+    let three = eval3_query(q, db, mode);
+    let claimed_true: BTreeSet<Tuple> = three
+        .iter()
+        .filter(|(_, &t)| t == Truth::True)
+        .map(|(t, _)| t.clone())
+        .collect();
+    let claimed_unknown: BTreeSet<Tuple> = three
+        .iter()
+        .filter(|(_, &t)| t == Truth::Unknown)
+        .map(|(t, _)| t.clone())
+        .collect();
+    let missed_certain: BTreeSet<Tuple> =
+        certain.difference(&claimed_true).cloned().collect();
+    let unsound: Vec<(Tuple, Ratio)> = claimed_true
+        .difference(&certain)
+        .map(|t| (t.clone(), crate::theorems::mu(q, db, Some(t))))
+        .collect();
+    // Possible answers are a superset of almost-certain ones; checking
+    // possibility for the union of claims and naïve answers bounds the
+    // work while catching the interesting gaps.
+    let mut missed_possible = BTreeSet::new();
+    for t in almost_certain.iter() {
+        if !claimed_true.contains(t)
+            && !claimed_unknown.contains(t)
+            && is_possible_answer(q, db, t)
+        {
+            missed_possible.insert(t.clone());
+        }
+    }
+    ApproxReport {
+        certain,
+        almost_certain,
+        claimed_true,
+        claimed_unknown,
+        missed_certain,
+        unsound,
+        missed_possible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_idb::{cst, parse_database, Value};
+    use caz_logic::parse_query;
+
+    #[test]
+    fn positive_query_marked_mode_sound_and_complete() {
+        let p = parse_database("R(a, _x). R(b, c). S(c).").unwrap();
+        let q = parse_query("Q(u) := exists y. R(u, y) & S(y)").unwrap();
+        let rep = three_valued_quality(&q, &p.db, NullMode::Marked);
+        assert!(rep.is_sound());
+        // (b) is certain (R(b,c) ∧ S(c)); marked 3VL finds it.
+        assert!(rep.certain.contains(&Tuple::new(vec![cst("b")])));
+        assert!(rep.is_complete(), "missed: {:?}", rep.missed_certain);
+        assert_eq!(rep.recall(), Ratio::one());
+    }
+
+    #[test]
+    fn sql_mode_loses_marked_information() {
+        // Q returns R; (a, ⊥) is a certain answer (with nulls), but SQL
+        // mode cannot assert the self-identity of ⊥.
+        let p = parse_database("R(a, _x).").unwrap();
+        let q = parse_query("Q(u, v) := R(u, v)").unwrap();
+        let marked = three_valued_quality(&q, &p.db, NullMode::Marked);
+        assert!(marked.is_complete());
+        let sql = three_valued_quality(&q, &p.db, NullMode::Sql);
+        let t = Tuple::new(vec![cst("a"), Value::Null(p.nulls["x"])]);
+        assert!(sql.missed_certain.contains(&t), "SQL mode misses {t}");
+        assert!(sql.recall() < Ratio::one());
+    }
+
+    #[test]
+    fn negation_unknowns_keep_soundness_here() {
+        // The intro example: Q = R1 − R2. The likely answers are not
+        // certain; 3VL must not claim them True.
+        let p = parse_database(
+            "R1(c1, _p1). R1(c2, _p1). R1(c2, _p2).
+             R2(c1, _p2). R2(c2, _p1). R2(_c3, _p1).",
+        )
+        .unwrap();
+        let q = parse_query("Q(x, y) := R1(x, y) & !R2(x, y)").unwrap();
+        let rep = three_valued_quality(&q, &p.db, NullMode::Marked);
+        assert!(rep.certain.is_empty());
+        assert!(rep.is_sound(), "unsound: {:?}", rep.unsound);
+        // The almost-certain answers appear on the Unknown side.
+        let a = Tuple::new(vec![cst("c1"), Value::Null(p.nulls["p1"])]);
+        assert!(rep.claimed_unknown.contains(&a));
+        assert!(rep.missed_possible.is_empty());
+    }
+
+    #[test]
+    fn report_accounts_for_every_claim() {
+        let p = parse_database("R(a, b). R(_x, b). S(b).").unwrap();
+        let q = parse_query("Q(u) := exists y. R(u, y) & S(y)").unwrap();
+        let rep = three_valued_quality(&q, &p.db, NullMode::Marked);
+        // True and Unknown claims are disjoint.
+        assert!(rep.claimed_true.is_disjoint(&rep.claimed_unknown));
+        // Every certain answer is claimed or reported missed.
+        for t in &rep.certain {
+            assert!(rep.claimed_true.contains(t) || rep.missed_certain.contains(t));
+        }
+        // Unsound claims carry their exact measure.
+        for (t, m) in &rep.unsound {
+            assert!(m.in_unit_interval(), "μ({t}) = {m}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The finite-`k` measures `μᵏ` and `mᵏ`, computed exactly by
+//! enumeration of `Vᵏ(D)`.
+//!
+//! `μᵏ` counts valuations (Section 3.2); `mᵏ` counts distinct completed
+//! databases `v(D)` (Section 3.3, the "alternative measure"). Theorem 2
+//! states both sequences have the same limit; the experiments plot both.
+
+use crate::support::{enumeration_for, SuppEvent};
+use caz_arith::Ratio;
+use caz_idb::{ConstEnum, Database};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A sampled sequence `k ↦ value`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Series {
+    /// The `k` values.
+    pub ks: Vec<usize>,
+    /// The measure at each `k`.
+    pub values: Vec<Ratio>,
+}
+
+impl Series {
+    /// The last value (the best finite approximation of the limit).
+    pub fn last(&self) -> Option<&Ratio> {
+        self.values.last()
+    }
+
+    /// True iff the tail of the series is constant (a finite proxy for
+    /// convergence used in tests; the exact limits come from the
+    /// polynomial engine).
+    pub fn tail_constant(&self, tail: usize) -> bool {
+        if self.values.len() < tail {
+            return false;
+        }
+        let t = &self.values[self.values.len() - tail..];
+        t.iter().all(|v| v == &t[0])
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.ks.iter().zip(&self.values) {
+            writeln!(f, "k={k:>3}  {v}  (≈{:.6})", v.to_f64())?;
+        }
+        Ok(())
+    }
+}
+
+/// `μᵏ(event, D) = |Suppᵏ| / kᵐ` for one `k`, by exhaustive enumeration.
+pub fn mu_k(event: &dyn SuppEvent, db: &Database, k: usize) -> Ratio {
+    let en = enumeration_for(event, db);
+    mu_k_with(event, db, &en, k)
+}
+
+fn mu_k_with(event: &dyn SuppEvent, db: &Database, en: &ConstEnum, k: usize) -> Ratio {
+    let nulls = db.nulls();
+    let total = ConstEnum::count_valuations(k, nulls.len())
+        .expect("valuation space too large to enumerate");
+    if total == 0 {
+        return Ratio::zero();
+    }
+    let hits = en
+        .valuations(&nulls, k)
+        .filter(|v| event.holds(v, &v.apply_db(db)))
+        .count();
+    Ratio::from_frac(hits as i128, total as i128)
+}
+
+/// The sequence `μᵏ` for `k = 1..=k_max`.
+pub fn mu_k_series(event: &dyn SuppEvent, db: &Database, k_max: usize) -> Series {
+    let en = enumeration_for(event, db);
+    let ks: Vec<usize> = (1..=k_max).collect();
+    let values = ks.iter().map(|&k| mu_k_with(event, db, &en, k)).collect();
+    Series { ks, values }
+}
+
+/// `mᵏ(event, D)`: the alternative measure of Section 3.3 — the fraction
+/// of *distinct completed databases* `{v(D) | v ∈ Vᵏ}` on which the event
+/// holds (for tuple events, eq. (1): databases arising from a supporting
+/// valuation).
+pub fn m_k(event: &dyn SuppEvent, db: &Database, k: usize) -> Ratio {
+    let en = enumeration_for(event, db);
+    m_k_with(event, db, &en, k)
+}
+
+fn m_k_with(event: &dyn SuppEvent, db: &Database, en: &ConstEnum, k: usize) -> Ratio {
+    let nulls = db.nulls();
+    let mut all: HashSet<Database> = HashSet::new();
+    let mut hits: HashSet<Database> = HashSet::new();
+    for v in en.valuations(&nulls, k) {
+        let vdb = v.apply_db(db);
+        if event.holds(&v, &vdb) {
+            hits.insert(vdb.clone());
+        }
+        all.insert(vdb);
+    }
+    if all.is_empty() {
+        return Ratio::zero();
+    }
+    Ratio::from_frac(hits.len() as i128, all.len() as i128)
+}
+
+/// The sequence `mᵏ` for `k = 1..=k_max`.
+pub fn m_k_series(event: &dyn SuppEvent, db: &Database, k_max: usize) -> Series {
+    let en = enumeration_for(event, db);
+    let ks: Vec<usize> = (1..=k_max).collect();
+    let values = ks.iter().map(|&k| m_k_with(event, db, &en, k)).collect();
+    Series { ks, values }
+}
+
+/// `μᵏ(Q | Σ, D) = |Suppᵏ(Σ ∧ Q)| / |Suppᵏ(Σ)|` by enumeration, with the
+/// paper's convention that an empty conditioning support gives 0.
+pub fn mu_k_conditional(
+    q_event: &dyn SuppEvent,
+    sigma_event: &dyn SuppEvent,
+    db: &Database,
+    k: usize,
+) -> Ratio {
+    let mut named = db.consts();
+    named.extend(q_event.constants());
+    named.extend(sigma_event.constants());
+    let en = ConstEnum::new(named);
+    let nulls = db.nulls();
+    let (mut num, mut den) = (0u128, 0u128);
+    for v in en.valuations(&nulls, k) {
+        let vdb = v.apply_db(db);
+        if sigma_event.holds(&v, &vdb) {
+            den += 1;
+            if q_event.holds(&v, &vdb) {
+                num += 1;
+            }
+        }
+    }
+    if den == 0 {
+        Ratio::zero()
+    } else {
+        Ratio::from_frac(num as i128, den as i128)
+    }
+}
+
+/// The sequence `μᵏ(Q | Σ, D)` for `k = 1..=k_max`.
+pub fn mu_k_conditional_series(
+    q_event: &dyn SuppEvent,
+    sigma_event: &dyn SuppEvent,
+    db: &Database,
+    k_max: usize,
+) -> Series {
+    let ks: Vec<usize> = (1..=k_max).collect();
+    let values = ks
+        .iter()
+        .map(|&k| mu_k_conditional(q_event, sigma_event, db, k))
+        .collect();
+    Series { ks, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::BoolQueryEvent;
+    use caz_idb::parse_database;
+    use caz_logic::parse_query;
+
+    #[test]
+    fn mu_k_two_null_collision() {
+        // D: R = {(c1,⊥1),(c2,⊥2)}; event: ⊥1 and ⊥2 collide, i.e.
+        // ∃x R(c1,x) ∧ R(c2,x). μᵏ = k/k² = 1/k.
+        let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+        let q = parse_query("Col := exists p. R(c1, p) & R(c2, p)").unwrap();
+        let ev = BoolQueryEvent::new(q);
+        for k in 1..=6 {
+            assert_eq!(mu_k(&ev, &db, k), Ratio::from_frac(1i64, k as i64), "k={k}");
+        }
+    }
+
+    #[test]
+    fn series_shapes() {
+        let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+        let q = parse_query("NoCol := !(exists p. R(c1, p) & R(c2, p))").unwrap();
+        let s = mu_k_series(&BoolQueryEvent::new(q), &db, 8);
+        assert_eq!(s.ks.len(), 8);
+        // 1 - 1/k is strictly increasing towards 1.
+        for w in s.values.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(!s.tail_constant(3));
+    }
+
+    #[test]
+    fn m_k_differs_from_mu_k_at_finite_k() {
+        // §3.3's example: R = {(1,⊥),(1,⊥′)}. Valuations v and the swap
+        // v′ give the same database, so mᵏ counts fewer objects.
+        let db = parse_database("R(1, _a). R(1, _b).").unwrap().db;
+        // Event: the two nulls take the same value.
+        let q = parse_query("Same := exists x. R(1, x) & !(exists y. R(1, y) & y != x)")
+            .unwrap();
+        let ev = BoolQueryEvent::new(q);
+        let k = 4;
+        let mu = mu_k(&ev, &db, k);
+        let m = m_k(&ev, &db, k);
+        // μᵏ = k/k² = 1/k; mᵏ = k / (k + C(k,2)) = 2/(k+1).
+        assert_eq!(mu, Ratio::from_frac(1, 4));
+        assert_eq!(m, Ratio::from_frac(2, 5));
+    }
+
+    #[test]
+    fn conditional_enumeration_example() {
+        // §4's example: R = {(2,1),(⊥,⊥)}, U = {1,2,3},
+        // Σ: π₁(R) ⊆ U, Q(ā) with ā = (1,⊥): conditional = 1/3.
+        let db = parse_database("R(2, 1). R(_b, _b). U(1). U(2). U(3).").unwrap().db;
+        let sigma = caz_constraints::parse_constraints("ind R[1] <= U[1]").unwrap();
+        let sig_ev = crate::support::ConstraintEvent::new(sigma);
+        let q1 = parse_query("Qa := R(1, 1)").unwrap(); // v(ā)=(1,v(⊥)) ∈ R iff v(⊥)=1
+        let ev = BoolQueryEvent::new(q1);
+        for k in 3..=6 {
+            assert_eq!(
+                mu_k_conditional(&ev, &sig_ev, &db, k),
+                Ratio::from_frac(1, 3),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_conditioning_support_is_zero() {
+        let db = parse_database("R(_x, 1).").unwrap().db;
+        // Unsatisfiable Σ as a query event: R(⊥,1) nonempty and empty.
+        let contradiction =
+            parse_query("C := (exists x, y. R(x, y)) & !(exists x, y. R(x, y))").unwrap();
+        let sig = BoolQueryEvent::new(contradiction);
+        let q = BoolQueryEvent::new(parse_query("T := exists x, y. R(x, y)").unwrap());
+        assert_eq!(mu_k_conditional(&q, &sig, &db, 5), Ratio::zero());
+    }
+}

@@ -1,0 +1,193 @@
+//! Open-world measures (Section 3.4, Proposition 2).
+//!
+//! Under OWA, `D` represents `{v(D) ∪ D′}` for arbitrary finite complete
+//! `D′`. Restricting active domains to `{c₁, …, c_k}` gives the finite
+//! family `[[D]]ᵏ_owa`, and `owa-mᵏ(Q, D)` is the fraction of its members
+//! satisfying `Q`. Proposition 2 shows the naïve-evaluation connection
+//! breaks under this measure; the experiment regenerates its
+//! counterexample (`owa-mᵏ(¬∃x U(x), D) = 2^{−k}` on the empty unary
+//! database).
+//!
+//! Exact computation enumerates all databases over the prefix — feasible
+//! only for small universes, which is what the proposition needs; the
+//! universe size is checked up front.
+
+use crate::support::{enumeration_for, BoolQueryEvent};
+use caz_arith::Ratio;
+use caz_idb::{Database, Tuple, Value};
+use caz_logic::{eval_bool, Query};
+use std::collections::HashSet;
+
+/// Maximum number of candidate tuples (the power-set exponent) for exact
+/// OWA enumeration.
+pub const MAX_UNIVERSE: usize = 20;
+
+/// All tuples of the given arity over the constant prefix.
+fn all_tuples(prefix: &[Value], arity: usize) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(arity);
+    fn rec(prefix: &[Value], arity: usize, current: &mut Vec<Value>, out: &mut Vec<Tuple>) {
+        if current.len() == arity {
+            out.push(Tuple::new(current.clone()));
+            return;
+        }
+        for &v in prefix {
+            current.push(v);
+            rec(prefix, arity, current, out);
+            current.pop();
+        }
+    }
+    rec(prefix, arity, &mut current, &mut out);
+    out
+}
+
+/// Exact `owa-mᵏ(Q, D)` for a Boolean query, or `None` when the universe
+/// of candidate tuples exceeds [`MAX_UNIVERSE`]. Returns
+/// `(numerator, denominator)` alongside the ratio for reporting.
+pub fn owa_m_k(q: &Query, db: &Database, k: usize) -> Option<OwaCount> {
+    assert!(q.is_boolean(), "{} is not Boolean", q.name);
+    let ev = BoolQueryEvent::new(q.clone());
+    let en = enumeration_for(&ev, db);
+    let prefix: Vec<Value> = en.prefix(k).into_iter().map(Value::Const).collect();
+
+    // Schema: the database's relations plus any the query mentions.
+    let mut schema = db.schema();
+    if let Ok(qs) = q.body.schema() {
+        for (sym, arity) in qs.iter() {
+            schema.declare_symbol(sym, arity);
+        }
+    }
+
+    // Universe of candidate tuples, one slot per (relation, tuple).
+    let rels: Vec<(caz_idb::Symbol, usize)> = schema.iter().collect();
+    let mut slots: Vec<(usize, Tuple)> = Vec::new();
+    for (ri, &(_, arity)) in rels.iter().enumerate() {
+        for t in all_tuples(&prefix, arity) {
+            slots.push((ri, t));
+        }
+    }
+    if slots.len() > MAX_UNIVERSE {
+        return None;
+    }
+
+    // Minimal members: the distinct v(D) with range in the prefix, as
+    // bitmasks over the slots.
+    let nulls = db.nulls();
+    let slot_index = |ri: usize, t: &Tuple| -> Option<usize> {
+        slots.iter().position(|(r, s)| *r == ri && s == t)
+    };
+    let mut minimal: HashSet<u64> = HashSet::new();
+    for v in en.valuations(&nulls, k) {
+        let vdb = v.apply_db(db);
+        let mut mask = 0u64;
+        let mut in_range = true;
+        'outer: for (ri, &(sym, _)) in rels.iter().enumerate() {
+            if let Some(rel) = vdb.relation_sym(sym) {
+                for t in rel.iter() {
+                    match slot_index(ri, t) {
+                        Some(i) => mask |= 1 << i,
+                        None => {
+                            in_range = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if in_range {
+            minimal.insert(mask);
+        }
+    }
+    let minimal: Vec<u64> = minimal.into_iter().collect();
+
+    // Enumerate all databases over the slots; count members of
+    // [[D]]ᵏ_owa and those satisfying Q.
+    let (mut total, mut hits) = (0u64, 0u64);
+    for mask in 0u64..(1u64 << slots.len()) {
+        // Superset-of-some-minimal test (not a membership test).
+        #[allow(clippy::manual_contains)]
+        if !minimal.iter().any(|&m| mask & m == m) {
+            continue;
+        }
+        total += 1;
+        let mut cand = Database::new();
+        for (ri, &(sym, arity)) in rels.iter().enumerate() {
+            let name = sym.resolve();
+            cand.relation_mut(&name, arity);
+            for (i, (r, t)) in slots.iter().enumerate() {
+                if *r == ri && mask & (1 << i) != 0 {
+                    cand.insert(&name, t.clone());
+                }
+            }
+        }
+        if eval_bool(q, &cand) {
+            hits += 1;
+        }
+    }
+    let value = if total == 0 {
+        Ratio::zero()
+    } else {
+        Ratio::from_frac(hits as i64, total as i64)
+    };
+    Some(OwaCount { value, hits, total })
+}
+
+/// The result of an exact OWA count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwaCount {
+    /// `owa-mᵏ(Q, D)`.
+    pub value: Ratio,
+    /// Databases in `[[D]]ᵏ_owa` satisfying `Q`.
+    pub hits: u64,
+    /// `|[[D]]ᵏ_owa|`.
+    pub total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_idb::parse_database;
+    use caz_logic::{naive_eval_bool, parse_query};
+
+    #[test]
+    fn proposition_2_counterexample() {
+        // D: single empty unary relation U. Q₁ = ¬∃x U(x):
+        // naïvely true, but owa-mᵏ = 2^{−k} → 0.
+        let mut db = Database::new();
+        db.relation_mut("U", 1);
+        let q1 = parse_query("Q1 := !(exists x. U(x))").unwrap();
+        assert!(naive_eval_bool(&q1, &db));
+        for k in 1..=6 {
+            let c = owa_m_k(&q1, &db, k).unwrap();
+            assert_eq!(c.total, 1 << k, "|[[D]]ᵏ_owa| = 2^k");
+            assert_eq!(c.hits, 1, "only the empty database satisfies Q1");
+            assert_eq!(c.value, Ratio::from_frac(1i64, 1i64 << k));
+        }
+        // Q₂ = ∃x U(x): naïvely false, but owa-m → 1.
+        let q2 = parse_query("Q2 := exists x. U(x)").unwrap();
+        assert!(!naive_eval_bool(&q2, &db));
+        let c6 = owa_m_k(&q2, &db, 6).unwrap();
+        assert_eq!(c6.value, Ratio::from_frac((1i64 << 6) - 1, 1i64 << 6));
+    }
+
+    #[test]
+    fn owa_members_contain_some_completion() {
+        // D: U = {⊥}. Members of [[D]]ᵏ_owa are the nonempty subsets.
+        let db = parse_database("U(_x).").unwrap().db;
+        let q = parse_query("Q := exists x. U(x)").unwrap();
+        for k in 1..=5 {
+            let c = owa_m_k(&q, &db, k).unwrap();
+            assert_eq!(c.total, (1 << k) - 1, "nonempty subsets at k={k}");
+            assert_eq!(c.value, Ratio::one());
+        }
+    }
+
+    #[test]
+    fn universe_cap_respected() {
+        // Binary relation: k=5 gives 25 slots > MAX_UNIVERSE.
+        let db = parse_database("R(a, b).").unwrap().db;
+        let q = parse_query("Q := exists x, y. R(x, y)").unwrap();
+        assert!(owa_m_k(&q, &db, 5).is_none());
+        assert!(owa_m_k(&q, &db, 3).is_some());
+    }
+}

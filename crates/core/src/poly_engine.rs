@@ -1,0 +1,344 @@
+//! The support-polynomial engine: exact closed forms for the measures.
+//!
+//! Following the proof of Theorem 3, `|Suppᵏ(event, D)|` is — for every
+//! `k ≥ |A|` under the canonical enumeration, where `A = Const(D) ∪ C` —
+//! a polynomial in `k`:
+//!
+//! Classify each valuation `v ∈ Vᵏ(D)` by (i) its *kernel* — the
+//! partition `ρ` of `Null(D)` with `v(⊥ᵢ) = v(⊥ⱼ)` iff same block — and
+//! (ii) the partial injection `f` mapping some blocks to named constants
+//! in `A` (the remaining blocks take pairwise-distinct *fresh* values
+//! outside `A`). By genericity the event's truth depends only on
+//! `(ρ, f)`, and the class `(ρ, f)` contains exactly
+//! `(k − c)(k − c − 1)⋯(k − c − j + 1)` valuations (`c = |A|`, `j` =
+//! number of fresh blocks). Summing the falling factorials of the classes
+//! where the event holds gives the polynomial; limits of measure
+//! sequences are then ratios of leading coefficients.
+//!
+//! The 0–1 law (Theorem 1) is visible directly: the only degree-`m`
+//! class is (all singletons, all fresh) — precisely the `C`-bijective
+//! valuations of naïve evaluation — so `μ(Q, D) ∈ {0, 1}` with value 1
+//! iff naïve evaluation succeeds.
+
+use crate::support::SuppEvent;
+use caz_arith::combinatorics::{for_each_partial_injection, for_each_set_partition};
+use caz_arith::{Poly, Ratio};
+use caz_idb::{Cst, Database, NullId, Valuation};
+
+/// Guard against accidentally exponential inputs: the engine enumerates
+/// `Bell(m)` partitions times the partial injections into `A`.
+pub const MAX_NULLS: usize = 10;
+
+/// The exact support polynomial of an event over a database, together
+/// with the class census (for diagnostics and the FP^{#P} experiment).
+#[derive(Clone, Debug)]
+pub struct SupportPoly {
+    /// `|Suppᵏ(event, D)|` as a polynomial in `k`, valid for all
+    /// `k ≥ named_count` under the canonical enumeration.
+    pub poly: Poly,
+    /// `m`: number of nulls of the database.
+    pub nulls: usize,
+    /// `c = |A|`: number of named constants (`Const(D) ∪ C`).
+    pub named_count: usize,
+    /// Number of (partition, injection) classes where the event holds.
+    pub true_classes: u64,
+    /// Total number of classes inspected.
+    pub total_classes: u64,
+}
+
+impl SupportPoly {
+    /// The exact limit `μ(event, D) = limₖ |Suppᵏ|/kᵐ`. By the 0–1 law
+    /// this is 0 or 1 for every generic event.
+    pub fn mu_limit(&self) -> Ratio {
+        Poly::limit_ratio(&self.poly, &Poly::x_pow(self.nulls))
+            .expect("support degree cannot exceed m")
+    }
+
+    /// Evaluate the polynomial at a concrete `k` (exact `|Suppᵏ|` for
+    /// `k ≥ named_count`).
+    pub fn count_at(&self, k: usize) -> Ratio {
+        self.poly.eval_int(&caz_arith::BigInt::from(k))
+    }
+}
+
+/// Compute the support polynomial of `event` over `db`.
+///
+/// ```
+/// use caz_core::{support_poly, BoolQueryEvent};
+/// use caz_idb::parse_database;
+/// use caz_logic::parse_query;
+///
+/// let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+/// let q = parse_query("Collide := exists p. R(c1, p) & R(c2, p)").unwrap();
+/// let sp = support_poly(&BoolQueryEvent::new(q), &db);
+/// // Exactly k of the k² valuations collide the two nulls:
+/// assert_eq!(sp.poly.to_string(), "k");
+/// assert!(sp.mu_limit().is_zero()); // degree 1 < m = 2
+/// ```
+pub fn support_poly(event: &dyn SuppEvent, db: &Database) -> SupportPoly {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    let m = nulls.len();
+    assert!(
+        m <= MAX_NULLS,
+        "support-polynomial engine caps at {MAX_NULLS} nulls (got {m})"
+    );
+    let mut named: Vec<Cst> = db.consts().into_iter().collect();
+    named.extend(event.constants());
+    named.sort_by_key(|c| c.name());
+    named.dedup();
+    let c = named.len();
+    assert!(c <= 64, "named-constant pool larger than 64 not supported");
+
+    let mut poly = Poly::zero();
+    let mut true_classes = 0u64;
+    let mut total_classes = 0u64;
+
+    for_each_set_partition(m, |assignment, num_blocks| {
+        for_each_partial_injection(num_blocks, c, |inj| {
+            total_classes += 1;
+            // Representative valuation for the class: named blocks take
+            // their constant, fresh blocks take reserved fresh constants
+            // (pairwise distinct, outside A by construction).
+            let mut fresh_seen = 0usize;
+            let mut block_value: Vec<Option<Cst>> = vec![None; num_blocks];
+            let v = Valuation::from_pairs(nulls.iter().enumerate().map(|(i, &n)| {
+                let b = assignment[i];
+                let cst = *block_value[b].get_or_insert_with(|| match inj[b] {
+                    Some(t) => named[t],
+                    None => {
+                        let f = Cst::fresh_in("pe", fresh_seen);
+                        fresh_seen += 1;
+                        f
+                    }
+                });
+                (n, cst)
+            }));
+            if event.holds(&v, &v.apply_db(db)) {
+                true_classes += 1;
+                let j = inj.iter().filter(|t| t.is_none()).count();
+                poly += &Poly::falling_factorial(c as i64, j);
+            }
+        });
+    });
+
+    SupportPoly { poly, nulls: m, named_count: c, true_classes, total_classes }
+}
+
+/// The exact limit measure `μ(event, D)` (Theorem 1: always 0 or 1).
+pub fn mu_exact(event: &dyn SuppEvent, db: &Database) -> Ratio {
+    support_poly(event, db).mu_limit()
+}
+
+/// The exact conditional measure
+/// `μ(q | σ, D) = limₖ |Suppᵏ(σ ∧ q)| / |Suppᵏ(σ)|` (Theorem 3: always
+/// exists, rational in [0, 1]; 0 by convention when `σ` is unsatisfiable
+/// in `D`).
+pub fn mu_conditional_exact(
+    q_event: &dyn SuppEvent,
+    sigma_event: &dyn SuppEvent,
+    db: &Database,
+) -> Ratio {
+    let (num, den) = conditional_polys(q_event, sigma_event, db);
+    Poly::limit_ratio(&num.poly, &den.poly)
+        .expect("Supp(σ∧q) ⊆ Supp(σ): the ratio cannot diverge")
+}
+
+/// The two polynomials behind the conditional measure (numerator
+/// `Σ ∧ Q`, denominator `Σ`), sharing one named-constant pool so the
+/// falling factorials line up.
+pub fn conditional_polys(
+    q_event: &dyn SuppEvent,
+    sigma_event: &dyn SuppEvent,
+    db: &Database,
+) -> (SupportPoly, SupportPoly) {
+    // Wrap so both polynomials see the union of the constant sets: the
+    // class decomposition must be computed over the same pool `A`.
+    struct WithConsts<'a> {
+        inner: &'a dyn SuppEvent,
+        consts: std::collections::BTreeSet<Cst>,
+    }
+    impl SuppEvent for WithConsts<'_> {
+        fn holds(&self, v: &Valuation, vdb: &Database) -> bool {
+            self.inner.holds(v, vdb)
+        }
+        fn constants(&self) -> std::collections::BTreeSet<Cst> {
+            self.consts.clone()
+        }
+        fn label(&self) -> String {
+            self.inner.label()
+        }
+    }
+    struct Both<'a> {
+        q: &'a dyn SuppEvent,
+        s: &'a dyn SuppEvent,
+        consts: std::collections::BTreeSet<Cst>,
+    }
+    impl SuppEvent for Both<'_> {
+        fn holds(&self, v: &Valuation, vdb: &Database) -> bool {
+            self.s.holds(v, vdb) && self.q.holds(v, vdb)
+        }
+        fn constants(&self) -> std::collections::BTreeSet<Cst> {
+            self.consts.clone()
+        }
+        fn label(&self) -> String {
+            format!("{} ∧ {}", self.s.label(), self.q.label())
+        }
+    }
+    let mut consts = q_event.constants();
+    consts.extend(sigma_event.constants());
+    let num = support_poly(
+        &Both { q: q_event, s: sigma_event, consts: consts.clone() },
+        db,
+    );
+    let den = support_poly(&WithConsts { inner: sigma_event, consts }, db);
+    (num, den)
+}
+
+/// Consistency check on the engine itself: summing the class counts over
+/// *all* classes must give exactly `kᵐ`. Returns the total polynomial.
+pub fn census_poly(db: &Database, extra_consts: &std::collections::BTreeSet<Cst>) -> Poly {
+    struct Always(std::collections::BTreeSet<Cst>);
+    impl SuppEvent for Always {
+        fn holds(&self, _: &Valuation, _: &Database) -> bool {
+            true
+        }
+        fn constants(&self) -> std::collections::BTreeSet<Cst> {
+            self.0.clone()
+        }
+        fn label(&self) -> String {
+            "⊤".into()
+        }
+    }
+    support_poly(&Always(extra_consts.clone()), db).poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::{BoolQueryEvent, ConstraintEvent, NotEvent, TupleAnswerEvent};
+    use caz_idb::{parse_database, Tuple, Value};
+    use caz_logic::{naive_eval_bool, parse_query};
+
+    #[test]
+    fn census_is_k_to_the_m() {
+        for src in ["R(c1, _x). R(c2, _y).", "R(_a, _b). S(_b, _c).", "U(a)."] {
+            let db = parse_database(src).unwrap().db;
+            let m = db.nulls().len();
+            assert_eq!(
+                census_poly(&db, &Default::default()),
+                Poly::x_pow(m),
+                "census for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_one_law_matches_naive_eval() {
+        // The collision query: almost certainly false; its negation
+        // almost certainly true.
+        let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+        let col = parse_query("Col := exists p. R(c1, p) & R(c2, p)").unwrap();
+        let ev = BoolQueryEvent::new(col.clone());
+        let sp = support_poly(&ev, &db);
+        // |Suppᵏ| = k (the diagonal): degree 1 < m = 2 ⇒ μ = 0.
+        assert_eq!(sp.mu_limit(), Ratio::zero());
+        assert!(!naive_eval_bool(&col, &db));
+        let neg = NotEvent::new(Box::new(BoolQueryEvent::new(col.clone())));
+        assert_eq!(mu_exact(&neg, &db), Ratio::one());
+        assert!(naive_eval_bool(&col.negated(), &db));
+    }
+
+    #[test]
+    fn support_poly_counts_match_enumeration() {
+        let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+        let q = parse_query("Col := exists p. R(c1, p) & R(c2, p)").unwrap();
+        let ev = BoolQueryEvent::new(q);
+        let sp = support_poly(&ev, &db);
+        for k in sp.named_count..8 {
+            let exact = crate::support::supp_k_count(&ev, &db, k);
+            assert_eq!(
+                sp.count_at(k),
+                Ratio::from_int(exact as i64),
+                "polynomial vs enumeration at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_events_obey_the_law() {
+        // Intro example: (c1,⊥1) is an almost certainly true answer to
+        // R1(x,y) ∧ ¬R2(x,y) though not certain.
+        let p = parse_database(
+            "R1(c1, _p1). R1(c2, _p1). R1(c2, _p2).
+             R2(c1, _p2). R2(c2, _p1). R2(_c3, _p1).",
+        )
+        .unwrap();
+        let q = parse_query("Q(x, y) := R1(x, y) & !R2(x, y)").unwrap();
+        let a = Tuple::new(vec![caz_idb::cst("c1"), Value::Null(p.nulls["p1"])]);
+        let ev = TupleAnswerEvent::new(q.clone(), a);
+        assert_eq!(mu_exact(&ev, &p.db), Ratio::one());
+        // A tuple that is not even possible is almost certainly false.
+        let bad = Tuple::new(vec![caz_idb::cst("zz"), caz_idb::cst("zz")]);
+        let ev_bad = TupleAnswerEvent::new(q, bad);
+        assert_eq!(mu_exact(&ev_bad, &p.db), Ratio::zero());
+    }
+
+    #[test]
+    fn conditional_reproduces_the_paper_example() {
+        // §4: R = {(2,1),(⊥,⊥)}, U = {1,2,3}, Σ: π₁(R) ⊆ U.
+        // μ(R(1,1)|Σ) = 1/3 and μ(R(2,2)-ish|Σ) = 2/3.
+        let db = parse_database("R(2, 1). R(_b, _b). U(1). U(2). U(3).").unwrap().db;
+        let sigma = ConstraintEvent::new(
+            caz_constraints::parse_constraints("ind R[1] <= U[1]").unwrap(),
+        );
+        let qa = BoolQueryEvent::new(parse_query("Qa := R(1, 1)").unwrap());
+        assert_eq!(mu_conditional_exact(&qa, &sigma, &db), Ratio::from_frac(1, 3));
+        // ā = (1,⊥) and b̄ = (2,⊥) as tuple events: supports of size 1
+        // and 2 among the three Σ-valuations (v(⊥) ∈ {1,2,3}).
+        let p = parse_database("R(2, 1). R(_b, _b). U(1). U(2). U(3).").unwrap();
+        let q_rel = parse_query("Q(x, y) := R(x, y)").unwrap();
+        let b_tuple = Tuple::new(vec![caz_idb::cst("2"), Value::Null(p.nulls["b"])]);
+        let sigma2 = ConstraintEvent::new(
+            caz_constraints::parse_constraints("ind R[1] <= U[1]").unwrap(),
+        );
+        let ev_b = TupleAnswerEvent::new(q_rel.clone(), b_tuple);
+        assert_eq!(
+            mu_conditional_exact(&ev_b, &sigma2, &p.db),
+            Ratio::from_frac(2, 3)
+        );
+        let a_tuple = Tuple::new(vec![caz_idb::cst("1"), Value::Null(p.nulls["b"])]);
+        let ev_a = TupleAnswerEvent::new(q_rel, a_tuple);
+        assert_eq!(
+            mu_conditional_exact(&ev_a, &sigma2, &p.db),
+            Ratio::from_frac(1, 3)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_sigma_gives_zero() {
+        let db = parse_database("R(a, b). R(a, c). ").unwrap().db;
+        let sigma = ConstraintEvent::new(
+            caz_constraints::parse_constraints("fd R: 1 -> 2").unwrap(),
+        );
+        let q = BoolQueryEvent::new(parse_query("T := exists x, y. R(x, y)").unwrap());
+        assert_eq!(mu_conditional_exact(&q, &sigma, &db), Ratio::zero());
+    }
+
+    #[test]
+    fn conditional_polys_share_pool() {
+        let db = parse_database("R(_x, 1). U(1). U(2).").unwrap().db;
+        let sigma = ConstraintEvent::new(
+            caz_constraints::parse_constraints("ind R[1] <= U[1]").unwrap(),
+        );
+        let q = BoolQueryEvent::new(parse_query("Q1 := R(1, 1)").unwrap());
+        let (num, den) = conditional_polys(&q, &sigma, &db);
+        assert_eq!(num.named_count, den.named_count);
+        // Σ: v(⊥) ∈ {1,2} → |Suppᵏ(Σ)| = 2 (constant), |Suppᵏ(Σ∧Q)| = 1.
+        assert_eq!(den.count_at(5), Ratio::from_int(2));
+        assert_eq!(num.count_at(5), Ratio::from_int(1));
+        assert_eq!(
+            mu_conditional_exact(&q, &sigma, &db),
+            Ratio::from_frac(1, 2)
+        );
+    }
+}

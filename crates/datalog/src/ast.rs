@@ -1,0 +1,400 @@
+//! Datalog programs with stratified negation.
+//!
+//! A program is a set of rules `H(x̄) :- L₁, …, L_q` where each body
+//! literal `Lᵢ` is a relational atom or its negation, plus a designated
+//! output predicate. Predicates appearing in heads are *intensional*
+//! (IDB); the others are *extensional* (EDB) and come from the database.
+//!
+//! Two safety conditions are enforced:
+//!
+//! * **range restriction**: every head variable and every variable of a
+//!   negated literal occurs in some positive body literal;
+//! * **stratification**: no recursion through negation — the predicate
+//!   dependency graph admits a level assignment where `P :- …, !Q, …`
+//!   forces `level(Q) < level(P)`.
+//!
+//! Stratified Datalog queries are generic in the sense of Definition 1,
+//! so the whole measure framework — Theorem 1 in particular — applies to
+//! them even though they are far beyond first-order: this crate is the
+//! breadth test of the reproduction.
+
+use caz_idb::{Cst, Schema, Symbol};
+use caz_logic::{Atom, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A body literal: an atom or its negation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// The atom.
+    pub atom: Atom,
+    /// Positive occurrence?
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal { atom, positive: true }
+    }
+
+    /// A negated literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal { atom, positive: false }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            f.write_str("!")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// One rule `head :- body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// Body literals; at least one must be positive.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// A purely positive rule (convenience for the common case).
+    pub fn positive(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule { head, body: body.into_iter().map(Literal::pos).collect() }
+    }
+
+    /// Variables of an atom.
+    fn vars(atom: &Atom) -> BTreeSet<Symbol> {
+        atom.args.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Positive body atoms.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter(|l| l.positive).map(|l| &l.atom)
+    }
+
+    /// Negated body atoms.
+    pub fn negative_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter(|l| !l.positive).map(|l| &l.atom)
+    }
+
+    /// Safety: head variables and negated-literal variables appear in
+    /// the positive body.
+    pub fn is_safe(&self) -> bool {
+        let positive_vars: BTreeSet<Symbol> =
+            self.positive_atoms().flat_map(Rule::vars).collect();
+        Rule::vars(&self.head).is_subset(&positive_vars)
+            && self
+                .negative_atoms()
+                .all(|a| Rule::vars(a).is_subset(&positive_vars))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        f.write_str(".")
+    }
+}
+
+/// A stratified Datalog program with a designated output predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The output predicate (must be an IDB predicate).
+    pub output: Symbol,
+    /// Arity of the output predicate.
+    pub output_arity: usize,
+    /// Stratum of each IDB predicate (0-based, evaluation order).
+    pub strata: BTreeMap<Symbol, usize>,
+}
+
+impl Program {
+    /// Build and validate a program: arity consistency, safety, and
+    /// stratification.
+    pub fn new(rules: Vec<Rule>, output: &str) -> Result<Program, String> {
+        if rules.is_empty() {
+            return Err("a program needs at least one rule".into());
+        }
+        let output = Symbol::intern(output);
+        let mut arities = Schema::new();
+        let mut idb: BTreeSet<Symbol> = BTreeSet::new();
+        for rule in &rules {
+            if rule.positive_atoms().next().is_none() {
+                return Err(format!(
+                    "rule for {} needs at least one positive body literal",
+                    rule.head.rel
+                ));
+            }
+            if !rule.is_safe() {
+                return Err(format!("rule for {} is unsafe", rule.head.rel));
+            }
+            idb.insert(rule.head.rel);
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+                if let Some(a) = arities.arity(atom.rel) {
+                    if a != atom.args.len() {
+                        return Err(format!(
+                            "predicate {} used with arities {a} and {}",
+                            atom.rel,
+                            atom.args.len()
+                        ));
+                    }
+                } else {
+                    arities.declare_symbol(atom.rel, atom.args.len());
+                }
+            }
+        }
+        if !idb.contains(&output) {
+            return Err(format!("output predicate {output} has no rules"));
+        }
+        let strata = stratify(&rules, &idb)?;
+        let output_arity = arities.arity(output).unwrap();
+        Ok(Program { rules, output, output_arity, strata })
+    }
+
+    /// The intensional (derived) predicates.
+    pub fn idb_predicates(&self) -> BTreeSet<Symbol> {
+        self.rules.iter().map(|r| r.head.rel).collect()
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.strata.values().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// The rules of one stratum (those whose head lives there).
+    pub fn stratum_rules(&self, level: usize) -> impl Iterator<Item = &Rule> {
+        self.rules
+            .iter()
+            .filter(move |r| self.strata.get(&r.head.rel) == Some(&level))
+    }
+
+    /// The extensional predicates with arities.
+    pub fn edb_schema(&self) -> Schema {
+        let idb = self.idb_predicates();
+        let mut schema = Schema::new();
+        for rule in &self.rules {
+            for lit in &rule.body {
+                if !idb.contains(&lit.atom.rel) {
+                    schema.declare_symbol(lit.atom.rel, lit.atom.args.len());
+                }
+            }
+        }
+        schema
+    }
+
+    /// True iff the program uses no negation.
+    pub fn is_positive(&self) -> bool {
+        self.rules.iter().all(|r| r.body.iter().all(|l| l.positive))
+    }
+
+    /// Constants mentioned by the rules — the genericity set `C`.
+    pub fn generic_consts(&self) -> BTreeSet<Cst> {
+        self.rules
+            .iter()
+            .flat_map(|r| {
+                std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom))
+            })
+            .flat_map(|a| a.args.iter().filter_map(Term::as_const))
+            .collect()
+    }
+}
+
+/// Compute strata by fixpoint: `level(P) ≥ level(Q)` for positive
+/// dependencies, `level(P) ≥ level(Q) + 1` for negative ones. A level
+/// exceeding the predicate count certifies a negative cycle.
+fn stratify(
+    rules: &[Rule],
+    idb: &BTreeSet<Symbol>,
+) -> Result<BTreeMap<Symbol, usize>, String> {
+    let mut level: BTreeMap<Symbol, usize> = idb.iter().map(|&p| (p, 0)).collect();
+    let cap = idb.len() + 1;
+    loop {
+        let mut changed = false;
+        for rule in rules {
+            let head_level = level[&rule.head.rel];
+            let mut needed = head_level;
+            for lit in &rule.body {
+                if let Some(&body_level) = level.get(&lit.atom.rel) {
+                    let floor = if lit.positive { body_level } else { body_level + 1 };
+                    needed = needed.max(floor);
+                }
+            }
+            if needed > head_level {
+                if needed > cap {
+                    return Err(format!(
+                        "program is not stratified: recursion through negation involving {}",
+                        rule.head.rel
+                    ));
+                }
+                level.insert(rule.head.rel, needed);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(level);
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        writeln!(f, "output {}", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_logic::ast::{con, var};
+
+    fn tc_rules() -> Vec<Rule> {
+        vec![
+            Rule::positive(
+                Atom::new("path", vec![var("x"), var("y")]),
+                vec![Atom::new("edge", vec![var("x"), var("y")])],
+            ),
+            Rule::positive(
+                Atom::new("path", vec![var("x"), var("z")]),
+                vec![
+                    Atom::new("path", vec![var("x"), var("y")]),
+                    Atom::new("edge", vec![var("y"), var("z")]),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn valid_program() {
+        let p = Program::new(tc_rules(), "path").unwrap();
+        assert_eq!(p.output_arity, 2);
+        assert_eq!(p.idb_predicates().len(), 1);
+        assert_eq!(p.edb_schema().arity_of("edge"), Some(2));
+        assert!(p.generic_consts().is_empty());
+        assert!(p.is_positive());
+        assert_eq!(p.stratum_count(), 1);
+    }
+
+    #[test]
+    fn stratified_negation_accepted() {
+        let mut rules = tc_rules();
+        rules.push(Rule {
+            head: Atom::new("sep", vec![var("x"), var("y")]),
+            body: vec![
+                Literal::pos(Atom::new("node", vec![var("x")])),
+                Literal::pos(Atom::new("node", vec![var("y")])),
+                Literal::neg(Atom::new("path", vec![var("x"), var("y")])),
+            ],
+        });
+        let p = Program::new(rules, "sep").unwrap();
+        assert!(!p.is_positive());
+        assert_eq!(p.stratum_count(), 2);
+        assert_eq!(p.strata[&Symbol::intern("path")], 0);
+        assert_eq!(p.strata[&Symbol::intern("sep")], 1);
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let rules = vec![Rule {
+            head: Atom::new("p", vec![var("x")]),
+            body: vec![
+                Literal::pos(Atom::new("e", vec![var("x")])),
+                Literal::neg(Atom::new("p", vec![var("x")])),
+            ],
+        }];
+        let err = Program::new(rules, "p").unwrap_err();
+        assert!(err.contains("not stratified"), "{err}");
+    }
+
+    #[test]
+    fn mutual_negative_cycle_rejected() {
+        let rules = vec![
+            Rule {
+                head: Atom::new("p", vec![var("x")]),
+                body: vec![
+                    Literal::pos(Atom::new("e", vec![var("x")])),
+                    Literal::neg(Atom::new("q", vec![var("x")])),
+                ],
+            },
+            Rule {
+                head: Atom::new("q", vec![var("x")]),
+                body: vec![
+                    Literal::pos(Atom::new("e", vec![var("x")])),
+                    Literal::neg(Atom::new("p", vec![var("x")])),
+                ],
+            },
+        ];
+        assert!(Program::new(rules, "p").is_err());
+    }
+
+    #[test]
+    fn safety_enforced() {
+        // Head variable not in a positive literal.
+        let bad = vec![Rule::positive(
+            Atom::new("out", vec![var("x"), var("w")]),
+            vec![Atom::new("edge", vec![var("x"), var("y")])],
+        )];
+        assert!(Program::new(bad, "out").is_err());
+        // Negated-literal variable not in a positive literal.
+        let bad2 = vec![Rule {
+            head: Atom::new("out", vec![var("x")]),
+            body: vec![
+                Literal::pos(Atom::new("e", vec![var("x")])),
+                Literal::neg(Atom::new("f", vec![var("z")])),
+            ],
+        }];
+        assert!(Program::new(bad2, "out").is_err());
+        // Purely negative body.
+        let bad3 = vec![Rule {
+            head: Atom::new("out", vec![]),
+            body: vec![Literal::neg(Atom::new("f", vec![con("a")]))],
+        }];
+        assert!(Program::new(bad3, "out").is_err());
+    }
+
+    #[test]
+    fn arity_consistency() {
+        let bad = vec![
+            Rule::positive(
+                Atom::new("p", vec![var("x")]),
+                vec![Atom::new("e", vec![var("x")])],
+            ),
+            Rule::positive(
+                Atom::new("p", vec![var("x"), var("x")]),
+                vec![Atom::new("e", vec![var("x")])],
+            ),
+        ];
+        assert!(Program::new(bad, "p").is_err());
+    }
+
+    #[test]
+    fn output_must_be_idb() {
+        assert!(Program::new(tc_rules(), "edge").is_err());
+        assert!(Program::new(vec![], "p").is_err());
+    }
+
+    #[test]
+    fn constants_collected() {
+        let rules = vec![Rule::positive(
+            Atom::new("near", vec![var("y")]),
+            vec![Atom::new("edge", vec![con("hub"), var("y")])],
+        )];
+        let p = Program::new(rules, "near").unwrap();
+        assert_eq!(p.generic_consts(), [Cst::new("hub")].into());
+    }
+}

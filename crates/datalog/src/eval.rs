@@ -1,0 +1,335 @@
+//! Stratified bottom-up evaluation over complete databases.
+//!
+//! Strata are computed at program construction; each stratum is
+//! evaluated to fixpoint with semi-naive iteration (a rule re-fires only
+//! when at least one same-stratum body atom matches the previous
+//! round's delta). Negated literals always refer to lower strata or EDB
+//! predicates — fully computed by the time they are read — so negation
+//! is a simple absence check.
+
+use crate::ast::{Program, Rule};
+use caz_idb::{Database, Symbol, Tuple, Value};
+use caz_logic::{Atom, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// All facts derivable for the IDB predicates, as a database extending
+/// the input (the input must be complete; evaluate on `v(D)` or go
+/// through naïve evaluation for incomplete data).
+pub fn eval_program(p: &Program, db: &Database) -> Database {
+    assert!(
+        db.is_complete(),
+        "Datalog evaluation requires a complete database; use naive_eval_datalog for nulls"
+    );
+    let mut facts = db.clone();
+    // Make sure every predicate exists so lookups are uniform.
+    for rule in &p.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+            facts.relation_mut(&atom.rel.resolve(), atom.args.len());
+        }
+    }
+
+    for level in 0..p.stratum_count() {
+        let rules: Vec<&Rule> = p.stratum_rules(level).collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let stratum_preds: BTreeSet<Symbol> = rules.iter().map(|r| r.head.rel).collect();
+        let mut delta: BTreeMap<Symbol, BTreeSet<Tuple>> = BTreeMap::new();
+        let mut first = true;
+        loop {
+            let mut new_facts: BTreeMap<Symbol, BTreeSet<Tuple>> = BTreeMap::new();
+            for rule in &rules {
+                fire_rule(rule, &facts, &delta, first, &stratum_preds, &mut |t| {
+                    let known = facts
+                        .relation_sym(rule.head.rel)
+                        .is_some_and(|r| r.contains(&t));
+                    if !known {
+                        new_facts.entry(rule.head.rel).or_default().insert(t);
+                    }
+                });
+            }
+            if new_facts.values().all(BTreeSet::is_empty) {
+                break;
+            }
+            for (rel, tuples) in &new_facts {
+                let name = rel.resolve();
+                for t in tuples {
+                    facts.insert(&name, t.clone());
+                }
+            }
+            delta = new_facts;
+            first = false;
+        }
+    }
+    facts
+}
+
+/// Enumerate all body matches of `rule`, requiring (after the first
+/// round) that at least one same-stratum positive atom matches within
+/// the delta.
+fn fire_rule(
+    rule: &Rule,
+    facts: &Database,
+    delta: &BTreeMap<Symbol, BTreeSet<Tuple>>,
+    first_round: bool,
+    stratum: &BTreeSet<Symbol>,
+    emit: &mut impl FnMut(Tuple),
+) {
+    let positive: Vec<&Atom> = rule.positive_atoms().collect();
+    let negative: Vec<&Atom> = rule.negative_atoms().collect();
+    let recursive_positions: Vec<usize> = positive
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| stratum.contains(&a.rel))
+        .map(|(i, _)| i)
+        .collect();
+    if first_round || recursive_positions.is_empty() {
+        let mut env = BTreeMap::new();
+        match_atoms(&positive, &negative, rule, facts, None, usize::MAX, 0, &mut env, emit);
+        return;
+    }
+    for &pin in &recursive_positions {
+        let mut env = BTreeMap::new();
+        match_atoms(&positive, &negative, rule, facts, Some(delta), pin, 0, &mut env, emit);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_atoms(
+    positive: &[&Atom],
+    negative: &[&Atom],
+    rule: &Rule,
+    facts: &Database,
+    delta: Option<&BTreeMap<Symbol, BTreeSet<Tuple>>>,
+    pinned: usize,
+    i: usize,
+    env: &mut BTreeMap<Symbol, Value>,
+    emit: &mut impl FnMut(Tuple),
+) {
+    if i == positive.len() {
+        // Safety guarantees all negated-literal variables are bound.
+        for neg in negative {
+            let t = instantiate(neg, env).expect("safety: negated vars bound");
+            if facts.relation_sym(neg.rel).is_some_and(|r| r.contains(&t)) {
+                return;
+            }
+        }
+        let head = instantiate(&rule.head, env)
+            .expect("safety: head variables are bound");
+        emit(head);
+        return;
+    }
+    let atom = positive[i];
+    // The pinned atom iterates the delta; others iterate all facts.
+    let tuples: Vec<Tuple> = if i == pinned {
+        match delta.and_then(|d| d.get(&atom.rel)) {
+            Some(set) => set.iter().cloned().collect(),
+            None => return,
+        }
+    } else {
+        match facts.relation_sym(atom.rel) {
+            Some(r) => r.iter().cloned().collect(),
+            None => return,
+        }
+    };
+    'tuples: for t in tuples {
+        let mut bound: Vec<Symbol> = Vec::new();
+        for (arg, &val) in atom.args.iter().zip(t.values()) {
+            match arg {
+                Term::Const(c) => {
+                    if Value::Const(*c) != val {
+                        for v in bound.drain(..) {
+                            env.remove(&v);
+                        }
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match env.get(v) {
+                    Some(&existing) => {
+                        if existing != val {
+                            for b in bound.drain(..) {
+                                env.remove(&b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        env.insert(*v, val);
+                        bound.push(*v);
+                    }
+                },
+            }
+        }
+        match_atoms(positive, negative, rule, facts, delta, pinned, i + 1, env, emit);
+        for v in bound {
+            env.remove(&v);
+        }
+    }
+}
+
+fn instantiate(atom: &Atom, env: &BTreeMap<Symbol, Value>) -> Option<Tuple> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(Value::Const(*c)),
+            Term::Var(v) => env.get(v).copied(),
+        })
+        .collect::<Option<Vec<Value>>>()
+        .map(Tuple::new)
+}
+
+/// The output facts `P_out(D)` on a complete database.
+pub fn output_facts(p: &Program, db: &Database) -> BTreeSet<Tuple> {
+    eval_program(p, db)
+        .relation_sym(p.output)
+        .map(|r| r.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Is `t` among the output facts?
+pub fn output_contains(p: &Program, db: &Database, t: &Tuple) -> bool {
+    output_facts(p, db).contains(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use caz_idb::{cst, parse_database};
+
+    fn tc() -> Program {
+        parse_program(
+            "path(x, y) :- edge(x, y).
+             path(x, z) :- path(x, y), edge(y, z).
+             output path",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let db = parse_database("edge(a, b). edge(b, c). edge(c, d).").unwrap().db;
+        let out = output_facts(&tc(), &db);
+        assert_eq!(out.len(), 6); // ab bc cd ac bd ad
+        assert!(out.contains(&Tuple::new(vec![cst("a"), cst("d")])));
+        assert!(!out.contains(&Tuple::new(vec![cst("d"), cst("a")])));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let db = parse_database("edge(a, b). edge(b, a).").unwrap().db;
+        let out = output_facts(&tc(), &db);
+        assert_eq!(out.len(), 4); // ab ba aa bb
+        assert!(out.contains(&Tuple::new(vec![cst("a"), cst("a")])));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let p = parse_program(
+            "reach(y) :- edge('src', y).
+             reach(z) :- reach(y), edge(y, z).
+             output reach",
+        )
+        .unwrap();
+        let db = parse_database("edge(src, a). edge(a, b). edge(x, q).").unwrap().db;
+        let out = output_facts(&p, &db);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::new(vec![cst("b")])));
+        assert!(!out.contains(&Tuple::new(vec![cst("q")])));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let p = parse_program(
+            "even(x) :- zero(x).
+             even(y) :- odd(x), succ(x, y).
+             odd(y) :- even(x), succ(x, y).
+             output even",
+        )
+        .unwrap();
+        let db = parse_database(
+            "zero(n0). succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).",
+        )
+        .unwrap()
+        .db;
+        let out = output_facts(&p, &db);
+        let names: BTreeSet<String> = out
+            .iter()
+            .map(|t| t.values()[0].as_const().unwrap().name())
+            .collect();
+        assert_eq!(names, ["n0", "n2", "n4"].map(String::from).into());
+    }
+
+    #[test]
+    fn stratified_negation_unreachable_pairs() {
+        // The classic: pairs of nodes NOT connected by a path.
+        let p = parse_program(
+            "path(x, y) :- edge(x, y).
+             path(x, z) :- path(x, y), edge(y, z).
+             sep(x, y) :- node(x), node(y), !path(x, y).
+             output sep",
+        )
+        .unwrap();
+        assert_eq!(p.stratum_count(), 2);
+        let db = parse_database(
+            "node(a). node(b). node(c). edge(a, b). edge(b, c).",
+        )
+        .unwrap()
+        .db;
+        let out = output_facts(&p, &db);
+        // Reachable: ab, bc, ac. Everything else separated, incl. xx.
+        assert_eq!(out.len(), 9 - 3);
+        assert!(out.contains(&Tuple::new(vec![cst("c"), cst("a")])));
+        assert!(out.contains(&Tuple::new(vec![cst("a"), cst("a")])));
+        assert!(!out.contains(&Tuple::new(vec![cst("a"), cst("c")])));
+    }
+
+    #[test]
+    fn negation_on_edb_only() {
+        let p = parse_program(
+            "orphan(x) :- node(x), !parent(x).
+             output orphan",
+        )
+        .unwrap();
+        let db = parse_database("node(a). node(b). parent(a).").unwrap().db;
+        let out = output_facts(&p, &db);
+        assert_eq!(out, [Tuple::new(vec![cst("b")])].into());
+    }
+
+    #[test]
+    fn three_strata() {
+        let p = parse_program(
+            "p(x) :- e(x).
+             q(x) :- e(x), !p2(x).
+             p2(x) :- p(x), two(x).
+             r(x) :- e(x), !q(x).
+             output r",
+        )
+        .unwrap();
+        assert!(p.stratum_count() >= 3, "strata: {:?}", p.strata);
+        let db = parse_database("e(a). e(b). two(a).").unwrap().db;
+        // p = {a,b}; p2 = {a}; q = e \ p2 = {b}; r = e \ q = {a}.
+        let out = output_facts(&p, &db);
+        assert_eq!(out, [Tuple::new(vec![cst("a")])].into());
+    }
+
+    #[test]
+    fn seeded_idb_facts_participate() {
+        let db = parse_database("edge(a, b). path(z, a).").unwrap().db;
+        let out = output_facts(&tc(), &db);
+        assert!(out.contains(&Tuple::new(vec![cst("z"), cst("b")])), "{out:?}");
+    }
+
+    #[test]
+    fn empty_edb() {
+        let db = parse_database("other(a).").unwrap().db;
+        assert!(output_facts(&tc(), &db).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "complete database")]
+    fn incomplete_db_rejected() {
+        let db = parse_database("edge(a, _x).").unwrap().db;
+        let _ = output_facts(&tc(), &db);
+    }
+}

@@ -1,0 +1,37 @@
+//! # caz-datalog
+//!
+//! Positive Datalog over incomplete databases — the measure framework
+//! beyond first-order logic.
+//!
+//! The paper's Theorem 1 is "quite different from 0–1 laws in logic …
+//! it holds for much larger classes of queries": the only hypothesis is
+//! genericity. Datalog (least-fixed-point) queries are generic but not
+//! first-order, so this crate is the breadth test of the reproduction:
+//! a bottom-up Datalog engine whose programs plug into every measure
+//! and comparison engine of `caz-core` unchanged.
+//!
+//! * [`Program`], [`Rule`], [`parse_program`]: range-restricted Datalog
+//!   with stratified negation and a designated output predicate;
+//! * [`eval_program`] / [`output_facts`]: stratified semi-naive
+//!   bottom-up evaluation over complete databases;
+//! * [`naive_eval_datalog`]: naïve evaluation over incomplete databases
+//!   (= the almost certainly true answers, by Theorem 1);
+//! * [`DatalogEvent`]: a generic [`caz_core::SuppEvent`], so `μ`,
+//!   `μ(·|Σ)`, supports, and comparisons all apply;
+//! * [`certain_datalog_answers`]: exact certain answers for Datalog.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod incomplete;
+pub mod parser;
+
+pub use ast::{Literal, Program, Rule};
+pub use eval::{eval_program, output_contains, output_facts};
+pub use incomplete::{
+    certain_datalog_answers, is_certain_datalog_answer, naive_contains_datalog,
+    naive_eval_datalog, DatalogEvent,
+};
+pub use parser::parse_program;

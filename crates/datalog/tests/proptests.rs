@@ -1,0 +1,175 @@
+//! Property tests for the Datalog engine: transitive closure against a
+//! BFS reference, naïve evaluation laws, and measure-engine agreement
+//! with equivalent first-order queries.
+
+use caz_datalog::{naive_eval_datalog, output_facts, parse_program, DatalogEvent, Program};
+use caz_idb::{Cst, Database, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn tc_program() -> Program {
+    parse_program(
+        "path(x, y) :- edge(x, y).
+         path(x, z) :- path(x, y), edge(y, z).
+         output path",
+    )
+    .unwrap()
+}
+
+/// Build an edge database over `n` named vertices from an edge list.
+fn graph_db(n: usize, edges: &[(usize, usize)]) -> Database {
+    let mut db = Database::new();
+    db.relation_mut("edge", 2);
+    for &(u, v) in edges {
+        db.insert(
+            "edge",
+            Tuple::new(vec![
+                Value::Const(Cst::new(&format!("v{}", u % n))),
+                Value::Const(Cst::new(&format!("v{}", v % n))),
+            ]),
+        );
+    }
+    db
+}
+
+/// Reference transitive closure by BFS.
+fn bfs_closure(n: usize, edges: &[(usize, usize)]) -> BTreeSet<(usize, usize)> {
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(u, v) in edges {
+        adj.entry(u % n).or_default().push(v % n);
+    }
+    let mut out = BTreeSet::new();
+    for start in 0..n {
+        let mut queue: Vec<usize> = adj.get(&start).cloned().unwrap_or_default();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        while let Some(x) = queue.pop() {
+            if seen.insert(x) {
+                out.insert((start, x));
+                queue.extend(adj.get(&x).cloned().unwrap_or_default());
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Datalog transitive closure equals BFS reachability.
+    #[test]
+    fn transitive_closure_matches_bfs(
+        n in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..10),
+    ) {
+        let db = graph_db(n, &edges);
+        let datalog: BTreeSet<(String, String)> = output_facts(&tc_program(), &db)
+            .into_iter()
+            .map(|t| {
+                (
+                    t.values()[0].as_const().unwrap().name(),
+                    t.values()[1].as_const().unwrap().name(),
+                )
+            })
+            .collect();
+        let reference: BTreeSet<(String, String)> = bfs_closure(n, &edges)
+            .into_iter()
+            .map(|(u, v)| (format!("v{u}"), format!("v{v}")))
+            .collect();
+        prop_assert_eq!(datalog, reference);
+    }
+
+    /// Naïve evaluation is stable across calls and under null renaming
+    /// (Proposition 1, for the Datalog query class).
+    #[test]
+    fn datalog_naive_eval_stable(seed in 0u64..5000) {
+        use caz_idb::{random_database, DbGenConfig};
+        use rand::{rngs::StdRng, SeedableRng};
+        let cfg = DbGenConfig {
+            relations: vec![("edge".into(), 2)],
+            tuples_per_relation: 4,
+            num_constants: 3,
+            num_nulls: 2,
+            null_prob: 0.4,
+        };
+        let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
+        let prog = tc_program();
+        let a = naive_eval_datalog(&prog, &db);
+        prop_assert_eq!(&a, &naive_eval_datalog(&prog, &db));
+        // Renaming nulls renames the answers accordingly.
+        let fresh: BTreeMap<_, _> = db
+            .nulls()
+            .into_iter()
+            .map(|nl| (nl, caz_idb::NullId::fresh()))
+            .collect();
+        let renamed = db.map(|v| match v {
+            Value::Null(nl) => Value::Null(fresh[&nl]),
+            c => c,
+        });
+        let b: BTreeSet<Tuple> = naive_eval_datalog(&prog, &renamed)
+            .into_iter()
+            .map(|t| {
+                t.map(|v| match v {
+                    Value::Null(nl) => {
+                        let orig = fresh.iter().find(|(_, &nn)| nn == nl).map(|(&o, _)| o);
+                        Value::Null(orig.unwrap_or(nl))
+                    }
+                    c => c,
+                })
+            })
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Theorem 1 for Datalog on random incomplete graphs: μ ∈ {0, 1} and
+    /// equals naïve membership — via the polynomial engine.
+    #[test]
+    fn zero_one_law_for_datalog_randomized(seed in 0u64..3000) {
+        use caz_idb::{random_database, DbGenConfig};
+        use rand::{rngs::StdRng, SeedableRng};
+        let cfg = DbGenConfig {
+            relations: vec![("edge".into(), 2)],
+            tuples_per_relation: 3,
+            num_constants: 2,
+            num_nulls: 2,
+            null_prob: 0.5,
+        };
+        let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
+        let prog = tc_program();
+        let naive = naive_eval_datalog(&prog, &db);
+        let mut candidates: Vec<Tuple> = naive.iter().take(2).cloned().collect();
+        // One adom candidate that may or may not be an answer.
+        if let Some(v) = db.adom().into_iter().next() {
+            candidates.push(Tuple::new(vec![v, v]));
+        }
+        for t in candidates {
+            let m = caz_core::mu_exact(&DatalogEvent::new(prog.clone(), t.clone()), &db);
+            prop_assert!(m.is_zero() || m.is_one(), "0–1 law on {}", t);
+            prop_assert_eq!(m.is_one(), naive.contains(&t), "Theorem 1 on {}", t);
+        }
+    }
+}
+
+/// Single-step programs agree with their FO translations on random
+/// complete graphs (the overlap of the two query languages).
+#[test]
+fn single_step_program_equals_fo_join() {
+    use caz_idb::{random_complete_database, DbGenConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+    let prog = parse_program("two(x, z) :- edge(x, y), edge(y, z).\noutput two").unwrap();
+    let q = caz_logic::parse_query("Two(x, z) := exists y. edge(x, y) & edge(y, z)").unwrap();
+    for seed in 0..10 {
+        let cfg = DbGenConfig {
+            relations: vec![("edge".into(), 2)],
+            tuples_per_relation: 5,
+            num_constants: 4,
+            num_nulls: 0,
+            null_prob: 0.0,
+        };
+        let db = random_complete_database(&mut StdRng::seed_from_u64(seed), &cfg);
+        assert_eq!(
+            output_facts(&prog, &db),
+            caz_logic::eval_query(&q, &db),
+            "seed {seed}"
+        );
+    }
+}

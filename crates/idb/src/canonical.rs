@@ -1,0 +1,182 @@
+//! Canonical forms of incomplete databases up to null renaming.
+//!
+//! Two incomplete databases are *isomorphic* if one is the image of the
+//! other under a bijective renaming of nulls (constants fixed). The chase
+//! is confluent only up to such renaming (Section 4.4 of the paper), and
+//! the alternative measure `m` of Theorem 2 counts databases rather than
+//! valuations, so we need a decision procedure for this equivalence.
+//!
+//! For the small null counts the measure engine operates on (the cost of
+//! the measures themselves is exponential in the number of nulls), a
+//! minimum-over-permutations canonical string is simple and exact.
+
+use crate::database::Database;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
+
+/// Hard cap on nulls for the factorial canonicalization.
+const MAX_NULLS: usize = 9;
+
+/// Serialize `db` with nulls renamed according to `order` (null at
+/// position `i` prints as `?i`); relations and tuples in sorted order.
+fn serialize_with(db: &Database, order: &[NullId]) -> String {
+    let index: BTreeMap<NullId, usize> =
+        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut out = String::new();
+    for rel in db.relations() {
+        // Render tuples, then sort the rendered strings so that the order
+        // is independent of the underlying null ids.
+        let mut lines: Vec<String> = rel
+            .iter()
+            .map(|t| {
+                let mut line = rel.name().resolve();
+                line.push('(');
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    match v {
+                        Value::Const(c) => line.push_str(&c.name()),
+                        Value::Null(n) => {
+                            line.push('?');
+                            line.push_str(&index[n].to_string());
+                        }
+                    }
+                }
+                line.push(')');
+                line
+            })
+            .collect();
+        lines.sort();
+        for l in lines {
+            out.push_str(&l);
+            out.push(';');
+        }
+        out.push('|');
+    }
+    out
+}
+
+fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<T> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// A canonical string for `db`, identical for isomorphic databases and
+/// distinct otherwise. Panics if the database has more than 9 nulls.
+pub fn iso_canonical(db: &Database) -> String {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    assert!(
+        nulls.len() <= MAX_NULLS,
+        "canonicalization supports at most {MAX_NULLS} nulls, got {}",
+        nulls.len()
+    );
+    permutations(&nulls)
+        .into_iter()
+        .map(|order| serialize_with(db, &order))
+        .min()
+        .unwrap_or_else(|| serialize_with(db, &[]))
+}
+
+/// Number of *null automorphisms* of `db`: permutations of its nulls
+/// mapping the database onto itself. This is the `|Aut|` factor relating
+/// the valuation-counting and database-counting measures in the proof of
+/// Theorem 2: two `C`-bijective valuations give the same `v(D)` iff they
+/// differ by such an automorphism. Panics beyond 9 nulls.
+pub fn null_automorphism_count(db: &Database) -> u64 {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    assert!(nulls.len() <= MAX_NULLS, "too many nulls for automorphism counting");
+    permutations(&nulls)
+        .into_iter()
+        .filter(|perm| {
+            let map: BTreeMap<NullId, NullId> =
+                nulls.iter().copied().zip(perm.iter().copied()).collect();
+            db.map(|v| match v {
+                Value::Null(n) => Value::Null(map[&n]),
+                c => c,
+            }) == *db
+        })
+        .count() as u64
+}
+
+/// True iff `a` and `b` differ only by a bijective renaming of nulls.
+pub fn is_isomorphic(a: &Database, b: &Database) -> bool {
+    if a.nulls().len() != b.nulls().len() || a.consts() != b.consts() {
+        return false;
+    }
+    if a.schema() != b.schema() {
+        return false;
+    }
+    iso_canonical(a) == iso_canonical(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::value::{cst, NullId};
+
+    fn db_with(nulls: &[NullId]) -> Database {
+        let mut db = Database::new();
+        db.insert("R", Tuple::new(vec![cst("a"), Value::Null(nulls[0])]));
+        db.insert("R", Tuple::new(vec![Value::Null(nulls[1]), Value::Null(nulls[0])]));
+        db
+    }
+
+    #[test]
+    fn renamed_nulls_are_isomorphic() {
+        let n1 = [NullId::fresh(), NullId::fresh()];
+        let n2 = [NullId::fresh(), NullId::fresh()];
+        assert!(is_isomorphic(&db_with(&n1), &db_with(&n2)));
+        assert_eq!(iso_canonical(&db_with(&n1)), iso_canonical(&db_with(&n2)));
+    }
+
+    #[test]
+    fn structure_matters() {
+        let (a, b, c) = (NullId::fresh(), NullId::fresh(), NullId::fresh());
+        let mut d1 = Database::new();
+        d1.insert("R", Tuple::new(vec![Value::Null(a), Value::Null(a)]));
+        let mut d2 = Database::new();
+        d2.insert("R", Tuple::new(vec![Value::Null(b), Value::Null(c)]));
+        assert!(!is_isomorphic(&d1, &d2), "shared null vs distinct nulls");
+    }
+
+    #[test]
+    fn constants_not_renamed() {
+        let mut d1 = Database::new();
+        d1.insert("R", Tuple::new(vec![cst("a")]));
+        let mut d2 = Database::new();
+        d2.insert("R", Tuple::new(vec![cst("b")]));
+        assert!(!is_isomorphic(&d1, &d2));
+    }
+
+    #[test]
+    fn complete_databases() {
+        let mut d1 = Database::new();
+        d1.insert("R", Tuple::new(vec![cst("a")]));
+        let d2 = d1.clone();
+        assert!(is_isomorphic(&d1, &d2));
+    }
+
+    #[test]
+    fn null_ordering_in_tuples_respected() {
+        // R(x, y) with x≠y is isomorphic to R(y, x) by swapping names.
+        let (x, y) = (NullId::fresh(), NullId::fresh());
+        let mut d1 = Database::new();
+        d1.insert("R", Tuple::new(vec![Value::Null(x), Value::Null(y)]));
+        let mut d2 = Database::new();
+        d2.insert("R", Tuple::new(vec![Value::Null(y), Value::Null(x)]));
+        assert!(is_isomorphic(&d1, &d2));
+    }
+}

@@ -1,0 +1,125 @@
+//! Codd nulls — the non-repeating special case of marked nulls that is
+//! "often used as a simplified model of SQL nulls" (§6 of the paper).
+//!
+//! A database is a *Codd table* when no null occurs twice. Every marked
+//! database can be forgetfully converted into a Codd table by breaking
+//! the sharing (each repeated occurrence gets a fresh null); the
+//! conversion is exactly the information loss SQL's unmarked nulls
+//! suffer, and the measure framework quantifies what it costs (see the
+//! `codd_conversion` integration tests and experiment E17).
+
+use crate::database::Database;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
+
+/// Number of occurrences of each null (counting positions, not tuples).
+pub fn null_occurrences(db: &Database) -> BTreeMap<NullId, usize> {
+    let mut out = BTreeMap::new();
+    for rel in db.relations() {
+        for t in rel.iter() {
+            for v in t.iter() {
+                if let Value::Null(n) = v {
+                    *out.entry(*n).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Is this a Codd table (no repeated nulls)?
+pub fn is_codd(db: &Database) -> bool {
+    null_occurrences(db).values().all(|&n| n <= 1)
+}
+
+/// The result of Codd-ification.
+#[derive(Clone, Debug)]
+pub struct CoddResult {
+    /// The Codd table: same constants, sharing broken.
+    pub db: Database,
+    /// For each original null, the (fresh) nulls now standing at its
+    /// occurrences — the first occurrence keeps the original id.
+    pub replacements: BTreeMap<NullId, Vec<NullId>>,
+}
+
+/// Forgetfully convert to a Codd table: every occurrence of a null
+/// after the first is replaced by a fresh null. Deterministic given the
+/// database's (sorted) iteration order.
+pub fn to_codd(db: &Database) -> CoddResult {
+    let mut seen: BTreeMap<NullId, Vec<NullId>> = BTreeMap::new();
+    let mut out = Database::new();
+    for rel in db.relations() {
+        let name = rel.name().resolve();
+        out.relation_mut(&name, rel.arity());
+        for t in rel.iter() {
+            let mapped = t.map(|v| match v {
+                Value::Null(n) => {
+                    let entry = seen.entry(n).or_default();
+                    let id = if entry.is_empty() {
+                        n
+                    } else {
+                        NullId::fresh()
+                    };
+                    entry.push(id);
+                    Value::Null(id)
+                }
+                c => c,
+            });
+            out.insert(&name, mapped);
+        }
+    }
+    CoddResult { db: out, replacements: seen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+
+    #[test]
+    fn detection() {
+        let shared = parse_database("R(_x, _x).").unwrap().db;
+        assert!(!is_codd(&shared));
+        let codd = parse_database("R(_x, _y). S(_z).").unwrap().db;
+        assert!(is_codd(&codd));
+        let complete = parse_database("R(a, b).").unwrap().db;
+        assert!(is_codd(&complete));
+    }
+
+    #[test]
+    fn occurrences_counted_positionally() {
+        let p = parse_database("R(_x, _x). S(_x). S(_y).").unwrap();
+        let occ = null_occurrences(&p.db);
+        assert_eq!(occ[&p.nulls["x"]], 3);
+        assert_eq!(occ[&p.nulls["y"]], 1);
+    }
+
+    #[test]
+    fn conversion_breaks_sharing() {
+        let p = parse_database("R(_x, _x). S(_x).").unwrap();
+        let res = to_codd(&p.db);
+        assert!(is_codd(&res.db));
+        assert_eq!(res.db.nulls().len(), 3, "three occurrences, three nulls");
+        assert_eq!(res.db.len(), p.db.len());
+        let reps = &res.replacements[&p.nulls["x"]];
+        assert_eq!(reps.len(), 3);
+        assert_eq!(reps[0], p.nulls["x"], "first occurrence keeps its id");
+        assert!(reps[1..].iter().all(|&r| r != p.nulls["x"]));
+    }
+
+    #[test]
+    fn codd_tables_are_fixed_points() {
+        let p = parse_database("R(_x, _y). S(a).").unwrap();
+        let res = to_codd(&p.db);
+        assert_eq!(res.db, p.db);
+    }
+
+    #[test]
+    fn schema_and_constants_preserved() {
+        let p = parse_database("R(a, _x). R(b, _x).").unwrap();
+        let res = to_codd(&p.db);
+        assert_eq!(res.db.schema(), p.db.schema());
+        assert_eq!(res.db.consts(), p.db.consts());
+        assert!(is_codd(&res.db));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the incomplete-database substrate.
+
+use caz_idb::{
+    is_isomorphic, iso_canonical, parse_database, random_database, ConstEnum, Cst, Database,
+    DbGenConfig, NullId, Valuation, Value,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn gen_db(seed: u64, nulls: usize) -> Database {
+    let cfg = DbGenConfig {
+        relations: vec![("R".into(), 2), ("S".into(), 1)],
+        tuples_per_relation: 4,
+        num_constants: 3,
+        num_nulls: nulls,
+        null_prob: 0.5,
+    };
+    random_database(&mut StdRng::seed_from_u64(seed), &cfg)
+}
+
+/// Serialize a database into the parser's text format, naming nulls
+/// `_n0, _n1, …` in first-encounter order.
+fn to_text(db: &Database) -> String {
+    let mut names: BTreeMap<NullId, String> = BTreeMap::new();
+    let mut out = String::new();
+    for rel in db.relations() {
+        for t in rel.iter() {
+            out.push_str(&rel.name().resolve());
+            out.push('(');
+            for (i, v) in t.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match v {
+                    Value::Const(c) => out.push_str(&c.name()),
+                    Value::Null(n) => {
+                        let next = format!("_n{}", names.len());
+                        let name = names.entry(*n).or_insert(next);
+                        out.push_str(name);
+                    }
+                }
+            }
+            out.push_str(").\n");
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serializing and reparsing yields an isomorphic database (equal up
+    /// to null renaming).
+    #[test]
+    fn text_roundtrip_isomorphic(seed in 0u64..5000) {
+        let db = gen_db(seed, 3);
+        let text = to_text(&db);
+        let reparsed = parse_database(&text).unwrap().db;
+        prop_assert!(is_isomorphic(&db, &reparsed), "roundtrip broke:\n{}", text);
+    }
+
+    /// Bijective valuations invert exactly.
+    #[test]
+    fn bijective_valuation_inverts(seed in 0u64..5000) {
+        let db = gen_db(seed, 3);
+        let v = Valuation::bijective(db.nulls(), "pt");
+        let complete = v.apply_db(&db);
+        prop_assert!(complete.is_complete());
+        let back = complete.map(v.inverse_subst());
+        prop_assert_eq!(back, db);
+    }
+
+    /// |Vᵏ(D)| = kᵐ, all valuations distinct, all total.
+    #[test]
+    fn valuation_space_cardinality(seed in 0u64..2000, k in 1usize..5) {
+        let db = gen_db(seed, 2);
+        let nulls = db.nulls();
+        let en = ConstEnum::new(db.consts());
+        let all: Vec<Valuation> = en.valuations(&nulls, k).collect();
+        prop_assert_eq!(all.len() as u128,
+            ConstEnum::count_valuations(k, nulls.len()).unwrap());
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(set.len(), all.len());
+        for v in &all {
+            prop_assert!(v.is_total_on(&db));
+        }
+    }
+
+    /// Applying a valuation never increases the tuple count and removes
+    /// exactly the bound nulls.
+    #[test]
+    fn apply_db_monotone(seed in 0u64..2000) {
+        let db = gen_db(seed, 3);
+        let v = Valuation::from_pairs(
+            db.nulls().into_iter().map(|n| (n, Cst::new("pin"))),
+        );
+        let out = v.apply_db(&db);
+        prop_assert!(out.len() <= db.len());
+        prop_assert!(out.is_complete());
+        prop_assert_eq!(out.schema(), db.schema());
+    }
+
+    /// iso_canonical is invariant under a random renaming of nulls.
+    #[test]
+    fn canonical_form_invariant_under_renaming(seed in 0u64..2000) {
+        let db = gen_db(seed, 3);
+        let fresh: BTreeMap<NullId, NullId> =
+            db.nulls().into_iter().map(|n| (n, NullId::fresh())).collect();
+        let renamed = db.map(|v| match v {
+            Value::Null(n) => Value::Null(fresh[&n]),
+            c => c,
+        });
+        prop_assert_eq!(iso_canonical(&db), iso_canonical(&renamed));
+        prop_assert!(is_isomorphic(&db, &renamed));
+    }
+
+    /// Union is associative-ish and subset-consistent.
+    #[test]
+    fn union_laws(s1 in 0u64..1000, s2 in 0u64..1000) {
+        let a = gen_db(s1, 2);
+        let b = gen_db(s2, 2);
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        prop_assert_eq!(u.clone(), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+}

@@ -1,0 +1,332 @@
+//! A relational-algebra IR and its translation to first-order queries.
+//!
+//! The paper states its results for "relational algebra/calculus"
+//! queries; this module provides the algebra side (select, project,
+//! product, union, difference, rename) and compiles it to the calculus
+//! ([`Query`]) evaluated by the rest of the stack, so users can phrase
+//! workloads in whichever form is natural.
+
+use crate::ast::{Formula, Query, Term};
+use caz_idb::{Cst, Schema, Symbol};
+use std::fmt;
+
+/// A selection predicate on column positions (0-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// `col_i = col_j`
+    ColEqCol(usize, usize),
+    /// `col_i = constant`
+    ColEqConst(usize, Cst),
+    /// Negation of a predicate.
+    Not(Box<Pred>),
+    /// Conjunction of predicates.
+    And(Vec<Pred>),
+}
+
+impl Pred {
+    fn to_formula(&self, cols: &[Symbol]) -> Formula {
+        match self {
+            Pred::ColEqCol(i, j) => Formula::Eq(Term::Var(cols[*i]), Term::Var(cols[*j])),
+            Pred::ColEqConst(i, c) => Formula::Eq(Term::Var(cols[*i]), Term::Const(*c)),
+            Pred::Not(p) => Formula::not(p.to_formula(cols)),
+            Pred::And(ps) => Formula::And(ps.iter().map(|p| p.to_formula(cols)).collect()),
+        }
+    }
+
+    fn max_col(&self) -> usize {
+        match self {
+            Pred::ColEqCol(i, j) => (*i).max(*j),
+            Pred::ColEqConst(i, _) => *i,
+            Pred::Not(p) => p.max_col(),
+            Pred::And(ps) => ps.iter().map(Pred::max_col).max().unwrap_or(0),
+        }
+    }
+}
+
+/// A relational-algebra expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgExpr {
+    /// A base relation.
+    Rel(String),
+    /// `σ_pred(e)`
+    Select(Box<AlgExpr>, Pred),
+    /// `π_cols(e)` (columns may repeat or reorder)
+    Project(Box<AlgExpr>, Vec<usize>),
+    /// `e₁ × e₂`
+    Product(Box<AlgExpr>, Box<AlgExpr>),
+    /// `e₁ ∪ e₂` (same arity)
+    Union(Box<AlgExpr>, Box<AlgExpr>),
+    /// `e₁ − e₂` (same arity)
+    Diff(Box<AlgExpr>, Box<AlgExpr>),
+}
+
+/// Errors raised when compiling algebra to calculus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgebraError(pub String);
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "algebra error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl AlgExpr {
+    /// Convenience constructors.
+    pub fn rel(name: &str) -> AlgExpr {
+        AlgExpr::Rel(name.to_string())
+    }
+
+    /// `σ_pred(self)`
+    pub fn select(self, pred: Pred) -> AlgExpr {
+        AlgExpr::Select(Box::new(self), pred)
+    }
+
+    /// `π_cols(self)`
+    pub fn project(self, cols: Vec<usize>) -> AlgExpr {
+        AlgExpr::Project(Box::new(self), cols)
+    }
+
+    /// `self × other`
+    pub fn product(self, other: AlgExpr) -> AlgExpr {
+        AlgExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`
+    pub fn union(self, other: AlgExpr) -> AlgExpr {
+        AlgExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self − other`
+    pub fn diff(self, other: AlgExpr) -> AlgExpr {
+        AlgExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// The arity of the expression under the given schema.
+    pub fn arity(&self, schema: &Schema) -> Result<usize, AlgebraError> {
+        match self {
+            AlgExpr::Rel(name) => schema
+                .arity_of(name)
+                .ok_or_else(|| AlgebraError(format!("unknown relation {name}"))),
+            AlgExpr::Select(e, p) => {
+                let a = e.arity(schema)?;
+                if p.max_col() >= a {
+                    return Err(AlgebraError(format!(
+                        "selection references column {} of an arity-{a} input",
+                        p.max_col()
+                    )));
+                }
+                Ok(a)
+            }
+            AlgExpr::Project(e, cols) => {
+                let a = e.arity(schema)?;
+                if let Some(&bad) = cols.iter().find(|&&c| c >= a) {
+                    return Err(AlgebraError(format!(
+                        "projection references column {bad} of an arity-{a} input"
+                    )));
+                }
+                Ok(cols.len())
+            }
+            AlgExpr::Product(l, r) => Ok(l.arity(schema)? + r.arity(schema)?),
+            AlgExpr::Union(l, r) | AlgExpr::Diff(l, r) => {
+                let (la, ra) = (l.arity(schema)?, r.arity(schema)?);
+                if la != ra {
+                    return Err(AlgebraError(format!(
+                        "arity mismatch: {la} vs {ra} in union/difference"
+                    )));
+                }
+                Ok(la)
+            }
+        }
+    }
+
+    /// Compile to a first-order formula whose free variables are `cols`
+    /// (one per output column, in order).
+    fn to_formula(
+        &self,
+        cols: &[Symbol],
+        schema: &Schema,
+        fresh: &mut usize,
+    ) -> Result<Formula, AlgebraError> {
+        let fresh_var = |fresh: &mut usize| {
+            let v = Symbol::intern(&format!("v_{}", *fresh));
+            *fresh += 1;
+            v
+        };
+        match self {
+            AlgExpr::Rel(name) => Ok(Formula::atom(
+                name,
+                cols.iter().map(|&c| Term::Var(c)).collect(),
+            )),
+            AlgExpr::Select(e, p) => Ok(Formula::And(vec![
+                e.to_formula(cols, schema, fresh)?,
+                p.to_formula(cols),
+            ])),
+            AlgExpr::Project(e, kept) => {
+                let inner_arity = e.arity(schema)?;
+                // One variable per inner column; projected columns reuse
+                // the output variables (first occurrence wins), the rest
+                // are existentially quantified.
+                let mut inner: Vec<Option<Symbol>> = vec![None; inner_arity];
+                let mut eqs: Vec<Formula> = Vec::new();
+                for (out_idx, &col) in kept.iter().enumerate() {
+                    match inner[col] {
+                        None => inner[col] = Some(cols[out_idx]),
+                        // Repeated column in the projection list: equate.
+                        Some(first) => {
+                            eqs.push(Formula::Eq(Term::Var(cols[out_idx]), Term::Var(first)))
+                        }
+                    }
+                }
+                let mut bound = Vec::new();
+                let inner_syms: Vec<Symbol> = inner
+                    .into_iter()
+                    .map(|s| {
+                        s.unwrap_or_else(|| {
+                            let v = fresh_var(fresh);
+                            bound.push(v);
+                            v
+                        })
+                    })
+                    .collect();
+                let mut body = e.to_formula(&inner_syms, schema, fresh)?;
+                if !eqs.is_empty() {
+                    eqs.insert(0, body);
+                    body = Formula::And(eqs);
+                }
+                Ok(if bound.is_empty() {
+                    body
+                } else {
+                    Formula::Exists(bound, Box::new(body))
+                })
+            }
+            AlgExpr::Product(l, r) => {
+                let la = l.arity(schema)?;
+                Ok(Formula::And(vec![
+                    l.to_formula(&cols[..la], schema, fresh)?,
+                    r.to_formula(&cols[la..], schema, fresh)?,
+                ]))
+            }
+            AlgExpr::Union(l, r) => Ok(Formula::Or(vec![
+                l.to_formula(cols, schema, fresh)?,
+                r.to_formula(cols, schema, fresh)?,
+            ])),
+            AlgExpr::Diff(l, r) => Ok(Formula::And(vec![
+                l.to_formula(cols, schema, fresh)?,
+                Formula::not(r.to_formula(cols, schema, fresh)?),
+            ])),
+        }
+    }
+
+    /// Compile the expression to a [`Query`] named `name` under `schema`.
+    pub fn to_query(&self, name: &str, schema: &Schema) -> Result<Query, AlgebraError> {
+        let arity = self.arity(schema)?;
+        let head: Vec<Symbol> = (0..arity)
+            .map(|i| Symbol::intern(&format!("x_{i}")))
+            .collect();
+        let mut fresh = 0;
+        let body = self.to_formula(&head, schema, &mut fresh)?;
+        Query::new(name, head, body).map_err(AlgebraError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_query;
+    use caz_idb::{cst, parse_database, Tuple};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("R", 2), ("S", 2), ("U", 1)])
+    }
+
+    #[test]
+    fn base_and_difference() {
+        // R − S, the intro example's algebra form.
+        let e = AlgExpr::rel("R").diff(AlgExpr::rel("S"));
+        let q = e.to_query("diff", &schema()).unwrap();
+        let db = parse_database("R(a, b). R(c, d). S(a, b).").unwrap().db;
+        assert_eq!(
+            eval_query(&q, &db),
+            [Tuple::new(vec![cst("c"), cst("d")])].into()
+        );
+    }
+
+    #[test]
+    fn select_project_join() {
+        // π₀(σ₁₌'b'(R)) — first components of R-tuples ending in b.
+        let e = AlgExpr::rel("R")
+            .select(Pred::ColEqConst(1, Cst::new("b")))
+            .project(vec![0]);
+        let q = e.to_query("spj", &schema()).unwrap();
+        let db = parse_database("R(a, b). R(c, d). R(e, b).").unwrap().db;
+        let ans = eval_query(&q, &db);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&Tuple::new(vec![cst("a")])));
+        assert!(ans.contains(&Tuple::new(vec![cst("e")])));
+    }
+
+    #[test]
+    fn join_via_product_select_project() {
+        // R ⋈ S on R.1 = S.0, output (R.0, S.1).
+        let e = AlgExpr::rel("R")
+            .product(AlgExpr::rel("S"))
+            .select(Pred::ColEqCol(1, 2))
+            .project(vec![0, 3]);
+        let q = e.to_query("join", &schema()).unwrap();
+        let db = parse_database("R(a, m). S(m, z). S(w, v).").unwrap().db;
+        assert_eq!(
+            eval_query(&q, &db),
+            [Tuple::new(vec![cst("a"), cst("z")])].into()
+        );
+    }
+
+    #[test]
+    fn union_requires_same_arity() {
+        let bad = AlgExpr::rel("R").union(AlgExpr::rel("U"));
+        assert!(bad.to_query("bad", &schema()).is_err());
+        let ok = AlgExpr::rel("R").union(AlgExpr::rel("S"));
+        let q = ok.to_query("u", &schema()).unwrap();
+        let db = parse_database("R(a, b). S(c, d).").unwrap().db;
+        assert_eq!(eval_query(&q, &db).len(), 2);
+    }
+
+    #[test]
+    fn projection_with_repeats() {
+        // π₀,₀(R): duplicate a column.
+        let e = AlgExpr::rel("R").project(vec![0, 0]);
+        let q = e.to_query("dup", &schema()).unwrap();
+        let db = parse_database("R(a, b).").unwrap().db;
+        assert_eq!(
+            eval_query(&q, &db),
+            [Tuple::new(vec![cst("a"), cst("a")])].into()
+        );
+    }
+
+    #[test]
+    fn unknown_relation_and_bad_columns() {
+        assert!(AlgExpr::rel("Nope").to_query("q", &schema()).is_err());
+        assert!(AlgExpr::rel("R")
+            .select(Pred::ColEqCol(0, 5))
+            .to_query("q", &schema())
+            .is_err());
+        assert!(AlgExpr::rel("R")
+            .project(vec![2])
+            .to_query("q", &schema())
+            .is_err());
+    }
+
+    #[test]
+    fn ucq_compatible_fragment() {
+        // Select-project-join-union compiles into the ∃,∧,∨(=) fragment.
+        use crate::fragments::is_ucq_shaped;
+        let e = AlgExpr::rel("R")
+            .product(AlgExpr::rel("S"))
+            .select(Pred::ColEqCol(1, 2))
+            .project(vec![0, 3])
+            .union(AlgExpr::rel("R"));
+        let q = e.to_query("spju", &schema()).unwrap();
+        assert!(is_ucq_shaped(&q.body));
+    }
+}

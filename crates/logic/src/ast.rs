@@ -1,0 +1,493 @@
+//! Abstract syntax of first-order queries.
+//!
+//! Queries are relational-calculus formulas over a relational vocabulary
+//! with equality, built from atoms with `∧, ∨, ¬, ∃, ∀`. A [`Query`] is a
+//! formula with an ordered tuple of free head variables; a Boolean query
+//! has an empty head.
+
+use caz_idb::{Cst, Schema, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A first-order variable.
+    Var(Symbol),
+    /// A constant.
+    Const(Cst),
+}
+
+impl Term {
+    /// The variable symbol, if this is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this is one.
+    pub fn as_const(&self) -> Option<Cst> {
+        match self {
+            Term::Const(c) => Some(*c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+/// Shorthand for a variable term.
+pub fn var(name: &str) -> Term {
+    Term::Var(Symbol::intern(name))
+}
+
+/// Shorthand for a constant term.
+pub fn con(name: &str) -> Term {
+    Term::Const(Cst::new(name))
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A relational atom `R(t₁, …, t_n)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Relation name.
+    pub rel: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(rel: &str, args: Vec<Term>) -> Atom {
+        Atom { rel: Symbol::intern(rel), args }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A first-order formula.
+///
+/// `And(vec![])` is *true* and `Or(vec![])` is *false*.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// A relational atom.
+    Atom(Atom),
+    /// Equality of two terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<Symbol>, Box<Formula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<Symbol>, Box<Formula>),
+}
+
+impl Formula {
+    /// The formula *true*.
+    pub fn tru() -> Formula {
+        Formula::And(Vec::new())
+    }
+
+    /// The formula *false*.
+    pub fn fls() -> Formula {
+        Formula::Or(Vec::new())
+    }
+
+    /// An atom `rel(args…)`.
+    pub fn atom(rel: &str, args: Vec<Term>) -> Formula {
+        Formula::Atom(Atom::new(rel, args))
+    }
+
+    /// Equality `a = b`.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    /// Negation `¬φ`.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Conjunction of the given formulas.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction of the given formulas.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(fs.into_iter().collect())
+    }
+
+    /// Implication `a → b` as `¬a ∨ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![Formula::not(a), b])
+    }
+
+    /// `∃ vars φ`.
+    pub fn exists(vars: impl IntoIterator<Item = &'static str>, f: Formula) -> Formula {
+        Formula::Exists(vars.into_iter().map(Symbol::intern).collect(), Box::new(f))
+    }
+
+    /// `∀ vars φ`.
+    pub fn forall(vars: impl IntoIterator<Item = &'static str>, f: Formula) -> Formula {
+        Formula::Forall(vars.into_iter().map(Symbol::intern).collect(), Box::new(f))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Symbol> {
+        fn go(f: &Formula, bound: &mut Vec<Symbol>, out: &mut BTreeSet<Symbol>) {
+            match f {
+                Formula::Atom(a) => {
+                    for t in &a.args {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(*v);
+                            }
+                        }
+                    }
+                }
+                Formula::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(*v);
+                            }
+                        }
+                    }
+                }
+                Formula::Not(g) => go(g, bound, out),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    let n = bound.len();
+                    bound.extend(vs.iter().copied());
+                    go(g, bound, out);
+                    bound.truncate(n);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// All constants mentioned in the formula — the genericity set `C`
+    /// (Definition 1: the query is `C`-generic for this set).
+    pub fn consts(&self) -> BTreeSet<Cst> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            let mut take = |t: &Term| {
+                if let Term::Const(c) = t {
+                    out.insert(*c);
+                }
+            };
+            match f {
+                Formula::Atom(a) => a.args.iter().for_each(&mut take),
+                Formula::Eq(a, b) => {
+                    take(a);
+                    take(b);
+                }
+                _ => {}
+            }
+        });
+        out
+    }
+
+    /// Relations used, with arities. Returns an error message on
+    /// inconsistent arities.
+    pub fn schema(&self) -> Result<Schema, String> {
+        let mut schema = Schema::new();
+        let mut err = None;
+        self.visit(&mut |f| {
+            if let Formula::Atom(a) = f {
+                if let Some(expected) = schema.arity(a.rel) {
+                    if expected != a.args.len() && err.is_none() {
+                        err = Some(format!(
+                            "relation {} used with arities {} and {}",
+                            a.rel,
+                            expected,
+                            a.args.len()
+                        ));
+                    }
+                } else {
+                    schema.declare_symbol(a.rel, a.args.len());
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(schema),
+        }
+    }
+
+    /// Visit every subformula, outermost first.
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::Atom(_) | Formula::Eq(_, _) => {}
+            Formula::Not(g) => g.visit(f),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    g.visit(f);
+                }
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => g.visit(f),
+        }
+    }
+
+    /// Count of nodes (for size diagnostics).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Rename variables throughout (both binders and occurrences).
+    pub(crate) fn rename_vars(&self, map: &std::collections::BTreeMap<Symbol, Symbol>) -> Formula {
+        let rt = |t: &Term| match t {
+            Term::Var(v) => Term::Var(*map.get(v).unwrap_or(v)),
+            Term::Const(_) => *t,
+        };
+        match self {
+            Formula::Atom(a) => Formula::Atom(Atom {
+                rel: a.rel,
+                args: a.args.iter().map(rt).collect(),
+            }),
+            Formula::Eq(a, b) => Formula::Eq(rt(a), rt(b)),
+            Formula::Not(g) => Formula::not(g.rename_vars(map)),
+            Formula::And(gs) => Formula::And(gs.iter().map(|g| g.rename_vars(map)).collect()),
+            Formula::Or(gs) => Formula::Or(gs.iter().map(|g| g.rename_vars(map)).collect()),
+            Formula::Exists(vs, g) => Formula::Exists(
+                vs.iter().map(|v| *map.get(v).unwrap_or(v)).collect(),
+                Box::new(g.rename_vars(map)),
+            ),
+            Formula::Forall(vs, g) => Formula::Forall(
+                vs.iter().map(|v| *map.get(v).unwrap_or(v)).collect(),
+                Box::new(g.rename_vars(map)),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(g) => write!(f, "¬({g})"),
+            Formula::And(gs) if gs.is_empty() => f.write_str("⊤"),
+            Formula::Or(gs) if gs.is_empty() => f.write_str("⊥"),
+            Formula::And(gs) => {
+                f.write_str("(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Or(gs) => {
+                f.write_str("(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Exists(vs, g) => {
+                f.write_str("∃")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, " ({g})")
+            }
+            Formula::Forall(vs, g) => {
+                f.write_str("∀")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, " ({g})")
+            }
+        }
+    }
+}
+
+/// An `m`-ary query: a formula with an ordered head of free variables.
+/// `m = 0` is a Boolean query.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Query {
+    /// Display name.
+    pub name: String,
+    /// Head variables, in answer-tuple order.
+    pub head: Vec<Symbol>,
+    /// Body formula; its free variables must be among the head variables.
+    pub body: Formula,
+}
+
+impl Query {
+    /// Build a query, validating that the body's free variables are
+    /// covered by the head and that relation arities are consistent.
+    pub fn new(name: &str, head: Vec<Symbol>, body: Formula) -> Result<Query, String> {
+        let free = body.free_vars();
+        for v in &free {
+            if !head.contains(v) {
+                return Err(format!("free variable {v} of {name} not in head"));
+            }
+        }
+        let head_set: BTreeSet<Symbol> = head.iter().copied().collect();
+        if head_set.len() != head.len() {
+            return Err(format!("duplicate head variable in {name}"));
+        }
+        body.schema()?;
+        Ok(Query { name: name.to_string(), head, body })
+    }
+
+    /// A Boolean query from a sentence.
+    pub fn boolean(name: &str, body: Formula) -> Result<Query, String> {
+        Query::new(name, Vec::new(), body)
+    }
+
+    /// Arity of the query.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True iff Boolean (arity 0).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The genericity constant set `C` of this query.
+    pub fn generic_consts(&self) -> BTreeSet<Cst> {
+        self.body.consts()
+    }
+
+    /// The negated query (same head). For a Boolean query this is `¬Q`,
+    /// used e.g. in the proof of Theorem 1; for non-Boolean queries it is
+    /// the complement within `adom`-tuples.
+    pub fn negated(&self) -> Query {
+        Query {
+            name: format!("not_{}", self.name),
+            head: self.head.clone(),
+            body: Formula::not(self.body.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") := {}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Formula {
+        // ∃y R(c, y) ∧ E(y, x)  — the distance-2 example from §3.1.
+        Formula::exists(
+            ["y"],
+            Formula::and([
+                Formula::atom("E", vec![con("c"), var("y")]),
+                Formula::atom("E", vec![var("y"), var("x")]),
+            ]),
+        )
+    }
+
+    #[test]
+    fn free_vars_and_consts() {
+        let f = sample();
+        assert_eq!(f.free_vars(), [Symbol::intern("x")].into());
+        assert_eq!(f.consts(), [Cst::new("c")].into());
+    }
+
+    #[test]
+    fn schema_consistency() {
+        assert!(sample().schema().is_ok());
+        let bad = Formula::and([
+            Formula::atom("R", vec![var("x")]),
+            Formula::atom("R", vec![var("x"), var("y")]),
+        ]);
+        assert!(bad.schema().is_err());
+    }
+
+    #[test]
+    fn query_validation() {
+        let q = Query::new("phi", vec![Symbol::intern("x")], sample()).unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        assert!(Query::boolean("b", sample()).is_err(), "x is free");
+        assert!(Query::new(
+            "dup",
+            vec![Symbol::intern("x"), Symbol::intern("x")],
+            sample()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn truth_constants() {
+        assert_eq!(Formula::tru(), Formula::And(vec![]));
+        assert_eq!(Formula::fls(), Formula::Or(vec![]));
+        assert_eq!(Formula::tru().to_string(), "⊤");
+    }
+
+    #[test]
+    fn rename() {
+        let map = [(Symbol::intern("x"), Symbol::intern("z"))].into();
+        let f = sample().rename_vars(&map);
+        assert_eq!(f.free_vars(), [Symbol::intern("z")].into());
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        let q = Query::new("phi", vec![Symbol::intern("x")], sample()).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("phi(x)"));
+        assert!(s.contains("∃y"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Active-domain evaluation of first-order queries over *complete*
+//! databases.
+//!
+//! Quantifiers range over `Const(D) ∪ C` where `C` is the query's
+//! constant set; answers are tuples over the same domain. This evaluation
+//! is generic in the sense of Definition 1: it commutes with every
+//! permutation of `Const` fixing `C`.
+
+use crate::ast::{Formula, Query, Term};
+use caz_idb::{Database, Symbol, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// Evaluation environment: a stack of variable bindings (inner bindings
+/// shadow outer ones).
+#[derive(Default)]
+struct Env {
+    stack: Vec<(Symbol, Value)>,
+}
+
+impl Env {
+    fn lookup(&self, v: Symbol) -> Option<Value> {
+        self.stack.iter().rev().find(|(s, _)| *s == v).map(|&(_, val)| val)
+    }
+
+    fn push(&mut self, v: Symbol, val: Value) {
+        self.stack.push((v, val));
+    }
+
+    fn truncate(&mut self, n: usize) {
+        self.stack.truncate(n);
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// An evaluator bound to one complete database.
+pub struct Evaluator<'a> {
+    db: &'a Database,
+    /// Quantifier domain: `Const(D) ∪ C`.
+    dom: Vec<Value>,
+    /// Answer domain: `adom(D) = Const(D)` (the database is complete).
+    /// Queries "do not invent values" (§2 of the paper): answers are
+    /// tuples over the active domain only, even when the query mentions
+    /// constants outside it.
+    adom: BTreeSet<Value>,
+    /// Use the join-based fast path for existential conjunctions of
+    /// atoms (semantically equivalent; off only for ablation benches).
+    use_joins: bool,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator for a query-shaped domain: quantifiers range
+    /// over `Const(D)` plus the given query constants, answers over
+    /// `Const(D)`. Panics if the database is incomplete — evaluating a
+    /// query directly on nulls is exactly the mistake the paper's
+    /// framework is about; use naïve evaluation instead.
+    pub fn new(db: &'a Database, query_consts: &BTreeSet<caz_idb::Cst>) -> Evaluator<'a> {
+        assert!(
+            db.is_complete(),
+            "direct evaluation requires a complete database; use naive evaluation for nulls"
+        );
+        let adom: BTreeSet<Value> = db.consts().into_iter().map(Value::Const).collect();
+        let mut dom = adom.clone();
+        dom.extend(query_consts.iter().map(|&c| Value::Const(c)));
+        Evaluator { db, dom: dom.into_iter().collect(), adom, use_joins: true }
+    }
+
+    /// Disable the join fast path (ablation only — results are
+    /// identical, just slower on conjunctive subformulas).
+    pub fn without_joins(mut self) -> Evaluator<'a> {
+        self.use_joins = false;
+        self
+    }
+
+    /// The quantifier domain.
+    pub fn domain(&self) -> &[Value] {
+        &self.dom
+    }
+
+    fn term_value(&self, t: &Term, env: &Env) -> Value {
+        match t {
+            Term::Const(c) => Value::Const(*c),
+            Term::Var(v) => env
+                .lookup(*v)
+                .unwrap_or_else(|| panic!("unbound variable {v} during evaluation")),
+        }
+    }
+
+    fn holds(&self, f: &Formula, env: &mut Env) -> bool {
+        match f {
+            Formula::Atom(a) => {
+                let tuple: Tuple = a.args.iter().map(|t| self.term_value(t, env)).collect();
+                self.db.relation_sym(a.rel).is_some_and(|r| r.contains(&tuple))
+            }
+            Formula::Eq(a, b) => self.term_value(a, env) == self.term_value(b, env),
+            Formula::Not(g) => !self.holds(g, env),
+            Formula::And(gs) => gs.iter().all(|g| self.holds(g, env)),
+            Formula::Or(gs) => gs.iter().any(|g| self.holds(g, env)),
+            Formula::Exists(vs, g) => {
+                if self.use_joins {
+                    if let Some(res) = self.join_exists(vs, g, env) {
+                        return res;
+                    }
+                }
+                self.quantify(vs, g, env, true)
+            }
+            Formula::Forall(vs, g) => !self.quantify(vs, g, env, false),
+        }
+    }
+
+    /// Fast path for `∃ vs (atom ∧ … ∧ atom ∧ eq ∧ …)`: instead of
+    /// iterating the domain for every quantified variable (`|dom|^|vs|`),
+    /// backtrack over matching tuples of the atoms' relations — the
+    /// standard join strategy. Returns `None` when the body is not a
+    /// conjunction of relational atoms and equalities (the generic
+    /// recursion then applies); semantically identical otherwise, since
+    /// any witness assignment must match the atoms tuple-wise and
+    /// leftover variables are still ranged over the full domain.
+    fn join_exists(&self, vs: &[Symbol], g: &Formula, env: &Env) -> Option<bool> {
+        let conjuncts: Vec<&Formula> = match g {
+            Formula::And(items) => items.iter().collect(),
+            Formula::Atom(_) | Formula::Eq(_, _) => vec![g],
+            _ => return None,
+        };
+        let mut atoms: Vec<&crate::ast::Atom> = Vec::new();
+        let mut eqs: Vec<(&Term, &Term)> = Vec::new();
+        for c in conjuncts {
+            match c {
+                Formula::Atom(a) => atoms.push(a),
+                Formula::Eq(x, y) => eqs.push((x, y)),
+                _ => return None,
+            }
+        }
+        let vsset: std::collections::BTreeSet<Symbol> = vs.iter().copied().collect();
+        let mut local: std::collections::BTreeMap<Symbol, Value> =
+            std::collections::BTreeMap::new();
+        Some(self.join_atoms(&atoms, &eqs, &vsset, &mut local, env, 0))
+    }
+
+    /// Resolve a term under the join's local bindings: quantified
+    /// variables shadow the outer environment.
+    fn join_resolve(
+        &self,
+        t: &Term,
+        vsset: &std::collections::BTreeSet<Symbol>,
+        local: &std::collections::BTreeMap<Symbol, Value>,
+        env: &Env,
+    ) -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(Value::Const(*c)),
+            Term::Var(v) if vsset.contains(v) => local.get(v).copied(),
+            Term::Var(v) => Some(
+                env.lookup(*v)
+                    .unwrap_or_else(|| panic!("unbound variable {v} during evaluation")),
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_atoms(
+        &self,
+        atoms: &[&crate::ast::Atom],
+        eqs: &[(&Term, &Term)],
+        vsset: &std::collections::BTreeSet<Symbol>,
+        local: &mut std::collections::BTreeMap<Symbol, Value>,
+        env: &Env,
+        i: usize,
+    ) -> bool {
+        if i == atoms.len() {
+            // Range leftover quantified variables over the domain (they
+            // occur only in equalities, if anywhere).
+            if let Some(&v) = vsset.iter().find(|v| !local.contains_key(v)) {
+                for &val in &self.dom {
+                    local.insert(v, val);
+                    if self.join_atoms(atoms, eqs, vsset, local, env, i) {
+                        local.remove(&v);
+                        return true;
+                    }
+                }
+                local.remove(&v);
+                return false;
+            }
+            return eqs.iter().all(|(a, b)| {
+                self.join_resolve(a, vsset, local, env).unwrap()
+                    == self.join_resolve(b, vsset, local, env).unwrap()
+            });
+        }
+        let a = atoms[i];
+        let Some(rel) = self.db.relation_sym(a.rel) else {
+            return false;
+        };
+        'tuples: for t in rel.iter() {
+            let mut newly: Vec<Symbol> = Vec::new();
+            for (arg, &val) in a.args.iter().zip(t.values()) {
+                match self.join_resolve(arg, vsset, local, env) {
+                    Some(existing) => {
+                        if existing != val {
+                            for v in newly.drain(..) {
+                                local.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        let Term::Var(v) = arg else { unreachable!() };
+                        local.insert(*v, val);
+                        newly.push(*v);
+                    }
+                }
+            }
+            if self.join_atoms(atoms, eqs, vsset, local, env, i + 1) {
+                return true;
+            }
+            for v in newly {
+                local.remove(&v);
+            }
+        }
+        false
+    }
+
+    /// For `Exists` (`want = true`): is there an assignment making `g`
+    /// true? For `Forall` (`want = false`): is there one making `g`
+    /// false (the caller negates)?
+    fn quantify(&self, vs: &[Symbol], g: &Formula, env: &mut Env, want: bool) -> bool {
+        fn rec(
+            ev: &Evaluator<'_>,
+            vs: &[Symbol],
+            g: &Formula,
+            env: &mut Env,
+            want: bool,
+        ) -> bool {
+            match vs.split_first() {
+                None => ev.holds(g, env) == want,
+                Some((&v, rest)) => {
+                    let mark = env.len();
+                    for &val in &ev.dom {
+                        env.push(v, val);
+                        let found = rec(ev, rest, g, env, want);
+                        env.truncate(mark);
+                        if found {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+        rec(self, vs, g, env, want)
+    }
+
+    /// Evaluate a closed formula.
+    pub fn eval_sentence(&self, f: &Formula) -> bool {
+        debug_assert!(f.free_vars().is_empty(), "sentence has free variables");
+        self.holds(f, &mut Env::default())
+    }
+
+    /// Is `t ∈ Q(D)`? Answers are tuples over `adom(D)`: a tuple with a
+    /// component outside the active domain is never an answer, even if
+    /// the body would be satisfied by it.
+    pub fn satisfies(&self, q: &Query, t: &Tuple) -> bool {
+        assert_eq!(t.arity(), q.arity(), "tuple arity mismatch for {}", q.name);
+        assert!(t.is_complete(), "satisfies() requires a constant tuple");
+        if !t.iter().all(|v| self.adom.contains(v)) {
+            return false;
+        }
+        let mut env = Env::default();
+        for (&v, &val) in q.head.iter().zip(t.values()) {
+            env.push(v, val);
+        }
+        self.holds(&q.body, &mut env)
+    }
+
+    /// All answers to the query: the set of `adom(D)`-tuples satisfying
+    /// it.
+    pub fn answers(&self, q: &Query) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        let mut current: Vec<Value> = Vec::with_capacity(q.arity());
+        fn rec(
+            ev: &Evaluator<'_>,
+            q: &Query,
+            current: &mut Vec<Value>,
+            out: &mut BTreeSet<Tuple>,
+        ) {
+            if current.len() == q.arity() {
+                let t = Tuple::new(current.clone());
+                if ev.satisfies(q, &t) {
+                    out.insert(t);
+                }
+                return;
+            }
+            for &val in ev.adom.iter() {
+                current.push(val);
+                rec(ev, q, current, out);
+                current.pop();
+            }
+        }
+        rec(self, q, &mut current, &mut out);
+        out
+    }
+}
+
+/// Evaluate a query on a complete database (one-shot convenience).
+pub fn eval_query(q: &Query, db: &Database) -> BTreeSet<Tuple> {
+    Evaluator::new(db, &q.generic_consts()).answers(q)
+}
+
+/// Evaluate a Boolean query on a complete database.
+pub fn eval_bool(q: &Query, db: &Database) -> bool {
+    assert!(q.is_boolean(), "{} is not Boolean", q.name);
+    Evaluator::new(db, &q.generic_consts()).eval_sentence(&q.body)
+}
+
+/// Does `t` belong to `Q(db)`? (`db` complete, `t` over constants.)
+pub fn tuple_in_answer(q: &Query, db: &Database, t: &Tuple) -> bool {
+    Evaluator::new(db, &q.generic_consts()).satisfies(q, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{con, var};
+    use crate::parser::parse_query;
+    use caz_idb::{cst, int, parse_database, Cst};
+
+    fn q(name: &str, head: &[&str], body: Formula) -> Query {
+        Query::new(name, head.iter().map(|v| Symbol::intern(v)).collect(), body).unwrap()
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let db = parse_database("R(a, b). R(b, c). S(a, b).").unwrap().db;
+        // Q(x,y) = R(x,y) ∧ ¬S(x,y)
+        let query = q(
+            "Q",
+            &["x", "y"],
+            Formula::and([
+                Formula::atom("R", vec![var("x"), var("y")]),
+                Formula::not(Formula::atom("S", vec![var("x"), var("y")])),
+            ]),
+        );
+        let ans = eval_query(&query, &db);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&Tuple::new(vec![cst("b"), cst("c")])));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let db = parse_database("E(1, 2). E(2, 3).").unwrap().db;
+        // distance-2 from 1: ∃y E(1,y) ∧ E(y,x)
+        let query = q(
+            "d2",
+            &["x"],
+            Formula::exists(
+                ["y"],
+                Formula::and([
+                    Formula::atom("E", vec![con("1"), var("y")]),
+                    Formula::atom("E", vec![var("y"), var("x")]),
+                ]),
+            ),
+        );
+        let ans = eval_query(&query, &db);
+        assert_eq!(ans, [Tuple::new(vec![int(3)])].into());
+    }
+
+    #[test]
+    fn forall_over_domain() {
+        let db = parse_database("U(1). U(2). V(1). V(2).").unwrap().db;
+        let all_u_in_v = q(
+            "s",
+            &[],
+            Formula::forall(
+                ["x"],
+                Formula::implies(
+                    Formula::atom("U", vec![var("x")]),
+                    Formula::atom("V", vec![var("x")]),
+                ),
+            ),
+        );
+        assert!(eval_bool(&all_u_in_v, &db));
+        let db2 = parse_database("U(1). U(3). V(1).").unwrap().db;
+        assert!(!eval_bool(&all_u_in_v, &db2));
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let db = parse_database("R(a, b).").unwrap().db;
+        let query = q("s", &[], Formula::exists(["x"], Formula::atom("T", vec![var("x")])));
+        assert!(!eval_bool(&query, &db));
+    }
+
+    #[test]
+    fn query_constants_extend_domain() {
+        // On a DB not containing c, ∃x x = c must still be true because
+        // the domain includes the query's constants.
+        let db = parse_database("R(a, a).").unwrap().db;
+        let query = q(
+            "s",
+            &[],
+            Formula::exists(["x"], Formula::eq(var("x"), con("zzz"))),
+        );
+        assert!(eval_bool(&query, &db));
+    }
+
+    #[test]
+    fn boolean_query_answers_encode_truth() {
+        let db = parse_database("R(a, a).").unwrap().db;
+        let t = q("s", &[], Formula::exists(["x"], Formula::atom("R", vec![var("x"), var("x")])));
+        assert_eq!(eval_query(&t, &db), [Tuple::empty()].into());
+        let f = q("s", &[], Formula::fls());
+        assert!(eval_query(&f, &db).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "complete database")]
+    fn incomplete_database_rejected() {
+        let db = parse_database("R(a, _x).").unwrap().db;
+        let query = q("s", &[], Formula::tru());
+        let _ = eval_bool(&query, &db);
+    }
+
+    #[test]
+    fn join_fast_path_agrees_with_domain_iteration() {
+        let db = parse_database(
+            "R(a, b). R(b, c). R(c, a). S(b, x). S(c, y). T(a).",
+        )
+        .unwrap()
+        .db;
+        let cases = [
+            // Pure joins.
+            "Q(x) := exists y. R(x, y) & S(y, x)",
+            "Q(x) := exists y, z. R(x, y) & R(y, z) & T(z)",
+            // Equalities among quantified variables (leftover-variable path).
+            "Q := exists u, v. u = v & R(u, v)",
+            "Q := exists u, v. u = v",
+            // Repeated variables within an atom.
+            "Q(x) := exists y. R(y, y) & S(y, x)",
+            // Constants in atoms.
+            "Q := exists y. R('a', y) & S(y, 'x')",
+            // Missing relation.
+            "Q := exists y. Nope(y)",
+        ];
+        for src in cases {
+            let q = parse_query(src).unwrap();
+            let consts = q.generic_consts();
+            let fast = Evaluator::new(&db, &consts);
+            let slow = Evaluator::new(&db, &consts).without_joins();
+            assert_eq!(fast.answers(&q), slow.answers(&q), "{src}");
+        }
+    }
+
+    #[test]
+    fn join_respects_shadowing() {
+        // The inner ∃x shadows the outer binding of x.
+        let db = parse_database("R(a). S(b).").unwrap().db;
+        let q = parse_query("Q(x) := R(x) & exists x. S(x)").unwrap();
+        let ans = eval_query(&q, &db);
+        assert_eq!(ans, [Tuple::new(vec![cst("a")])].into());
+    }
+
+    #[test]
+    fn genericity_under_permutation() {
+        // Q(π(D)) = π(Q(D)) for a permutation fixing the query constants.
+        let db = parse_database("R(a, b). R(b, b). S(b, c).").unwrap().db;
+        let query = q(
+            "Q",
+            &["x"],
+            Formula::exists(
+                ["y"],
+                Formula::and([
+                    Formula::atom("R", vec![var("x"), var("y")]),
+                    Formula::atom("S", vec![var("y"), var("x")]),
+                ]),
+            ),
+        );
+        let pi = |v: Value| match v {
+            Value::Const(c) if c == Cst::new("a") => Value::Const(Cst::new("c")),
+            Value::Const(c) if c == Cst::new("c") => Value::Const(Cst::new("a")),
+            other => other,
+        };
+        let permuted = db.map(pi);
+        let lhs = eval_query(&query, &permuted);
+        let rhs: BTreeSet<Tuple> = eval_query(&query, &db)
+            .into_iter()
+            .map(|t| t.map(pi))
+            .collect();
+        assert_eq!(lhs, rhs);
+    }
+}

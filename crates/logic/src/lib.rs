@@ -1,0 +1,41 @@
+//! # caz-logic
+//!
+//! First-order queries over incomplete databases: the query-language
+//! substrate of *Certain Answers Meet Zero–One Laws* (Libkin, PODS 2018).
+//!
+//! * [`ast`]: formulas (`∧, ∨, ¬, ∃, ∀, =`) and queries with heads;
+//! * [`eval`]: active-domain evaluation over complete databases — the
+//!   generic-query semantics of Definition 1;
+//! * [`naive`]: naïve evaluation via `C`-bijective valuations
+//!   (Definitions 2–3), which by Theorem 1 computes exactly the almost
+//!   certainly true answers;
+//! * [`fragments`]: CQ/UCQ/positive/`Pos∀G` classification and the UCQ
+//!   disjunctive normal form used by Theorem 8's PTIME algorithms;
+//! * [`algebra`]: a relational-algebra IR compiled to the calculus;
+//! * [`parser`]: a text syntax for queries;
+//! * [`random`]: query generators for property tests and sweeps;
+//! * [`three_valued`]: SQL-style Kleene evaluation over incomplete
+//!   databases (§6's "SQL nulls" direction), in SQL and marked modes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod ast;
+pub mod eval;
+pub mod fragments;
+pub mod naive;
+pub mod parser;
+pub mod random;
+pub mod three_valued;
+
+pub use algebra::{AlgExpr, AlgebraError, Pred};
+pub use ast::{con, var, Atom, Formula, Query, Term};
+pub use eval::{eval_bool, eval_query, tuple_in_answer, Evaluator};
+pub use fragments::{
+    is_cq_shaped, is_pos_forall_guarded, is_positive, is_ucq_shaped, CqDisjunct, Ucq,
+};
+pub use naive::{naive_contains, naive_eval, naive_eval_bool};
+pub use parser::parse_query;
+pub use random::{random_query, random_ucq, QueryGenConfig};
+pub use three_valued::{eval3_bool, eval3_query, NullMode, ThreeValued, Truth};

@@ -1,0 +1,195 @@
+//! Random first-order queries for property tests and workload sweeps.
+
+use crate::ast::{Formula, Query, Term};
+use caz_idb::{Cst, Schema, Symbol};
+use rand::{Rng, RngExt};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration for [`random_query`].
+#[derive(Clone, Debug)]
+pub struct QueryGenConfig {
+    /// Vocabulary to draw atoms from.
+    pub schema: Schema,
+    /// Head arity of the generated query (0 = Boolean).
+    pub arity: usize,
+    /// Maximum connective/quantifier nesting depth.
+    pub max_depth: usize,
+    /// Allow `¬` (turning this off generates positive queries).
+    pub allow_negation: bool,
+    /// Allow `∀` (in addition to `∃`).
+    pub allow_forall: bool,
+    /// Constants the query may mention (its genericity set `C`).
+    pub constants: Vec<Cst>,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            schema: Schema::from_pairs([("R", 2), ("S", 1)]),
+            arity: 0,
+            max_depth: 3,
+            allow_negation: true,
+            allow_forall: true,
+            constants: vec![],
+        }
+    }
+}
+
+static FRESH_VAR: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_var() -> Symbol {
+    Symbol::intern(&format!("q{}", FRESH_VAR.fetch_add(1, Ordering::Relaxed)))
+}
+
+fn random_term<R: Rng + ?Sized>(
+    rng: &mut R,
+    scope: &[Symbol],
+    constants: &[Cst],
+) -> Term {
+    let n_vars = scope.len();
+    let n_consts = constants.len().max(1); // fall back to a default constant
+    let i = rng.random_range(0..n_vars + n_consts);
+    if i < n_vars {
+        Term::Var(scope[i])
+    } else if constants.is_empty() {
+        Term::Const(Cst::new("g0"))
+    } else {
+        Term::Const(constants[i - n_vars])
+    }
+}
+
+fn random_atom<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &QueryGenConfig,
+    scope: &[Symbol],
+) -> Formula {
+    let rels: Vec<(Symbol, usize)> = cfg.schema.iter().collect();
+    let (rel, arity) = rels[rng.random_range(0..rels.len())];
+    Formula::Atom(crate::ast::Atom {
+        rel,
+        args: (0..arity)
+            .map(|_| random_term(rng, scope, &cfg.constants))
+            .collect(),
+    })
+}
+
+fn random_formula<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &QueryGenConfig,
+    scope: &mut Vec<Symbol>,
+    depth: usize,
+) -> Formula {
+    if depth == 0 {
+        // Leaves: mostly atoms, occasionally an equality when possible.
+        if !scope.is_empty() && rng.random_bool(0.2) {
+            let a = random_term(rng, scope, &cfg.constants);
+            let b = random_term(rng, scope, &cfg.constants);
+            return Formula::Eq(a, b);
+        }
+        return random_atom(rng, cfg, scope);
+    }
+    let mut choices: Vec<u8> = vec![0, 1, 2, 4]; // atom, and, or, exists
+    if cfg.allow_negation {
+        choices.push(3);
+    }
+    if cfg.allow_forall {
+        choices.push(5);
+    }
+    match choices[rng.random_range(0..choices.len())] {
+        0 => random_formula(rng, cfg, scope, 0),
+        1 => {
+            let n = rng.random_range(2..=3);
+            Formula::And((0..n).map(|_| random_formula(rng, cfg, scope, depth - 1)).collect())
+        }
+        2 => {
+            let n = rng.random_range(2..=3);
+            Formula::Or((0..n).map(|_| random_formula(rng, cfg, scope, depth - 1)).collect())
+        }
+        3 => Formula::not(random_formula(rng, cfg, scope, depth - 1)),
+        q => {
+            let vars: Vec<Symbol> = (0..rng.random_range(1..=2)).map(|_| fresh_var()).collect();
+            let mark = scope.len();
+            scope.extend(vars.iter().copied());
+            let body = random_formula(rng, cfg, scope, depth - 1);
+            scope.truncate(mark);
+            if q == 4 {
+                Formula::Exists(vars, Box::new(body))
+            } else {
+                Formula::Forall(vars, Box::new(body))
+            }
+        }
+    }
+}
+
+/// Generate a random query. The result is always well-formed (free
+/// variables covered by the head, consistent arities).
+pub fn random_query<R: Rng + ?Sized>(rng: &mut R, cfg: &QueryGenConfig) -> Query {
+    let head: Vec<Symbol> = (0..cfg.arity)
+        .map(|i| Symbol::intern(&format!("h{i}")))
+        .collect();
+    let mut scope = head.clone();
+    loop {
+        let body = random_formula(rng, cfg, &mut scope, cfg.max_depth);
+        // Reject bodies that don't use all head variables: such queries are
+        // still legal but degenerate (head variables range freely).
+        let free = body.free_vars();
+        if head.iter().all(|h| free.contains(h)) || head.is_empty() {
+            if let Ok(q) = Query::new("rand", head.clone(), body) {
+                return q;
+            }
+        }
+    }
+}
+
+/// Generate a random union of conjunctive queries (no negation, no `∀`).
+pub fn random_ucq<R: Rng + ?Sized>(rng: &mut R, cfg: &QueryGenConfig) -> Query {
+    let cfg = QueryGenConfig {
+        allow_negation: false,
+        allow_forall: false,
+        ..cfg.clone()
+    };
+    loop {
+        let q = random_query(rng, &cfg);
+        if crate::fragments::is_ucq_shaped(&q.body) {
+            return q;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_query;
+    use crate::fragments::is_ucq_shaped;
+    use caz_idb::{random_complete_database, DbGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_queries_are_wellformed_and_evaluable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = QueryGenConfig { arity: 1, ..QueryGenConfig::default() };
+        for _ in 0..30 {
+            let q = random_query(&mut rng, &cfg);
+            assert_eq!(q.arity(), 1);
+            let db = random_complete_database(&mut rng, &DbGenConfig::default());
+            let _ = eval_query(&q, &db); // must not panic
+        }
+    }
+
+    #[test]
+    fn ucq_generator_stays_in_fragment() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let q = random_ucq(&mut rng, &QueryGenConfig::default());
+            assert!(is_ucq_shaped(&q.body));
+        }
+    }
+
+    #[test]
+    fn boolean_queries_possible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = random_query(&mut rng, &QueryGenConfig { arity: 0, ..Default::default() });
+        assert!(q.is_boolean());
+    }
+}

@@ -1,0 +1,336 @@
+//! Three-valued evaluation over incomplete databases — the "SQL nulls"
+//! direction of §6 of the paper.
+//!
+//! Real DBMSs do not compute certain answers; they evaluate queries
+//! directly on tables with nulls under Kleene's three-valued logic
+//! (true / unknown / false), as SQL does. This module implements that
+//! evaluation in two modes:
+//!
+//! * **SQL mode** — nulls are unmarked: *any* comparison involving a
+//!   null is `Unknown`, even `⊥ = ⊥` (SQL's `NULL = NULL`);
+//! * **marked mode** — repeated nulls are recognized: `⊥ = ⊥` is
+//!   `True` for the same marked null, `Unknown` across distinct nulls.
+//!
+//! Neither mode computes certain answers; `caz-core`'s `approx` module
+//! measures how far each is from them (the "quality of approximations"
+//! question §6 raises).
+
+use crate::ast::{Formula, Query, Term};
+use caz_idb::{Database, Symbol, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Kleene truth values, ordered `False < Unknown < True` so that
+/// conjunction is `min` and disjunction is `max`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Truth {
+    /// Definitely false.
+    False,
+    /// Unknown (depends on the nulls).
+    Unknown,
+    /// Definitely true.
+    True,
+}
+
+impl Truth {
+    /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // Kleene table, not std::ops::Not
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::Unknown => Truth::Unknown,
+            Truth::False => Truth::True,
+        }
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        self.min(other)
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        self.max(other)
+    }
+
+    /// From a Boolean.
+    pub fn of(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+/// Null-comparison mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NullMode {
+    /// SQL semantics: every comparison with a null is unknown.
+    Sql,
+    /// Marked-null semantics: a null equals itself.
+    Marked,
+}
+
+/// The three-valued evaluator.
+pub struct ThreeValued<'a> {
+    db: &'a Database,
+    mode: NullMode,
+    /// Quantifier/answer domain: `adom(D)` plus query constants.
+    dom: Vec<Value>,
+    adom: BTreeSet<Value>,
+}
+
+impl<'a> ThreeValued<'a> {
+    /// Build an evaluator for `q`-shaped formulas over `db` (which may
+    /// contain nulls — that is the point).
+    pub fn new(db: &'a Database, q: &Query, mode: NullMode) -> ThreeValued<'a> {
+        let adom = db.adom();
+        let mut dom = adom.clone();
+        dom.extend(q.generic_consts().into_iter().map(Value::Const));
+        ThreeValued { db, mode, dom: dom.into_iter().collect(), adom }
+    }
+
+    fn eq(&self, a: Value, b: Value) -> Truth {
+        match (a, b) {
+            (Value::Const(x), Value::Const(y)) => Truth::of(x == y),
+            (Value::Null(x), Value::Null(y)) if x == y && self.mode == NullMode::Marked => {
+                Truth::True
+            }
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn atom(&self, rel: Symbol, args: &[Value]) -> Truth {
+        let Some(r) = self.db.relation_sym(rel) else {
+            return Truth::False;
+        };
+        let mut best = Truth::False;
+        for t in r.iter() {
+            let mut row = Truth::True;
+            for (a, b) in args.iter().zip(t.values()) {
+                row = row.and(self.eq(*a, *b));
+                if row == Truth::False {
+                    break;
+                }
+            }
+            best = best.or(row);
+            if best == Truth::True {
+                return Truth::True;
+            }
+        }
+        best
+    }
+
+    fn term(&self, t: &Term, env: &BTreeMap<Symbol, Value>) -> Value {
+        match t {
+            Term::Const(c) => Value::Const(*c),
+            Term::Var(v) => *env
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound variable {v} in 3VL evaluation")),
+        }
+    }
+
+    fn eval(&self, f: &Formula, env: &mut BTreeMap<Symbol, Value>) -> Truth {
+        match f {
+            Formula::Atom(a) => {
+                let args: Vec<Value> = a.args.iter().map(|t| self.term(t, env)).collect();
+                self.atom(a.rel, &args)
+            }
+            Formula::Eq(a, b) => self.eq(self.term(a, env), self.term(b, env)),
+            Formula::Not(g) => self.eval(g, env).not(),
+            Formula::And(gs) => {
+                let mut acc = Truth::True;
+                for g in gs {
+                    acc = acc.and(self.eval(g, env));
+                    if acc == Truth::False {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Or(gs) => {
+                let mut acc = Truth::False;
+                for g in gs {
+                    acc = acc.or(self.eval(g, env));
+                    if acc == Truth::True {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Exists(vs, g) => self.quantify(vs, g, env, true),
+            Formula::Forall(vs, g) => self.quantify(vs, g, env, false),
+        }
+    }
+
+    fn quantify(
+        &self,
+        vs: &[Symbol],
+        g: &Formula,
+        env: &mut BTreeMap<Symbol, Value>,
+        exists: bool,
+    ) -> Truth {
+        match vs.split_first() {
+            None => self.eval(g, env),
+            Some((&v, rest)) => {
+                let mut acc = if exists { Truth::False } else { Truth::True };
+                let saved = env.get(&v).copied();
+                for &val in &self.dom {
+                    env.insert(v, val);
+                    let t = self.quantify(rest, g, env, exists);
+                    acc = if exists { acc.or(t) } else { acc.and(t) };
+                    if (exists && acc == Truth::True) || (!exists && acc == Truth::False) {
+                        break;
+                    }
+                }
+                match saved {
+                    Some(old) => {
+                        env.insert(v, old);
+                    }
+                    None => {
+                        env.remove(&v);
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Truth of the query on an `adom(D)`-tuple (which may contain
+    /// nulls).
+    pub fn truth_of(&self, q: &Query, t: &Tuple) -> Truth {
+        assert_eq!(t.arity(), q.arity());
+        if !t.iter().all(|v| self.adom.contains(v)) {
+            return Truth::False;
+        }
+        let mut env: BTreeMap<Symbol, Value> = BTreeMap::new();
+        for (&v, &val) in q.head.iter().zip(t.values()) {
+            env.insert(v, val);
+        }
+        self.eval(&q.body, &mut env)
+    }
+}
+
+/// The three-valued answers to a query on an incomplete database:
+/// tuples over `adom(D)` mapped to their truth values (only `True` and
+/// `Unknown` entries are returned; everything else is `False`).
+pub fn eval3_query(q: &Query, db: &Database, mode: NullMode) -> BTreeMap<Tuple, Truth> {
+    let ev = ThreeValued::new(db, q, mode);
+    let adom: Vec<Value> = db.adom().into_iter().collect();
+    let mut out = BTreeMap::new();
+    let mut cur: Vec<Value> = Vec::with_capacity(q.arity());
+    fn rec(
+        ev: &ThreeValued<'_>,
+        q: &Query,
+        adom: &[Value],
+        cur: &mut Vec<Value>,
+        out: &mut BTreeMap<Tuple, Truth>,
+    ) {
+        if cur.len() == q.arity() {
+            let t = Tuple::new(cur.clone());
+            let tv = ev.truth_of(q, &t);
+            if tv != Truth::False {
+                out.insert(t, tv);
+            }
+            return;
+        }
+        for &v in adom {
+            cur.push(v);
+            rec(ev, q, adom, cur, out);
+            cur.pop();
+        }
+    }
+    rec(&ev, q, &adom, &mut cur, &mut out);
+    out
+}
+
+/// Three-valued truth of a Boolean query.
+pub fn eval3_bool(q: &Query, db: &Database, mode: NullMode) -> Truth {
+    assert!(q.is_boolean(), "{} is not Boolean", q.name);
+    ThreeValued::new(db, q, mode).eval(&q.body, &mut BTreeMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use caz_idb::{cst, parse_database};
+
+    #[test]
+    fn kleene_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn sql_vs_marked_null_equality() {
+        let p = parse_database("R(_x, _x).").unwrap();
+        let q = parse_query("Diag := exists u, v. R(u, v) & u = v").unwrap();
+        // SQL forgets the marking: ⊥ = ⊥ is unknown.
+        assert_eq!(eval3_bool(&q, &p.db, NullMode::Sql), Truth::Unknown);
+        // Marked mode knows the repeated null is the same value.
+        assert_eq!(eval3_bool(&q, &p.db, NullMode::Marked), Truth::True);
+    }
+
+    #[test]
+    fn atoms_unify_to_unknown() {
+        let p = parse_database("R(a, _x).").unwrap();
+        let q = parse_query("HasAB := R('a', 'b')").unwrap();
+        // (a, b) might be (a, ⊥): unknown in both modes.
+        assert_eq!(eval3_bool(&q, &p.db, NullMode::Sql), Truth::Unknown);
+        assert_eq!(eval3_bool(&q, &p.db, NullMode::Marked), Truth::Unknown);
+        // (c, b) cannot match (a, ⊥): the first column differs.
+        let q2 = parse_query("HasCB := R('c', 'b')").unwrap();
+        assert_eq!(eval3_bool(&q2, &p.db, NullMode::Marked), Truth::False);
+    }
+
+    #[test]
+    fn negation_flips_through_unknown() {
+        let p = parse_database("R(a, _x).").unwrap();
+        let q = parse_query("NoAB := !R('a', 'b')").unwrap();
+        assert_eq!(eval3_bool(&q, &p.db, NullMode::Sql), Truth::Unknown);
+        let q2 = parse_query("NoCB := !R('c', 'b')").unwrap();
+        assert_eq!(eval3_bool(&q2, &p.db, NullMode::Marked), Truth::True);
+    }
+
+    #[test]
+    fn answers_split_true_and_unknown() {
+        let p = parse_database("R(a, b). R(a, _x). S(b).").unwrap();
+        // Q(y): exists u R(u, y) & S(y).
+        let q = parse_query("Q(y) := (exists u. R(u, y)) & S(y)").unwrap();
+        let ans = eval3_query(&q, &p.db, NullMode::Marked);
+        assert_eq!(ans.get(&Tuple::new(vec![cst("b")])), Some(&Truth::True));
+        // ⊥x: R(a,⊥x) true for y=⊥x in marked mode, but S(⊥x) unknown.
+        let bot = Tuple::new(vec![caz_idb::Value::Null(p.nulls["x"])]);
+        assert_eq!(ans.get(&bot), Some(&Truth::Unknown));
+    }
+
+    #[test]
+    fn complete_database_is_two_valued() {
+        let db = parse_database("R(a, b). S(b).").unwrap().db;
+        let q = parse_query("Q := exists u, y. R(u, y) & S(y)").unwrap();
+        assert_eq!(eval3_bool(&q, &db, NullMode::Sql), Truth::True);
+        let q2 = parse_query("Q := exists u. S(u) & R(u, u)").unwrap();
+        assert_eq!(eval3_bool(&q2, &db, NullMode::Sql), Truth::False);
+        // And agrees with classical evaluation.
+        assert_eq!(
+            eval3_bool(&q, &db, NullMode::Sql) == Truth::True,
+            crate::eval::eval_bool(&q, &db)
+        );
+    }
+
+    #[test]
+    fn forall_three_valued() {
+        let p = parse_database("U(a). U(_x). V(a).").unwrap();
+        let q = parse_query("AllV := forall u. U(u) -> V(u)").unwrap();
+        // U(⊥) might be a value outside V: unknown.
+        assert_eq!(eval3_bool(&q, &p.db, NullMode::Marked), Truth::Unknown);
+        let p2 = parse_database("U(a). V(a). V(b).").unwrap();
+        assert_eq!(eval3_bool(&q, &p2.db, NullMode::Marked), Truth::True);
+    }
+}

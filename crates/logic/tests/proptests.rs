@@ -1,0 +1,147 @@
+//! Property tests for the query substrate: genericity, normal forms,
+//! naïve evaluation, and three-valued evaluation.
+
+use caz_idb::{random_complete_database, random_database, Cst, DbGenConfig, Schema, Value};
+use caz_logic::three_valued::{eval3_bool, NullMode, Truth};
+use caz_logic::{
+    eval_bool, eval_query, naive_eval, naive_eval_bool, random_query, random_ucq,
+    QueryGenConfig, Ucq,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn db_cfg(nulls: usize) -> DbGenConfig {
+    DbGenConfig {
+        relations: vec![("R".into(), 2), ("S".into(), 1)],
+        tuples_per_relation: 4,
+        num_constants: 3,
+        num_nulls: nulls,
+        null_prob: 0.4,
+    }
+}
+
+fn q_cfg(arity: usize) -> QueryGenConfig {
+    QueryGenConfig {
+        schema: Schema::from_pairs([("R", 2), ("S", 1)]),
+        arity,
+        max_depth: 2,
+        allow_negation: true,
+        allow_forall: true,
+        constants: vec![Cst::new("d0")],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Definition 1 (genericity): evaluation commutes with permutations
+    /// of `Const` fixing the query constants.
+    #[test]
+    fn evaluation_is_generic(seed in 0u64..5000) {
+        let db = random_complete_database(&mut StdRng::seed_from_u64(seed), &db_cfg(0));
+        let q = random_query(&mut StdRng::seed_from_u64(seed + 1), &q_cfg(1));
+        // Swap d1 ↔ d2; the query may only mention d0.
+        let pi = |v: Value| match v {
+            Value::Const(c) if c == Cst::new("d1") => Value::Const(Cst::new("d2")),
+            Value::Const(c) if c == Cst::new("d2") => Value::Const(Cst::new("d1")),
+            other => other,
+        };
+        let lhs = eval_query(&q, &db.map(pi));
+        let rhs: std::collections::BTreeSet<_> =
+            eval_query(&q, &db).into_iter().map(|t| t.map(pi)).collect();
+        prop_assert_eq!(lhs, rhs, "genericity broken for {}", q);
+    }
+
+    /// UCQ normalization preserves semantics on complete databases.
+    #[test]
+    fn ucq_normal_form_preserves_semantics(seed in 0u64..5000) {
+        let db = random_complete_database(&mut StdRng::seed_from_u64(seed), &db_cfg(0));
+        let q = random_ucq(&mut StdRng::seed_from_u64(seed + 2), &q_cfg(1));
+        let ucq = Ucq::from_query(&q).expect("generator yields UCQs");
+        let round = ucq.to_query();
+        prop_assert_eq!(eval_query(&q, &db), eval_query(&round, &db), "{}", q);
+    }
+
+    /// Naïve evaluation is deterministic across calls and commutes with
+    /// renaming the nulls.
+    #[test]
+    fn naive_eval_stable_under_null_renaming(seed in 0u64..5000) {
+        let db = random_database(&mut StdRng::seed_from_u64(seed), &db_cfg(3));
+        let q = random_query(&mut StdRng::seed_from_u64(seed + 3), &q_cfg(0));
+        let v1 = naive_eval_bool(&q, &db);
+        let fresh: std::collections::BTreeMap<_, _> =
+            db.nulls().into_iter().map(|n| (n, caz_idb::NullId::fresh())).collect();
+        let renamed = db.map(|v| match v {
+            Value::Null(n) => Value::Null(fresh[&n]),
+            c => c,
+        });
+        prop_assert_eq!(v1, naive_eval_bool(&q, &renamed), "{}", q);
+    }
+
+    /// On complete databases, naïve evaluation IS evaluation, and
+    /// three-valued evaluation is two-valued and classical.
+    #[test]
+    fn complete_db_collapses_all_semantics(seed in 0u64..5000) {
+        let db = random_complete_database(&mut StdRng::seed_from_u64(seed), &db_cfg(0));
+        let q = random_query(&mut StdRng::seed_from_u64(seed + 4), &q_cfg(0));
+        let classical = eval_bool(&q, &db);
+        prop_assert_eq!(naive_eval_bool(&q, &db), classical);
+        for mode in [NullMode::Sql, NullMode::Marked] {
+            let tv = eval3_bool(&q, &db, mode);
+            prop_assert_ne!(tv, Truth::Unknown, "complete DB gave unknown: {}", q);
+            prop_assert_eq!(tv == Truth::True, classical);
+        }
+        let arity1 = random_query(&mut StdRng::seed_from_u64(seed + 5), &q_cfg(1));
+        prop_assert_eq!(naive_eval(&arity1, &db), eval_query(&arity1, &db));
+    }
+
+    /// Three-valued True claims are monotone in mode knowledge: marked
+    /// mode knows strictly more than SQL mode, so SQL-True ⊆ marked-True
+    /// and marked-False ⊆ SQL-¬True for negation-free queries.
+    #[test]
+    fn marked_mode_refines_sql_mode(seed in 0u64..5000) {
+        let db = random_database(&mut StdRng::seed_from_u64(seed), &db_cfg(2));
+        let mut cfg = q_cfg(0);
+        cfg.allow_negation = false;
+        cfg.allow_forall = false;
+        let q = random_query(&mut StdRng::seed_from_u64(seed + 6), &cfg);
+        let sql = eval3_bool(&q, &db, NullMode::Sql);
+        let marked = eval3_bool(&q, &db, NullMode::Marked);
+        // Positive queries: more equality knowledge can only raise truth.
+        prop_assert!(marked >= sql, "{}: marked {:?} < sql {:?}", q, marked, sql);
+    }
+
+    /// The UCQ certificate constant p is consistent: every disjunct has
+    /// at most p atoms and the bound p + arity is positive for nonempty
+    /// queries.
+    #[test]
+    fn ucq_atom_bound(seed in 0u64..3000) {
+        let q = random_ucq(&mut StdRng::seed_from_u64(seed), &q_cfg(1));
+        let ucq = Ucq::from_query(&q).unwrap();
+        let p = ucq.max_atoms();
+        for d in &ucq.disjuncts {
+            prop_assert!(d.atoms.len() <= p);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The join fast path and plain domain iteration agree on arbitrary
+    /// queries and databases (the fast path only engages on conjunctive
+    /// existential subformulas, so mixed formulas exercise both).
+    #[test]
+    fn join_fast_path_is_semantics_preserving(seed in 0u64..10_000) {
+        let db = random_complete_database(
+            &mut StdRng::seed_from_u64(seed),
+            &db_cfg(0),
+        );
+        let q = random_query(&mut StdRng::seed_from_u64(seed + 9), &q_cfg(1));
+        let consts = q.generic_consts();
+        let fast = caz_logic::Evaluator::new(&db, &consts);
+        let slow = caz_logic::Evaluator::new(&db, &consts).without_joins();
+        prop_assert_eq!(fast.answers(&q), slow.answers(&q), "{}", q);
+    }
+}

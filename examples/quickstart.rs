@@ -1,0 +1,55 @@
+//! Quick start: incomplete data in, measured answers out.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use certain_answers::prelude::*;
+
+fn main() {
+    // An incomplete database: `_name` is a marked null (the same name is
+    // the same unknown value everywhere it occurs).
+    let parsed = parse_database(
+        "Orders(o1, alice, _item1).
+         Orders(o2, bob,   _item1).
+         Orders(o3, bob,   _item2).
+         Stock(_item1).
+         Stock(widget).",
+    )
+    .unwrap();
+    let db = &parsed.db;
+    println!("Database:\n{db}");
+
+    // A first-order query: customers with an order whose item is not in
+    // stock. Identifiers bound by the head or a quantifier are
+    // variables; everything else is a constant.
+    let q = parse_query("Unstocked(who) := exists o, it. Orders(o, who, it) & !Stock(it)").unwrap();
+    println!("Query: {q}\n");
+
+    // 1. Certain answers: true under EVERY interpretation of the nulls.
+    let certain = certain_answers(&q, db);
+    println!("Certain answers: {certain:?}");
+
+    // 2. Naïve evaluation: treat nulls as fresh distinct constants. By
+    //    Theorem 1 this returns exactly the answers with measure μ = 1:
+    //    almost certainly true, even when not certain.
+    let naive = naive_eval(&q, db);
+    println!("Naïve (= almost certainly true) answers:");
+    for t in &naive {
+        let exact = caz_core::mu_via_polynomials(&q, db, Some(t));
+        println!("  {t}   μ = {exact}  (closed form, not just Theorem 1)");
+    }
+
+    // 3. The finite measures μᵏ that define μ as a limit.
+    let bob = Tuple::new(vec![cst("bob")]);
+    let ev = TupleAnswerEvent::new(q.clone(), bob.clone());
+    let series = mu_k_series(&ev, db, 10);
+    println!("\nμᵏ(Q, D, (bob)) for k = 1..10:\n{series}");
+
+    // 4. Comparing answers by support: is bob a better answer than alice?
+    let alice = Tuple::new(vec![cst("alice")]);
+    println!(
+        "alice ⊴ bob: {}   bob ⊴ alice: {}",
+        dominated(&q, db, &alice, &bob),
+        dominated(&q, db, &bob, &alice),
+    );
+    println!("Best answers: {}", format_tuples(&best_answers(&q, db)));
+}

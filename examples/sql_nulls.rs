@@ -1,0 +1,75 @@
+//! SQL nulls vs the measure framework (§6 "SQL nulls" and "Quality of
+//! Approximations").
+//!
+//! DBMSs evaluate queries over nulls with three-valued logic; this
+//! example measures how that approximation relates to certain answers
+//! and to the almost-certainly-true answers of Theorem 1 — in SQL mode
+//! (nulls unmarked, `NULL = NULL` is unknown) and in marked mode.
+//!
+//! Run with `cargo run --example sql_nulls`.
+
+use certain_answers::prelude::*;
+
+fn main() {
+    // An HR database where some departments are unknown, with one
+    // repeated (marked) null: Ann and Bob are known to share a
+    // department, whatever it is.
+    let p = parse_database(
+        "Emp(ann, _d1). Emp(bob, _d1). Emp(cal, _d2). Emp(dee, sales).
+         Closed(sales).",
+    )
+    .unwrap();
+    println!("D:\n{}", p.db);
+
+    // Who shares a department with Ann?
+    let q = parse_query(
+        "SameDept(w) := exists d. Emp('ann', d) & Emp(w, d) & w != 'ann'",
+    )
+    .unwrap();
+    println!("Q: {q}\n");
+
+    // Exact notions first.
+    println!("certain answers:        {}", format_tuples(&certain_answers(&q, &p.db)));
+    println!("almost certainly true:  {}", format_tuples(&naive_eval(&q, &p.db)));
+
+    // Three-valued evaluation, both modes.
+    for mode in [NullMode::Marked, NullMode::Sql] {
+        let ans = eval3_query(&q, &p.db, mode);
+        let (mut yes, mut maybe) = (Vec::new(), Vec::new());
+        for (t, tv) in &ans {
+            match tv {
+                Truth::True => yes.push(t.clone()),
+                _ => maybe.push(t.clone()),
+            }
+        }
+        println!(
+            "\n{mode:?} mode:\n  True:    {}\n  Unknown: {}",
+            format_tuples(&yes),
+            format_tuples(&maybe)
+        );
+    }
+
+    // The quality report of §6: how much does each approximation miss?
+    println!();
+    for mode in [NullMode::Marked, NullMode::Sql] {
+        let rep = three_valued_quality(&q, &p.db, mode);
+        println!(
+            "{mode:?}: sound = {}, recall of certain answers = {}, missed = {}",
+            rep.is_sound(),
+            rep.recall(),
+            format_tuples(&rep.missed_certain),
+        );
+    }
+
+    // The punchline: SQL's unmarked nulls cannot see that Ann and Bob
+    // certainly share a department.
+    let bob = Tuple::new(vec![cst("bob")]);
+    assert!(is_certain_answer(&q, &p.db, &bob));
+    let marked = three_valued_quality(&q, &p.db, NullMode::Marked);
+    let sql = three_valued_quality(&q, &p.db, NullMode::Sql);
+    assert!(marked.claimed_true.contains(&bob));
+    assert!(!sql.claimed_true.contains(&bob));
+    println!(
+        "\n(bob) is a certain answer; marked 3VL returns it, SQL 3VL only says 'unknown'."
+    );
+}

@@ -1,0 +1,41 @@
+//! `caz` — an interactive shell over the certain-answers framework.
+//!
+//! ```text
+//! $ cargo run --bin caz
+//! caz> fact R1(c1, _p1). R1(c2, _p2).
+//! caz> query Q(x, y) := R1(x, y)
+//! caz> mu Q (c1, _p1)
+//! μ(Q, D) = 1
+//! ```
+
+use certain_answers::repl::{Reply, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let mut session = Session::new();
+    println!("caz — certain answers meet zero–one laws (type 'help')");
+    loop {
+        print!("caz> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match session.execute(&line) {
+            Ok(Reply::Quit) => break,
+            Ok(Reply::Text(t)) => {
+                if !t.is_empty() {
+                    println!("{t}");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! # certain-answers
+//!
+//! A from-scratch Rust implementation of *Certain Answers Meet Zero–One
+//! Laws* (Leonid Libkin, PODS 2018): a framework for **measuring and
+//! comparing the certainty of query answers over incomplete databases**.
+//!
+//! Incomplete databases carry marked nulls; the classical notion of a
+//! *certain answer* (true under every interpretation of the nulls) is
+//! refined in two ways:
+//!
+//! * **quantitatively** — `μ(Q, D, ā)` is the asymptotic probability
+//!   that a random valuation of nulls makes `ā` an answer. A 0–1 law
+//!   holds: every answer is almost certainly true or almost certainly
+//!   false, and the almost certainly true ones are exactly those the
+//!   cheap *naïve evaluation* returns (Theorem 1). Under integrity
+//!   constraints the conditional measure `μ(Q|Σ, D, ā)` always
+//!   converges to a rational, computed here in exact closed form
+//!   (Theorem 3);
+//! * **qualitatively** — answers are compared by inclusion of their
+//!   supports, yielding the orders `⊴`/`⊲` and the set `Best(Q, D)` of
+//!   best answers, with polynomial-time algorithms for unions of
+//!   conjunctive queries (Theorem 8).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use certain_answers::prelude::*;
+//!
+//! // The paper's introductory example: products bought from two
+//! // suppliers, with unknown (null) product ids.
+//! let p = parse_database(
+//!     "R1(c1, _p1). R1(c2, _p1). R1(c2, _p2).
+//!      R2(c1, _p2). R2(c2, _p1). R2(_c3, _p1).",
+//! ).unwrap();
+//! let q = parse_query("Q(x, y) := R1(x, y) & !R2(x, y)").unwrap();
+//!
+//! // No certain answers…
+//! assert!(certain_answers(&q, &p.db).is_empty());
+//!
+//! // …but (c1, ⊥1) is an *almost certainly true* answer (μ = 1):
+//! let a = Tuple::new(vec![cst("c1"), Value::Null(p.nulls["p1"])]);
+//! assert!(almost_certainly_true(&q, &p.db, Some(&a)));
+//!
+//! // and (c2, ⊥2) is a strictly better answer — in fact the best one.
+//! let b = Tuple::new(vec![cst("c2"), Value::Null(p.nulls["p2"])]);
+//! assert!(strictly_better(&q, &p.db, &a, &b));
+//! assert_eq!(best_answers(&q, &p.db), [b].into());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use caz_arith as arith;
+pub use caz_compare as compare;
+pub use caz_constraints as constraints;
+pub use caz_core as core;
+pub use caz_datalog as datalog;
+pub use caz_idb as idb;
+pub use caz_logic as logic;
+
+pub mod repl;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use caz_arith::{BigInt, Poly, Ratio};
+    pub use caz_compare::{
+        adom_candidates, best_answers, best_mu_answers, dominated, sep, strictly_better,
+        Graph, UcqComparator,
+    };
+    pub use caz_constraints::{
+        chase, parse_constraints, satisfiable, ConstraintSet, Fd, Ind, UnaryFk, UnaryKey,
+    };
+    pub use caz_core::{
+        almost_certainly_false, almost_certainly_true, certain_answers, certainly_true,
+        estimate_mu_k, is_certain_answer, is_possible_answer, m_k_series, mu, mu_conditional,
+        mu_conditional_fd, mu_implication, mu_k, mu_k_series, mu_weighted, mu_weighted_k,
+        owa_m_k, support_poly, three_valued_quality, ApproxReport, BoolQueryEvent,
+        ConstraintEvent, Preference, SuppEvent, TupleAnswerEvent,
+    };
+    pub use caz_idb::{
+        cst, format_tuples, int, parse_database, random_database, Cst, Database, DbGenConfig, NullId, Schema,
+        Tuple, Valuation, Value,
+    };
+    pub use caz_datalog::{
+        certain_datalog_answers, naive_eval_datalog, parse_program, DatalogEvent, Program,
+    };
+    pub use caz_logic::{
+        eval3_bool, eval3_query, eval_bool, eval_query, naive_eval, naive_eval_bool,
+        parse_query, AlgExpr, Formula, NullMode, Pred, Query, Term, Truth, Ucq,
+    };
+}
