@@ -12,8 +12,8 @@ use caz_core::{
 };
 use caz_idb::{parse_database, random_database, DbGenConfig};
 use caz_logic::{naive_eval_bool, parse_query};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use caz_testutil::rngs::StdRng;
+use caz_testutil::SeedableRng;
 use std::fmt::Write;
 use std::time::Instant;
 

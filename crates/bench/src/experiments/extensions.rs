@@ -9,8 +9,8 @@ use caz_core::{
 use caz_idb::{parse_database, random_database, Cst, DbGenConfig};
 use caz_logic::three_valued::NullMode;
 use caz_logic::{parse_query, random_query, QueryGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use caz_testutil::rngs::StdRng;
+use caz_testutil::SeedableRng;
 use std::fmt::Write;
 
 /// E17 — quality of the three-valued approximation of certain answers

@@ -10,8 +10,8 @@ use caz_logic::{
     is_pos_forall_guarded, naive_contains, naive_eval, naive_eval_bool, parse_query,
     random_query, QueryGenConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use caz_testutil::rngs::StdRng;
+use caz_testutil::SeedableRng;
 use std::fmt::Write;
 
 /// E1 — the introductory example (§1): likely answers, their measures,

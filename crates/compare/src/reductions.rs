@@ -25,7 +25,7 @@
 
 use caz_idb::{cst, Database, NullId, Tuple, Value};
 use caz_logic::{parse_query, Query};
-use rand::{Rng, RngExt};
+use caz_testutil::{Rng, RngExt};
 
 /// An undirected graph on vertices `0..n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -289,8 +289,8 @@ mod tests {
 
     #[test]
     fn random_graphs_agree_with_reference() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use caz_testutil::rngs::StdRng;
+        use caz_testutil::SeedableRng;
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..4 {
             let g = Graph::random(&mut rng, 4, 0.6);

@@ -8,7 +8,7 @@
 
 use crate::support::{enumeration_for, SuppEvent};
 use caz_idb::{Database, NullId, Valuation};
-use rand::{Rng, RngExt};
+use caz_testutil::{Rng, RngExt};
 
 /// A Monte-Carlo estimate of `μᵏ(event, D)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,8 +76,8 @@ mod tests {
     use crate::support::BoolQueryEvent;
     use caz_idb::parse_database;
     use caz_logic::parse_query;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use caz_testutil::rngs::StdRng;
+    use caz_testutil::SeedableRng;
 
     #[test]
     fn estimator_is_consistent_with_exact() {

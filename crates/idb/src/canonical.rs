@@ -18,43 +18,54 @@ use std::collections::BTreeMap;
 const MAX_NULLS: usize = 9;
 
 /// Serialize `db` with nulls renamed according to `order` (null at
-/// position `i` prints as `?i`); relations and tuples in sorted order.
+/// position `i` prints as `?i`); relation blocks sorted by *resolved*
+/// relation name and tuples sorted within each block, so the result —
+/// and any hash of it — is stable across processes regardless of symbol
+/// interning order or null-id allocation order.
 fn serialize_with(db: &Database, order: &[NullId]) -> String {
     let index: BTreeMap<NullId, usize> =
         order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-    let mut out = String::new();
-    for rel in db.relations() {
-        // Render tuples, then sort the rendered strings so that the order
-        // is independent of the underlying null ids.
-        let mut lines: Vec<String> = rel
-            .iter()
-            .map(|t| {
-                let mut line = rel.name().resolve();
-                line.push('(');
-                for (i, v) in t.iter().enumerate() {
-                    if i > 0 {
-                        line.push(',');
-                    }
-                    match v {
-                        Value::Const(c) => line.push_str(&c.name()),
-                        Value::Null(n) => {
-                            line.push('?');
-                            line.push_str(&index[n].to_string());
+    let mut blocks: Vec<String> = db
+        .relations()
+        .map(|rel| {
+            // Render tuples, then sort the rendered strings so that the
+            // order is independent of the underlying null ids.
+            let mut lines: Vec<String> = rel
+                .iter()
+                .map(|t| {
+                    let mut line = rel.name().resolve();
+                    line.push('(');
+                    for (i, v) in t.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        match v {
+                            Value::Const(c) => line.push_str(&c.name()),
+                            Value::Null(n) => {
+                                line.push('?');
+                                line.push_str(&index[n].to_string());
+                            }
                         }
                     }
-                }
-                line.push(')');
-                line
-            })
-            .collect();
-        lines.sort();
-        for l in lines {
-            out.push_str(&l);
-            out.push(';');
-        }
-        out.push('|');
-    }
-    out
+                    line.push(')');
+                    line
+                })
+                .collect();
+            lines.sort();
+            let mut block = rel.name().resolve();
+            block.push('/');
+            block.push_str(&rel.arity().to_string());
+            block.push(':');
+            for l in lines {
+                block.push_str(&l);
+                block.push(';');
+            }
+            block.push('|');
+            block
+        })
+        .collect();
+    blocks.sort();
+    blocks.concat()
 }
 
 fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
@@ -76,17 +87,54 @@ fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
 /// A canonical string for `db`, identical for isomorphic databases and
 /// distinct otherwise. Panics if the database has more than 9 nulls.
 pub fn iso_canonical(db: &Database) -> String {
+    try_iso_canonical(db).unwrap_or_else(|| {
+        panic!(
+            "canonicalization supports at most {MAX_NULLS} nulls, got {}",
+            db.nulls().len()
+        )
+    })
+}
+
+/// Non-panicking [`iso_canonical`]: `None` when the database has more
+/// nulls than the factorial minimization supports. Callers that use the
+/// canonical form opportunistically (e.g. result caches) degrade to
+/// "uncanonicalizable" instead of dying.
+pub fn try_iso_canonical(db: &Database) -> Option<String> {
     let nulls: Vec<NullId> = db.nulls().into_iter().collect();
-    assert!(
-        nulls.len() <= MAX_NULLS,
-        "canonicalization supports at most {MAX_NULLS} nulls, got {}",
-        nulls.len()
-    );
-    permutations(&nulls)
-        .into_iter()
-        .map(|order| serialize_with(db, &order))
-        .min()
-        .unwrap_or_else(|| serialize_with(db, &[]))
+    if nulls.len() > MAX_NULLS {
+        return None;
+    }
+    Some(
+        permutations(&nulls)
+            .into_iter()
+            .map(|order| serialize_with(db, &order))
+            .min()
+            .unwrap_or_else(|| serialize_with(db, &[])),
+    )
+}
+
+/// A stable 128-bit digest of the canonical form: equal for isomorphic
+/// databases, stable across processes and runs (the serialization in
+/// [`iso_canonical`] depends only on resolved relation names, constant
+/// names, and null structure — never on interning or allocation order).
+/// `None` under the same null cap as [`try_iso_canonical`].
+///
+/// FNV-1a at 128 bits: collisions are negligible at any realistic cache
+/// size, and the digest is cheap enough to compute on every request.
+pub fn canonical_hash(db: &Database) -> Option<u128> {
+    try_iso_canonical(db).map(|s| fnv1a_128(s.as_bytes()))
+}
+
+/// FNV-1a over `bytes`, 128-bit variant.
+pub(crate) fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 /// Number of *null automorphisms* of `db`: permutations of its nulls
@@ -132,6 +180,51 @@ mod tests {
         db.insert("R", Tuple::new(vec![cst("a"), Value::Null(nulls[0])]));
         db.insert("R", Tuple::new(vec![Value::Null(nulls[1]), Value::Null(nulls[0])]));
         db
+    }
+
+    #[test]
+    fn try_canonical_bails_beyond_cap() {
+        let mut db = Database::new();
+        for _ in 0..(MAX_NULLS + 1) {
+            db.insert("R", Tuple::new(vec![Value::Null(NullId::fresh())]));
+        }
+        assert_eq!(try_iso_canonical(&db), None);
+        assert_eq!(canonical_hash(&db), None);
+    }
+
+    #[test]
+    fn canonical_hash_invariant_under_renaming() {
+        let n1 = [NullId::fresh(), NullId::fresh()];
+        let n2 = [NullId::fresh(), NullId::fresh()];
+        assert_eq!(canonical_hash(&db_with(&n1)), canonical_hash(&db_with(&n2)));
+        assert!(canonical_hash(&db_with(&n1)).is_some());
+    }
+
+    #[test]
+    fn canonical_hash_separates_structure() {
+        let (a, b, c) = (NullId::fresh(), NullId::fresh(), NullId::fresh());
+        let mut d1 = Database::new();
+        d1.insert("R", Tuple::new(vec![Value::Null(a), Value::Null(a)]));
+        let mut d2 = Database::new();
+        d2.insert("R", Tuple::new(vec![Value::Null(b), Value::Null(c)]));
+        assert_ne!(canonical_hash(&d1), canonical_hash(&d2));
+    }
+
+    #[test]
+    fn serialization_orders_blocks_by_name() {
+        // Insert in anti-alphabetical order; canonical form must not care.
+        let mut d1 = Database::new();
+        d1.insert("Zed", Tuple::new(vec![cst("a")]));
+        d1.insert("Able", Tuple::new(vec![cst("b")]));
+        let mut d2 = Database::new();
+        d2.insert("Able", Tuple::new(vec![cst("b")]));
+        d2.insert("Zed", Tuple::new(vec![cst("a")]));
+        assert_eq!(iso_canonical(&d1), iso_canonical(&d2));
+        let canon = iso_canonical(&d1);
+        assert!(
+            canon.find("Able").unwrap() < canon.find("Zed").unwrap(),
+            "blocks sorted by resolved name: {canon}"
+        );
     }
 
     #[test]

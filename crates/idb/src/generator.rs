@@ -9,7 +9,7 @@
 use crate::database::Database;
 use crate::tuple::Tuple;
 use crate::value::{Cst, NullId, Value};
-use rand::{Rng, RngExt};
+use caz_testutil::{Rng, RngExt};
 
 /// Configuration for [`random_database`].
 #[derive(Clone, Debug)]
@@ -79,8 +79,8 @@ pub fn random_complete_database<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use caz_testutil::rngs::StdRng;
+    use caz_testutil::SeedableRng;
 
     #[test]
     fn respects_schema_and_bounds() {

@@ -28,7 +28,9 @@ pub mod tuple;
 pub mod valuation;
 pub mod value;
 
-pub use canonical::{is_isomorphic, iso_canonical, null_automorphism_count};
+pub use canonical::{
+    canonical_hash, is_isomorphic, iso_canonical, null_automorphism_count, try_iso_canonical,
+};
 pub use codd::{is_codd, null_occurrences, to_codd, CoddResult};
 pub use database::Database;
 pub use enumeration::{ConstEnum, ValuationIter};

@@ -2,7 +2,7 @@
 
 use crate::ast::{Formula, Query, Term};
 use caz_idb::{Cst, Schema, Symbol};
-use rand::{Rng, RngExt};
+use caz_testutil::{Rng, RngExt};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration for [`random_query`].
@@ -162,8 +162,8 @@ mod tests {
     use crate::eval::eval_query;
     use crate::fragments::is_ucq_shaped;
     use caz_idb::{random_complete_database, DbGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use caz_testutil::rngs::StdRng;
+    use caz_testutil::SeedableRng;
 
     #[test]
     fn generated_queries_are_wellformed_and_evaluable() {

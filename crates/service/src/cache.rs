@@ -1,0 +1,216 @@
+//! An LRU result cache with atomic hit/miss/eviction counters.
+//!
+//! Keys are the isomorphism-invariant strings built by
+//! [`crate::session::Session::cache_key`]: two requests whose databases
+//! (and answer tuples) differ only by a bijective renaming of nulls
+//! produce the same key and therefore share one entry. The measures are
+//! worst-case exponential in the number of nulls, so a hit saves
+//! unbounded work; the cache itself is a plain mutexed map — the lock is
+//! held for microseconds while jobs run for seconds.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Thread-safe LRU cache from request keys to reply text.
+pub struct ResultCache {
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+struct Lru {
+    map: HashMap<String, Entry>,
+    /// Recency queue of `(stamp, key)`; stale pairs (whose stamp no
+    /// longer matches the entry) are skipped lazily on eviction and
+    /// compacted when the queue outgrows the map.
+    queue: VecDeque<(u64, String)>,
+    capacity: usize,
+    tick: u64,
+}
+
+struct Entry {
+    value: String,
+    stamp: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut lru = self.inner.lock().unwrap();
+        lru.tick += 1;
+        let tick = lru.tick;
+        match lru.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = tick;
+                let value = entry.value.clone();
+                lru.queue.push_back((tick, key.to_string()));
+                lru.maybe_compact();
+                drop(lru);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(lru);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting least-recently-used entries
+    /// beyond capacity.
+    pub fn insert(&self, key: String, value: String) {
+        let mut lru = self.inner.lock().unwrap();
+        lru.tick += 1;
+        let tick = lru.tick;
+        let fresh = lru
+            .map
+            .insert(key.clone(), Entry { value, stamp: tick })
+            .is_none();
+        lru.queue.push_back((tick, key));
+        while lru.map.len() > lru.capacity {
+            match lru.queue.pop_front() {
+                Some((stamp, k)) => {
+                    let current = lru.map.get(&k).map(|e| e.stamp);
+                    if current == Some(stamp) {
+                        lru.map.remove(&k);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        lru.maybe_compact();
+        drop(lru);
+        if fresh {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True iff no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotonic counters: `(hits, misses, evictions, insertions)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.insertions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Lru {
+    /// Drop stale recency pairs once the queue is far larger than the
+    /// map, keeping memory proportional to live entries.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > 2 * self.map.len() + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(stamp, k)| map.get(k).map(|e| e.stamp) == Some(*stamp));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.get("a"), None);
+        c.insert("a".into(), "1".into());
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        let (h, m, e, i) = c.counters();
+        assert_eq!((h, m, e, i), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert_eq!(c.get("a").as_deref(), Some("1")); // refresh a
+        c.insert("c".into(), "3".into()); // evicts b
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        assert_eq!(c.counters().2, 1, "exactly one eviction");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_refreshes_without_growing() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("a".into(), "2".into());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").as_deref(), Some("2"));
+        assert_eq!(c.counters().3, 1, "one distinct insertion");
+    }
+
+    #[test]
+    fn queue_compaction_keeps_memory_bounded() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        for _ in 0..10_000 {
+            c.get("a");
+        }
+        assert!(c.inner.lock().unwrap().queue.len() < 100);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use std::sync::Arc;
+        let c = Arc::new(ResultCache::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let k = format!("k{}", (t * 7 + i) % 12);
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, format!("v{}", (t * 7 + i) % 12));
+                        } else {
+                            c.insert(k.clone(), format!("v{}", (t * 7 + i) % 12));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (h, m, _, i) = c.counters();
+        assert_eq!(h + m, 2000);
+        assert!(i >= 12 - 8_u64, "at least the live set was inserted");
+    }
+}

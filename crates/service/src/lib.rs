@@ -1,0 +1,34 @@
+//! `caz-service`: a concurrent batch/network evaluation subsystem over
+//! the certain-answers engine.
+//!
+//! The paper's measures are #P-hard already for a single unary foreign
+//! key (Proposition 5/6), so a deployment lives or dies on amortizing
+//! repeated exponential work. This crate layers four pieces over the
+//! engine crates, all std-only:
+//!
+//! * [`session`] — the REPL command language, factored into a parsed
+//!   [`session::Request`] layer so the same commands run locally, over
+//!   TCP, and in batch mode;
+//! * [`pool`] — a bounded worker pool with per-job panic isolation;
+//! * [`cache`] — an isomorphism-invariant LRU result cache keyed by the
+//!   canonical form of the database (two databases differing only by a
+//!   renaming of nulls share one entry);
+//! * [`server`] — a line-oriented protocol over `std::net::TcpListener`
+//!   plus an offline batch driver, with a [`metrics`] registry exposed
+//!   through the `stats` command.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use cache::ResultCache;
+pub use metrics::Metrics;
+pub use pool::WorkerPool;
+pub use server::{run_batch, Server, ServerConfig, ShutdownHandle};
+pub use session::{EvalKind, EvalRequest, Reply, Request, Session};

@@ -1,0 +1,186 @@
+//! Atomic counters and latency histograms for the evaluation server.
+//!
+//! Everything is lock-free (`AtomicU64`) so recording a sample costs a
+//! handful of nanoseconds on the request path. The `stats` protocol
+//! command renders a [`Metrics::snapshot`] — stable `key value` lines
+//! that tests and scrapers parse.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets; bucket `i` counts samples
+/// whose microsecond value has bit length `i` (i.e. `[2^(i-1), 2^i)`,
+/// with 0 µs in bucket 0); the last bucket is open-ended.
+const BUCKETS: usize = 32;
+
+/// A log₂-scaled latency histogram over microseconds.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one latency sample.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`
+    /// — an approximation within a factor of 2, which is the right
+    /// resolution for latencies spanning nine orders of magnitude.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// The server-wide metrics registry.
+pub struct Metrics {
+    started: Instant,
+    /// Total protocol lines received.
+    pub requests: AtomicU64,
+    /// Replies that carried an error.
+    pub errors: AtomicU64,
+    /// Jobs that panicked and were converted to error replies.
+    pub panics: AtomicU64,
+    /// Evaluation jobs executed on the worker pool (cache misses).
+    pub jobs_executed: AtomicU64,
+    /// Evaluation requests answered straight from the cache.
+    pub jobs_cached: AtomicU64,
+    /// Connections accepted (1 for a batch run).
+    pub connections: AtomicU64,
+    /// End-to-end latency of evaluation requests (queue + compute).
+    pub eval_latency: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            jobs_cached: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            eval_latency: Histogram::default(),
+        }
+    }
+}
+
+impl Metrics {
+    /// A fresh registry with the uptime clock starting now.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Render the registry (plus the cache counters) as stable
+    /// `key value` lines.
+    pub fn snapshot(&self, cache: &crate::cache::ResultCache) -> String {
+        let (hits, misses, evictions, insertions) = cache.counters();
+        let lat = &self.eval_latency;
+        let mut out = String::new();
+        let mut line = |k: &str, v: u64| {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        line("uptime_seconds", self.started.elapsed().as_secs());
+        line("requests_total", self.requests.load(Ordering::Relaxed));
+        line("errors_total", self.errors.load(Ordering::Relaxed));
+        line("panics_total", self.panics.load(Ordering::Relaxed));
+        line("connections_total", self.connections.load(Ordering::Relaxed));
+        line("jobs_executed_total", self.jobs_executed.load(Ordering::Relaxed));
+        line("jobs_cached_total", self.jobs_cached.load(Ordering::Relaxed));
+        line("cache_hits", hits);
+        line("cache_misses", misses);
+        line("cache_evictions", evictions);
+        line("cache_insertions", insertions);
+        line("cache_entries", cache.len() as u64);
+        line("eval_latency_count", lat.count());
+        line("eval_latency_mean_micros", lat.mean_micros());
+        line("eval_latency_p50_micros", lat.quantile_micros(0.50));
+        line("eval_latency_p90_micros", lat.quantile_micros(0.90));
+        line("eval_latency_p99_micros", lat.quantile_micros(0.99));
+        out.pop();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for micros in [1u64, 2, 4, 100, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.mean_micros() > 0);
+        assert!(h.quantile_micros(0.5) <= h.quantile_micros(0.99));
+        // p99 must cover the slowest sample's bucket (within 2×).
+        assert!(h.quantile_micros(0.99) >= 8_192);
+    }
+
+    #[test]
+    fn zero_duration_sample_is_counted() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_micros(0.5), 1);
+    }
+
+    #[test]
+    fn snapshot_is_parseable_key_value_lines() {
+        let m = Metrics::new();
+        let c = ResultCache::new(4);
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        c.insert("k".into(), "v".into());
+        c.get("k");
+        let snap = m.snapshot(&c);
+        let mut saw_hits = None;
+        for line in snap.lines() {
+            let (k, v) = line.split_once(' ').expect("key value");
+            assert!(v.parse::<u64>().is_ok(), "{line}");
+            if k == "cache_hits" {
+                saw_hits = Some(v.parse::<u64>().unwrap());
+            }
+        }
+        assert_eq!(saw_hits, Some(1));
+        assert!(snap.contains("requests_total 3"));
+    }
+}

@@ -1,0 +1,208 @@
+//! A bounded, std-only worker pool with per-job panic isolation.
+//!
+//! Jobs are closures returning `Result<String, String>`; each runs under
+//! `catch_unwind`, so one poisoned query (the measure engine asserts on
+//! inputs past its exponential-cost caps) produces an error reply on
+//! that job's channel instead of killing a worker or the server. The
+//! queue is a `sync_channel`, so submission applies backpressure once
+//! `queue_cap` jobs are waiting.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The result a job's submitter receives.
+pub type JobResult = Result<String, String>;
+
+/// What ran server-side, attached to the result for metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The job closure returned normally.
+    Completed,
+    /// The job closure panicked and was converted to an error.
+    Panicked,
+}
+
+struct Job {
+    work: Box<dyn FnOnce() -> JobResult + Send>,
+    reply: SyncSender<(JobResult, Outcome)>,
+}
+
+/// A fixed-size pool of worker threads pulling jobs off a bounded queue.
+///
+/// All methods take `&self` (the handle is shared behind an `Arc` by the
+/// server's connection threads), so shutdown state lives behind mutexes.
+pub struct WorkerPool {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (min 1) behind a queue of `queue_cap`
+    /// pending jobs (min 1).
+    pub fn new(workers: usize, queue_cap: usize) -> WorkerPool {
+        let (tx, rx) = sync_channel::<Job>(queue_cap.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("caz-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a job; its result arrives on the returned receiver. Blocks
+    /// once the queue is full (backpressure). Errors if the pool is shut
+    /// down.
+    pub fn submit(
+        &self,
+        work: Box<dyn FnOnce() -> JobResult + Send>,
+    ) -> Result<Receiver<(JobResult, Outcome)>, &'static str> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job { work, reply: reply_tx };
+        // Clone the sender out of the lock so a full queue blocks only
+        // this submitter, not everyone.
+        let tx = self.tx.lock().unwrap().clone();
+        match tx {
+            Some(tx) => tx.send(job).map_err(|_| "worker pool is shut down")?,
+            None => return Err("worker pool is shut down"),
+        }
+        Ok(reply_rx)
+    }
+
+    /// Convenience: submit and wait for the result.
+    pub fn run(&self, work: Box<dyn FnOnce() -> JobResult + Send>) -> (JobResult, Outcome) {
+        match self.submit(work) {
+            Ok(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| (Err("worker dropped the job".into()), Outcome::Completed)),
+            Err(e) => (Err(e.into()), Outcome::Completed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting jobs, let the workers drain
+    /// every queued job, then join them. Idempotent.
+    pub fn shutdown(&self) {
+        self.tx.lock().unwrap().take(); // closing the channel ends worker_loop after drain
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while *receiving*; jobs run unlocked so the
+        // pool actually executes in parallel.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling worker panicked the mutex; bail
+        };
+        let Ok(job) = job else { return }; // channel closed and drained
+        let outcome = catch_unwind(AssertUnwindSafe(job.work));
+        let (result, outcome) = match outcome {
+            Ok(r) => (r, Outcome::Completed),
+            Err(payload) => (Err(panic_message(payload.as_ref())), Outcome::Panicked),
+        };
+        // The submitter may have gone away (client disconnected); that
+        // only means nobody reads the result.
+        let _ = job.reply.send((result, outcome));
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".into());
+    format!("evaluation panicked: {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_jobs_in_parallel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        let pool = WorkerPool::new(4, 16);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let rxs: Vec<_> = (0..8)
+            .map(|i| {
+                let in_flight = Arc::clone(&in_flight);
+                let peak = Arc::clone(&peak);
+                pool.submit(Box::new(move || {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    Ok(format!("job {i}"))
+                }))
+                .unwrap()
+            })
+            .collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let (res, outcome) = rx.recv().unwrap();
+            assert_eq!(res.unwrap(), format!("job {i}"));
+            assert_eq!(outcome, Outcome::Completed);
+        }
+        assert!(peak.load(Ordering::SeqCst) >= 2, "jobs overlapped");
+    }
+
+    #[test]
+    fn panicking_job_yields_error_and_pool_survives() {
+        let pool = WorkerPool::new(2, 4);
+        let (res, outcome) = pool.run(Box::new(|| panic!("poisoned query")));
+        assert_eq!(outcome, Outcome::Panicked);
+        let err = res.unwrap_err();
+        assert!(err.contains("poisoned query"), "{err}");
+        // Every worker still serves.
+        for i in 0..4 {
+            let (res, outcome) = pool.run(Box::new(move || Ok(format!("ok {i}"))));
+            assert_eq!(outcome, Outcome::Completed);
+            assert_eq!(res.unwrap(), format!("ok {i}"));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(1, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        let rxs: Vec<_> = (0..6)
+            .map(|_| {
+                let done = Arc::clone(&done);
+                pool.submit(Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    done.fetch_add(1, Ordering::SeqCst);
+                    Ok("done".into())
+                }))
+                .unwrap()
+            })
+            .collect();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 6, "all queued jobs ran");
+        for rx in rxs {
+            assert!(rx.recv().unwrap().0.is_ok());
+        }
+        assert!(pool.submit(Box::new(|| Ok(String::new()))).is_err());
+    }
+}

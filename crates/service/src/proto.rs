@@ -1,0 +1,125 @@
+//! The line-oriented wire protocol.
+//!
+//! Requests are exactly the session command language, one command per
+//! line (`\n`-terminated). Every request gets exactly one reply line:
+//!
+//! ```text
+//! reply   = "ok" [" " payload] LF      ; success
+//!         | "err " payload LF          ; failure
+//!         | "bye" LF                   ; acknowledges quit/exit
+//! payload = escaped UTF-8: "\\" => backslash, "\n" => newline
+//! ```
+//!
+//! Multi-line results (tables, series) are escaped onto the single
+//! payload line, keeping the protocol trivially parseable — a client
+//! never needs lookahead to know where a reply ends.
+
+/// Escape a reply payload onto one line.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Unknown escapes decode to the escaped character
+/// itself, so decoding never fails.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// A parsed reply line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireReply {
+    /// `ok [payload]`.
+    Ok(String),
+    /// `err payload`.
+    Err(String),
+    /// `bye`.
+    Bye,
+}
+
+/// Render a reply as its wire line (without the trailing newline).
+pub fn encode_reply(reply: &WireReply) -> String {
+    match reply {
+        WireReply::Ok(s) if s.is_empty() => "ok".to_string(),
+        WireReply::Ok(s) => format!("ok {}", escape(s)),
+        WireReply::Err(s) => format!("err {}", escape(s)),
+        WireReply::Bye => "bye".to_string(),
+    }
+}
+
+/// Parse a wire line back into a reply. `None` for malformed lines.
+pub fn decode_reply(line: &str) -> Option<WireReply> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    if line == "bye" {
+        return Some(WireReply::Bye);
+    }
+    if line == "ok" {
+        return Some(WireReply::Ok(String::new()));
+    }
+    if let Some(rest) = line.strip_prefix("ok ") {
+        return Some(WireReply::Ok(unescape(rest)));
+    }
+    if let Some(rest) = line.strip_prefix("err ") {
+        return Some(WireReply::Err(unescape(rest)));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in [
+            "",
+            "plain",
+            "two\nlines",
+            "back\\slash",
+            "crlf\r\n",
+            "μ(Q, D) = 1",
+            "\\n literal",
+            "trailing\\",
+        ] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+            assert!(!escape(s).contains('\n'), "escaped form is one line");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for r in [
+            WireReply::Ok(String::new()),
+            WireReply::Ok("μ(Q, D) = 1".into()),
+            WireReply::Ok("k=  1  0\nk=  2  1/2".into()),
+            WireReply::Err("unknown command \"x\"".into()),
+            WireReply::Bye,
+        ] {
+            assert_eq!(decode_reply(&encode_reply(&r)).as_ref(), Some(&r));
+        }
+        assert_eq!(decode_reply("gibberish"), None);
+    }
+}

@@ -1,0 +1,334 @@
+//! The evaluation server: the session command language served over TCP
+//! and over batch files, with shared worker pool, cache, and metrics.
+//!
+//! Concurrency model: one OS thread per connection owns that client's
+//! [`Session`] (facts, named queries, constraints are per-client state);
+//! the expensive part — evaluation — is shipped to the shared
+//! [`WorkerPool`] as a cloned-session job, so a handful of workers
+//! bound the exponential compute regardless of client count, and the
+//! shared [`ResultCache`] amortizes identical (up to null renaming)
+//! requests across *all* clients.
+//!
+//! Shutdown: `quit` ends one connection after its in-flight job
+//! completes (the connection thread always waits for the reply);
+//! a vanished client (SIGPIPE surfaces as a write error — Rust ignores
+//! the signal) likewise ends only that connection; the admin `shutdown`
+//! command stops the acceptor and then drains every queued job before
+//! the pool threads exit.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::pool::{Outcome, WorkerPool};
+use crate::proto::{encode_reply, WireReply};
+use crate::session::{Reply, Request, Session};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tuning knobs for [`Server::bind`] and [`run_batch`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:3707` (`:0` for ephemeral).
+    pub addr: String,
+    /// Worker threads evaluating jobs.
+    pub workers: usize,
+    /// Bounded queue depth before submission blocks (backpressure).
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:3707".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_cap: 64,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    pool: WorkerPool,
+    cache: ResultCache,
+    metrics: Metrics,
+    stop: AtomicBool,
+}
+
+/// What a processed line asks the connection loop to do next.
+enum Control {
+    /// Keep reading commands.
+    Continue,
+    /// Close this connection.
+    QuitConnection,
+    /// Stop the whole server (acceptor + drain).
+    ShutdownServer,
+}
+
+/// A bound, not-yet-running evaluation server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A handle that can stop a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown: stop accepting, then drain queued jobs.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind the listener; call [`Server::run`] to start serving.
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
+                cache: ResultCache::new(cfg.cache_capacity),
+                metrics: Metrics::new(),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to stop this server from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            addr: self.listener.local_addr()?,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Accept and serve until `shutdown` (protocol command or handle).
+    /// Returns after every accepted connection has ended and every
+    /// queued job has been drained.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut conn_threads = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            self.shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name("caz-conn".into())
+                .spawn(move || {
+                    let _ = handle_client(stream, &shared, addr);
+                })
+                .expect("spawn connection thread");
+            conn_threads.push(handle);
+        }
+        // Graceful drain: wait for clients to finish, then for the
+        // workers to finish everything still queued.
+        for h in conn_threads {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown();
+        Ok(())
+    }
+}
+
+fn handle_client(stream: TcpStream, shared: &Shared, server_addr: SocketAddr) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = Session::new();
+    for line in reader.lines() {
+        let line = line?;
+        let (reply, control) = process_line(&mut session, shared, &line);
+        // A client that disappeared mid-reply (EPIPE — Rust ignores
+        // SIGPIPE, so it surfaces here as an error) just ends this
+        // connection; the server and its queued jobs are unaffected.
+        writer.write_all(encode_reply(&reply).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        match control {
+            Control::Continue => {}
+            Control::QuitConnection => break,
+            Control::ShutdownServer => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(server_addr); // wake acceptor
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute one protocol line against a session + shared server state.
+fn process_line(session: &mut Session, shared: &Shared, line: &str) -> (WireReply, Control) {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    if line.trim() == "shutdown" {
+        return (WireReply::Bye, Control::ShutdownServer);
+    }
+    let request = match Request::parse(line) {
+        Ok(Some(r)) => r,
+        Ok(None) => return (WireReply::Ok(String::new()), Control::Continue),
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return (WireReply::Err(e), Control::Continue);
+        }
+    };
+    match request {
+        Request::Quit => (WireReply::Bye, Control::QuitConnection),
+        Request::Stats => (
+            WireReply::Ok(shared.metrics.snapshot(&shared.cache)),
+            Control::Continue,
+        ),
+        Request::Eval(ev) => {
+            let start = Instant::now();
+            let key = session.cache_key(&ev);
+            if let Some(k) = &key {
+                if let Some(hit) = shared.cache.get(k) {
+                    shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.eval_latency.record(start.elapsed());
+                    return (WireReply::Ok(hit), Control::Continue);
+                }
+            }
+            // Ship a snapshot of the session to the pool: evaluation is
+            // read-only, and the clone keeps the job `'static`.
+            let job_session = session.clone();
+            let job_request = ev.clone();
+            let (result, outcome) = shared
+                .pool
+                .run(Box::new(move || job_session.eval(&job_request)));
+            shared.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+            if outcome == Outcome::Panicked {
+                shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.metrics.eval_latency.record(start.elapsed());
+            match result {
+                Ok(text) => {
+                    if let Some(k) = key {
+                        shared.cache.insert(k, text.clone());
+                    }
+                    (WireReply::Ok(text), Control::Continue)
+                }
+                Err(e) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    (WireReply::Err(e), Control::Continue)
+                }
+            }
+        }
+        other => match session.apply(&other) {
+            Ok(Reply::Text(t)) => (WireReply::Ok(t), Control::Continue),
+            Ok(Reply::Quit) => (WireReply::Bye, Control::QuitConnection),
+            Err(e) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                (WireReply::Err(e), Control::Continue)
+            }
+        },
+    }
+}
+
+/// Run the command language over a batch input, writing one wire reply
+/// line per command — the server's offline mode (`caz serve --batch`).
+/// The same pool, cache, and metrics machinery is used, so a repetitive
+/// batch benefits from the canonical cache exactly like network
+/// traffic, and a trailing `stats` command reports on the run.
+pub fn run_batch<R: BufRead, W: Write>(
+    input: R,
+    output: &mut W,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    let shared = Shared {
+        pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
+        cache: ResultCache::new(cfg.cache_capacity),
+        metrics: Metrics::new(),
+        stop: AtomicBool::new(false),
+    };
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    let mut session = Session::new();
+    for line in input.lines() {
+        let line = line?;
+        let (reply, control) = process_line(&mut session, &shared, &line);
+        output.write_all(encode_reply(&reply).as_bytes())?;
+        output.write_all(b"\n")?;
+        match control {
+            Control::Continue => {}
+            Control::QuitConnection | Control::ShutdownServer => break,
+        }
+    }
+    output.flush()?;
+    shared.pool.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::decode_reply;
+
+    fn batch(cmds: &str) -> Vec<WireReply> {
+        let mut out = Vec::new();
+        let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+        run_batch(cmds.as_bytes(), &mut out, &cfg).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| decode_reply(l).expect("well-formed reply"))
+            .collect()
+    }
+
+    #[test]
+    fn batch_walkthrough_with_cache_and_stats() {
+        let replies = batch(
+            "fact R(c1, _x). R(c2, _x).\n\
+             query Q := exists u, v. R(u, v)\n\
+             mu Q\n\
+             mu Q\n\
+             stats\n\
+             quit\n",
+        );
+        assert_eq!(replies.len(), 6);
+        assert!(matches!(&replies[0], WireReply::Ok(t) if t.contains("2 fact(s)")));
+        assert!(matches!(&replies[2], WireReply::Ok(t) if t == "μ(Q, D) = 1"));
+        assert_eq!(replies[2], replies[3], "repeat identical");
+        let WireReply::Ok(stats) = &replies[4] else {
+            panic!("stats failed: {:?}", replies[4])
+        };
+        assert!(stats.contains("cache_hits 1"), "{stats}");
+        assert!(stats.contains("jobs_executed_total 1"), "{stats}");
+        assert!(stats.contains("jobs_cached_total 1"), "{stats}");
+        assert_eq!(replies[5], WireReply::Bye);
+    }
+
+    #[test]
+    fn batch_errors_are_replies_not_aborts() {
+        let replies = batch("mu Nope\nhelp\n");
+        assert!(matches!(&replies[0], WireReply::Err(e) if e.contains("Nope")));
+        assert!(matches!(&replies[1], WireReply::Ok(t) if t.contains("commands")));
+    }
+
+    #[test]
+    fn batch_stops_at_shutdown() {
+        let replies = batch("shutdown\nhelp\n");
+        assert_eq!(replies, vec![WireReply::Bye]);
+    }
+}

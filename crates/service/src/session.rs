@@ -1,0 +1,607 @@
+//! The `caz` command language: session state plus a parsed request layer.
+//!
+//! Historically this lived in the binary crate as a REPL-only module; it
+//! is factored here so the same commands run in four places — the
+//! interactive shell, piped stdin, the TCP server, and batch files. The
+//! split matters for the server: [`Request::parse`] classifies a line
+//! *before* execution, so read-only evaluation requests can be shipped
+//! to the worker pool (and cached) while cheap state mutations run
+//! inline on the connection's own [`Session`].
+
+use caz_compare::{best_answers, dominated};
+use caz_constraints::{parse_constraints, ConstraintSet};
+use caz_core::{
+    certain_answers, mu_k_series, BoolQueryEvent, ConstraintEvent, SuppEvent, TupleAnswerEvent,
+};
+use caz_datalog::{certain_datalog_answers, naive_eval_datalog, parse_program, DatalogEvent};
+use caz_idb::{
+    format_tuples, parse_database, try_iso_canonical, Cst, Database, NullId, Tuple, Value,
+};
+use caz_logic::{naive_eval, parse_query, Query};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Reserved relation name used to embed the answer tuple into the
+/// database before canonicalization, so that cache keys are invariant
+/// under *consistent* renaming of nulls in the database and the tuple.
+const ANSWER_REL: &str = "__caz_answer";
+
+/// Interpreter state: the loaded database, named queries, constraints,
+/// and Datalog programs.
+#[derive(Default, Clone)]
+pub struct Session {
+    db: Database,
+    nulls: BTreeMap<String, NullId>,
+    queries: BTreeMap<String, Query>,
+    programs: BTreeMap<String, caz_datalog::Program>,
+    sigma: ConstraintSet,
+}
+
+/// Outcome of one command.
+pub enum Reply {
+    /// Text to print.
+    Text(String),
+    /// Leave the shell / close the connection.
+    Quit,
+}
+
+/// The read-only evaluation commands. These are the expensive requests
+/// — worst-case exponential in the number of nulls — and the only ones
+/// a server schedules on the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalKind {
+    /// `naive <name>` — naïve evaluation.
+    Naive,
+    /// `certain <name>` — certain answers.
+    Certain,
+    /// `best <name>` — ⊴-maximal answers.
+    Best,
+    /// `mu <name> [tuple]` — the exact measure μ(Q, D[, ā]).
+    Mu,
+    /// `cond <name> [tuple]` (alias `mucond`) — μ(Q | Σ, D[, ā]).
+    Cond,
+    /// `series <name> <k>` — the finite sequence μ¹..μᵏ.
+    Series,
+    /// `compare <name> (t1) (t2)` — the support order between answers.
+    Compare,
+}
+
+/// A read-only evaluation request: the kind plus its raw argument text
+/// (name, optional tuple literals, series length). Arguments stay
+/// unparsed because tuple literals resolve against per-session null
+/// names.
+#[derive(Clone, Debug)]
+pub struct EvalRequest {
+    /// Which evaluation to run.
+    pub kind: EvalKind,
+    /// Raw argument text after the command word.
+    pub args: String,
+}
+
+/// One parsed command line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// `help`.
+    Help,
+    /// `quit` / `exit`.
+    Quit,
+    /// `clear` — reset the session.
+    Clear,
+    /// `db` — show the database.
+    ShowDb,
+    /// `sigma` — show the constraints.
+    ShowSigma,
+    /// `stats` — server metrics (only meaningful under a server).
+    Stats,
+    /// `fact <tuples>` — add facts.
+    AddFacts(String),
+    /// `query <def>` — define a query.
+    DefineQuery(String),
+    /// `datalog <rules>` — define a program.
+    DefineProgram(String),
+    /// `constraint <line>` — add constraints.
+    AddConstraint(String),
+    /// A read-only evaluation (pool-schedulable under a server).
+    Eval(EvalRequest),
+}
+
+const HELP: &str = "\
+commands:
+  fact <tuples>              add facts, e.g.  fact R(a, _x). R(b, c).
+  db                         show the database
+  clear                      reset the session
+  query <def>                define a query, e.g.  query Q(x) := R(x, x)
+  datalog <rules>            define a program on ONE line, ';'-separated, e.g.
+                             datalog p(x,y) :- e(x,y); p(x,z) :- p(x,y), e(y,z)
+  constraint <line>          add a constraint, e.g.  constraint fd R: 1 -> 2
+  sigma                      show the constraints
+  naive <name>               naïve evaluation (= almost certainly true answers)
+  certain <name>             certain answers
+  best <name>                best answers (⊴-maximal)
+  mu <name> [tuple]          exact measure μ(Q, D[, ā]), e.g.  mu Q (a, _x)
+  cond <name> [tuple]        conditional measure μ(Q | Σ, D[, ā]) (alias: mucond)
+  series <name> <k>          the finite sequence μ¹..μᵏ
+  compare <name> <t1> <t2>   the orders between two answers
+  stats                      server statistics (serve/batch mode)
+  help                       this text
+  quit                       exit";
+
+impl Request {
+    /// Parse one command line. `Ok(None)` for blank lines and comments.
+    pub fn parse(line: &str) -> Result<Option<Request>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let eval = |kind| {
+            Ok(Some(Request::Eval(EvalRequest {
+                kind,
+                args: rest.to_string(),
+            })))
+        };
+        match cmd {
+            "help" => Ok(Some(Request::Help)),
+            "quit" | "exit" => Ok(Some(Request::Quit)),
+            "clear" => Ok(Some(Request::Clear)),
+            "db" => Ok(Some(Request::ShowDb)),
+            "sigma" => Ok(Some(Request::ShowSigma)),
+            "stats" => Ok(Some(Request::Stats)),
+            "fact" => Ok(Some(Request::AddFacts(rest.to_string()))),
+            "query" => Ok(Some(Request::DefineQuery(rest.to_string()))),
+            "datalog" => Ok(Some(Request::DefineProgram(rest.to_string()))),
+            "constraint" => Ok(Some(Request::AddConstraint(rest.to_string()))),
+            "naive" => eval(EvalKind::Naive),
+            "certain" => eval(EvalKind::Certain),
+            "best" => eval(EvalKind::Best),
+            "mu" => eval(EvalKind::Mu),
+            "cond" | "mucond" => eval(EvalKind::Cond),
+            "series" => eval(EvalKind::Series),
+            "compare" => eval(EvalKind::Compare),
+            other => Err(format!("unknown command {other:?}; try 'help'")),
+        }
+    }
+}
+
+impl Session {
+    /// Create an empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Execute one command line: parse, then apply.
+    pub fn execute(&mut self, line: &str) -> Result<Reply, String> {
+        match Request::parse(line)? {
+            None => Ok(Reply::Text(String::new())),
+            Some(req) => self.apply(&req),
+        }
+    }
+
+    /// Apply a parsed request against this session.
+    pub fn apply(&mut self, req: &Request) -> Result<Reply, String> {
+        match req {
+            Request::Help => Ok(Reply::Text(HELP.to_string())),
+            Request::Quit => Ok(Reply::Quit),
+            Request::Clear => {
+                *self = Session::new();
+                Ok(Reply::Text("session cleared".into()))
+            }
+            Request::ShowDb => Ok(Reply::Text(format!("{}", self.db))),
+            Request::ShowSigma => Ok(Reply::Text(format!("{}", self.sigma))),
+            Request::Stats => Err("stats is only available in serve/batch mode".into()),
+            Request::AddFacts(src) => self.add_facts(src),
+            Request::DefineQuery(src) => self.add_query(src),
+            Request::DefineProgram(src) => self.add_program(src),
+            Request::AddConstraint(src) => self.add_constraint(src),
+            Request::Eval(ev) => self.eval(ev).map(Reply::Text),
+        }
+    }
+
+    /// Run a read-only evaluation request. Takes `&self`: a server clones
+    /// the session state into a worker job, so evaluation must not (and
+    /// cannot) touch session state.
+    pub fn eval(&self, req: &EvalRequest) -> Result<String, String> {
+        match req.kind {
+            EvalKind::Naive => self.naive(&req.args),
+            EvalKind::Certain => self.certain(&req.args),
+            EvalKind::Best => self.best(&req.args),
+            EvalKind::Mu => self.mu(&req.args, false),
+            EvalKind::Cond => self.mu(&req.args, true),
+            EvalKind::Series => self.series(&req.args),
+            EvalKind::Compare => self.compare(&req.args),
+        }
+    }
+
+    /// An isomorphism-invariant cache key for `req`, or `None` when the
+    /// request is not cacheable. Cacheable are the evaluations whose
+    /// output never mentions session-local null *names*: `mu`, `cond`,
+    /// and `series` print pure rationals, so two sessions whose
+    /// databases (and answer tuples) differ only by a bijective renaming
+    /// of nulls must — and do — share one cache entry. `naive`,
+    /// `certain`, `best`, and `compare` print tuples containing
+    /// session-specific null names and stay uncached.
+    pub fn cache_key(&self, req: &EvalRequest) -> Option<String> {
+        let (kind_tag, head, sigma) = match req.kind {
+            EvalKind::Mu => ("mu", req.args.as_str(), None),
+            EvalKind::Cond => ("cond", req.args.as_str(), Some(&self.sigma)),
+            EvalKind::Series => {
+                let (head, k_src) = req.args.rsplit_once(char::is_whitespace)?;
+                let k: usize = k_src.trim().parse().ok()?;
+                return self.cache_key_inner(&format!("series:{k}"), head, None);
+            }
+            _ => return None,
+        };
+        self.cache_key_inner(kind_tag, head, sigma)
+    }
+
+    fn cache_key_inner(
+        &self,
+        kind_tag: &str,
+        head: &str,
+        sigma: Option<&ConstraintSet>,
+    ) -> Option<String> {
+        let (name, tuple_src) = self.split_name_tuple(head);
+        // Key on the *definition*, not the name: two sessions may bind
+        // the same name to different queries.
+        let def = if let Some(p) = self.programs.get(name) {
+            format!("dl:{p}")
+        } else {
+            format!("fo:{}", self.queries.get(name)?)
+        };
+        let tuple = match tuple_src {
+            Some(src) => self.tuple(src).ok()?,
+            None => Tuple::empty(),
+        };
+        // Embed the answer tuple into the database so its nulls are
+        // renamed consistently with the database's during minimization.
+        let mut ext = self.db.clone();
+        if ext.relation(ANSWER_REL).is_some() {
+            return None; // user squatted on the reserved name; don't cache
+        }
+        ext.insert(ANSWER_REL, tuple);
+        let canon = try_iso_canonical(&ext)?;
+        let sigma_part = sigma.map(|s| s.to_string()).unwrap_or_default();
+        Some(format!("{kind_tag}\u{1}{def}\u{1}{sigma_part}\u{1}{canon}"))
+    }
+
+    fn add_facts(&mut self, src: &str) -> Result<Reply, String> {
+        // Re-parse against the session's null names so `_x` stays the
+        // same null across `fact` commands.
+        let parsed = parse_database(src).map_err(|e| e.to_string())?;
+        if parsed.db.relation(ANSWER_REL).is_some() {
+            return Err(format!("relation name {ANSWER_REL} is reserved"));
+        }
+        // Remap the parse's fresh nulls onto the session's.
+        let mut remap: BTreeMap<NullId, NullId> = BTreeMap::new();
+        for (name, id) in &parsed.nulls {
+            let target = *self.nulls.entry(name.clone()).or_insert(*id);
+            remap.insert(*id, target);
+        }
+        let remapped = parsed.db.map(|v| match v {
+            Value::Null(n) => Value::Null(*remap.get(&n).unwrap_or(&n)),
+            c => c,
+        });
+        let added = remapped.len();
+        self.db = self.db.union(&remapped);
+        Ok(Reply::Text(format!("{added} fact(s) added")))
+    }
+
+    fn add_query(&mut self, src: &str) -> Result<Reply, String> {
+        let q = parse_query(src).map_err(|e| e.to_string())?;
+        let name = q.name.clone();
+        self.queries.insert(name.clone(), q);
+        Ok(Reply::Text(format!("query {name} defined")))
+    }
+
+    fn add_program(&mut self, src: &str) -> Result<Reply, String> {
+        let multi = src.replace(';', "\n");
+        let p = parse_program(&multi).map_err(|e| e.to_string())?;
+        let name = p.output.resolve();
+        self.programs.insert(name.clone(), p);
+        Ok(Reply::Text(format!("program {name} defined")))
+    }
+
+    fn add_constraint(&mut self, src: &str) -> Result<Reply, String> {
+        let set = parse_constraints(src).map_err(|e| e.to_string())?;
+        for c in set.iter() {
+            self.sigma.push(c.clone());
+        }
+        Ok(Reply::Text(format!("{} constraint(s) added", set.len())))
+    }
+
+    fn query(&self, name: &str) -> Result<&Query, String> {
+        self.queries
+            .get(name)
+            .ok_or_else(|| format!("no query named {name:?} (define one with 'query')"))
+    }
+
+    /// Parse a tuple literal like `(a, _x)` against the session nulls.
+    fn tuple(&self, src: &str) -> Result<Tuple, String> {
+        let src = src.trim();
+        let inner = src
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| format!("expected a tuple like (a, _x), got {src:?}"))?;
+        let mut values = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(null_name) = part.strip_prefix('_') {
+                let id = self
+                    .nulls
+                    .get(null_name)
+                    .ok_or_else(|| format!("unknown null _{null_name}"))?;
+                values.push(Value::Null(*id));
+            } else {
+                values.push(Value::Const(Cst::new(part)));
+            }
+        }
+        Ok(Tuple::new(values))
+    }
+
+    fn naive(&self, name: &str) -> Result<String, String> {
+        if let Some(p) = self.programs.get(name) {
+            return Ok(format_tuples(&naive_eval_datalog(p, &self.db)));
+        }
+        let q = self.query(name)?;
+        Ok(format_tuples(&naive_eval(q, &self.db)))
+    }
+
+    fn certain(&self, name: &str) -> Result<String, String> {
+        if let Some(p) = self.programs.get(name) {
+            return Ok(format_tuples(&certain_datalog_answers(p, &self.db)));
+        }
+        let q = self.query(name)?;
+        Ok(format_tuples(&certain_answers(q, &self.db)))
+    }
+
+    fn best(&self, name: &str) -> Result<String, String> {
+        let q = self.query(name)?;
+        Ok(format_tuples(&best_answers(q, &self.db)))
+    }
+
+    fn event_for(&self, name: &str, tuple: Option<Tuple>) -> Result<Box<dyn SuppEvent>, String> {
+        if let Some(p) = self.programs.get(name) {
+            let t = tuple.unwrap_or_else(Tuple::empty);
+            if t.arity() != p.output_arity {
+                return Err(format!(
+                    "program {name} has output arity {}, tuple has {}",
+                    p.output_arity,
+                    t.arity()
+                ));
+            }
+            return Ok(Box::new(DatalogEvent::new(p.clone(), t)));
+        }
+        let q = self.query(name)?.clone();
+        Ok(match tuple {
+            None if q.is_boolean() => Box::new(BoolQueryEvent::new(q)),
+            None => return Err(format!("query {name} needs a tuple, e.g.  mu {name} (a, b)")),
+            Some(t) => {
+                if t.arity() != q.arity() {
+                    return Err(format!(
+                        "query {name} has arity {}, tuple has {}",
+                        q.arity(),
+                        t.arity()
+                    ));
+                }
+                Box::new(TupleAnswerEvent::new(q, t))
+            }
+        })
+    }
+
+    fn split_name_tuple<'b>(&self, rest: &'b str) -> (&'b str, Option<&'b str>) {
+        match rest.find('(') {
+            Some(i) if rest[..i].trim() != "" => (rest[..i].trim(), Some(rest[i..].trim())),
+            _ => (rest.trim(), None),
+        }
+    }
+
+    fn mu(&self, rest: &str, conditional: bool) -> Result<String, String> {
+        let (name, tuple_src) = self.split_name_tuple(rest);
+        let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
+        let ev = self.event_for(name, tuple)?;
+        let value = if conditional {
+            let sev = ConstraintEvent::new(self.sigma.clone());
+            caz_core::mu_conditional_exact(ev.as_ref(), &sev, &self.db)
+        } else {
+            caz_core::mu_exact(ev.as_ref(), &self.db)
+        };
+        let label = if conditional { "μ(Q | Σ, D)" } else { "μ(Q, D)" };
+        Ok(format!("{label} = {value}"))
+    }
+
+    fn series(&self, rest: &str) -> Result<String, String> {
+        let (head, k_src) = rest
+            .rsplit_once(char::is_whitespace)
+            .ok_or("usage: series <name> <k>")?;
+        let k: usize = k_src.trim().parse().map_err(|_| "k must be a number")?;
+        if k == 0 || k > 24 {
+            return Err("k must be between 1 and 24".into());
+        }
+        let (name, tuple_src) = self.split_name_tuple(head);
+        let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
+        let ev = self.event_for(name, tuple)?;
+        let s = mu_k_series(ev.as_ref(), &self.db, k);
+        let mut out = String::new();
+        write!(out, "{s}").unwrap();
+        Ok(out)
+    }
+
+    fn compare(&self, rest: &str) -> Result<String, String> {
+        let open = rest.find('(').ok_or("usage: compare <name> (t1) (t2)")?;
+        let name = rest[..open].trim();
+        let tuples = &rest[open..];
+        let mid = tuples.find(')').ok_or("expected two tuples")? + 1;
+        let t1 = self.tuple(tuples[..mid].trim())?;
+        let t2 = self.tuple(tuples[mid..].trim())?;
+        let q = self.query(name)?;
+        let d12 = dominated(q, &self.db, &t1, &t2);
+        let d21 = dominated(q, &self.db, &t2, &t1);
+        let verdict = match (d12, d21) {
+            (true, true) => "equivalent support".to_string(),
+            (true, false) => format!("{t1} ⊲ {t2} ({t2} is strictly better)"),
+            (false, true) => format!("{t2} ⊲ {t1} ({t1} is strictly better)"),
+            (false, false) => "incomparable".to_string(),
+        };
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut Session, line: &str) -> String {
+        match session.execute(line).unwrap() {
+            Reply::Text(t) => t,
+            Reply::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn full_session_walkthrough() {
+        let mut s = Session::new();
+        run(&mut s, "fact R1(c1, _p1). R1(c2, _p1). R1(c2, _p2).");
+        run(&mut s, "fact R2(c1, _p2). R2(c2, _p1). R2(_c3, _p1).");
+        run(&mut s, "query Q(x, y) := R1(x, y) & !R2(x, y)");
+        assert_eq!(run(&mut s, "certain Q"), "{}");
+        let naive = run(&mut s, "naive Q");
+        assert!(naive.contains("c1") && naive.contains("c2"));
+        assert_eq!(run(&mut s, "mu Q (c1, _p1)"), "μ(Q, D) = 1");
+        let best = run(&mut s, "best Q");
+        assert!(best.contains("c2"));
+        let cmp = run(&mut s, "compare Q (c1, _p1) (c2, _p2)");
+        assert!(cmp.contains("strictly better"), "{cmp}");
+        run(&mut s, "constraint fd R1: 1 -> 2");
+        run(&mut s, "query Any := exists x, y. R1(x, y) & !R2(x, y)");
+        assert_eq!(run(&mut s, "cond Any"), "μ(Q | Σ, D) = 0");
+        // `mucond` is a wire-protocol alias for `cond`.
+        assert_eq!(run(&mut s, "mucond Any"), "μ(Q | Σ, D) = 0");
+    }
+
+    #[test]
+    fn nulls_are_shared_across_fact_commands() {
+        let mut s = Session::new();
+        run(&mut s, "fact R(a, _x).");
+        run(&mut s, "fact S(_x).");
+        assert_eq!(s.db.nulls().len(), 1, "_x must stay the same null");
+        run(&mut s, "query Meet := exists u. R('a', u) & S(u)");
+        assert_eq!(run(&mut s, "mu Meet"), "μ(Q, D) = 1");
+    }
+
+    #[test]
+    fn datalog_in_the_shell() {
+        let mut s = Session::new();
+        run(&mut s, "fact edge(a, _m). edge(_m, c).");
+        run(
+            &mut s,
+            "datalog path(x, y) :- edge(x, y); path(x, z) :- path(x, y), edge(y, z)",
+        );
+        let certain = run(&mut s, "certain path");
+        assert!(certain.contains("(a, c)"), "{certain}");
+        assert_eq!(run(&mut s, "mu path (a, c)"), "μ(Q, D) = 1");
+        assert_eq!(run(&mut s, "mu path (c, a)"), "μ(Q, D) = 0");
+    }
+
+    #[test]
+    fn series_and_errors() {
+        let mut s = Session::new();
+        run(&mut s, "fact R(c1, _x). R(c2, _y).");
+        run(&mut s, "query Col := exists p. R(c1, p) & R(c2, p)");
+        let series = run(&mut s, "series Col 4");
+        assert!(series.contains("k=  4"), "{series}");
+        assert!(s.execute("mu Nope").is_err());
+        assert!(s.execute("series Col 0").is_err());
+        assert!(s.execute("bogus").is_err());
+        assert!(s.execute("mu Col (a, b)").is_err(), "arity mismatch");
+        assert!(matches!(s.execute("quit").unwrap(), Reply::Quit));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Session::new();
+        run(&mut s, "fact R(a).");
+        run(&mut s, "clear");
+        assert_eq!(run(&mut s, "db"), "");
+        assert!(run(&mut s, "help").contains("commands"));
+    }
+
+    #[test]
+    fn stats_refused_outside_server() {
+        let mut s = Session::new();
+        assert!(s.execute("stats").is_err());
+    }
+
+    #[test]
+    fn cache_key_invariant_under_null_renaming() {
+        let mut a = Session::new();
+        run(&mut a, "fact R(c1, _x). R(c2, _x). R(c2, _y).");
+        run(&mut a, "query Q(u, v) := R(u, v)");
+        let mut b = Session::new();
+        run(&mut b, "fact R(c1, _n). R(c2, _n). R(c2, _m).");
+        run(&mut b, "query Q(u, v) := R(u, v)");
+
+        let req_a = EvalRequest { kind: EvalKind::Mu, args: "Q (c1, _x)".into() };
+        let req_b = EvalRequest { kind: EvalKind::Mu, args: "Q (c1, _n)".into() };
+        let (ka, kb) = (a.cache_key(&req_a), b.cache_key(&req_b));
+        assert!(ka.is_some());
+        assert_eq!(ka, kb, "isomorphic db + tuple must share one entry");
+
+        // Different tuple → different key.
+        let req_c = EvalRequest { kind: EvalKind::Mu, args: "Q (c2, _n)".into() };
+        assert_ne!(b.cache_key(&req_c), kb);
+
+        // Same answers, matching replies.
+        assert_eq!(a.eval(&req_a), b.eval(&req_b));
+    }
+
+    #[test]
+    fn cache_key_distinguishes_kind_sigma_and_definition() {
+        let mut s = Session::new();
+        run(&mut s, "fact R(a, _x).");
+        run(&mut s, "query Q := exists u, v. R(u, v)");
+        let mu = EvalRequest { kind: EvalKind::Mu, args: "Q".into() };
+        let cond = EvalRequest { kind: EvalKind::Cond, args: "Q".into() };
+        let k_mu = s.cache_key(&mu).unwrap();
+        let k_cond = s.cache_key(&cond).unwrap();
+        assert_ne!(k_mu, k_cond);
+
+        // Adding a constraint changes the cond key, not the mu key.
+        run(&mut s, "constraint fd R: 1 -> 2");
+        assert_eq!(s.cache_key(&mu).unwrap(), k_mu);
+        assert_ne!(s.cache_key(&cond).unwrap(), k_cond);
+
+        // Redefining the query under the same name changes the key.
+        run(&mut s, "query Q := exists u. R(u, u)");
+        assert_ne!(s.cache_key(&mu).unwrap(), k_mu);
+
+        // Series includes k; uncacheable kinds return None.
+        let s4 = EvalRequest { kind: EvalKind::Series, args: "Q 4".into() };
+        let s5 = EvalRequest { kind: EvalKind::Series, args: "Q 5".into() };
+        assert_ne!(s.cache_key(&s4), s.cache_key(&s5));
+        let naive = EvalRequest { kind: EvalKind::Naive, args: "Q".into() };
+        assert_eq!(s.cache_key(&naive), None);
+    }
+
+    #[test]
+    fn reserved_relation_name_rejected() {
+        let mut s = Session::new();
+        assert!(s.execute("fact __caz_answer(a).").is_err());
+    }
+
+    #[test]
+    fn parse_classifies_commands() {
+        assert!(matches!(Request::parse("  # comment"), Ok(None)));
+        assert!(matches!(Request::parse(""), Ok(None)));
+        assert!(matches!(Request::parse("mu Q"), Ok(Some(Request::Eval(_)))));
+        assert!(matches!(Request::parse("mucond Q"),
+            Ok(Some(Request::Eval(EvalRequest { kind: EvalKind::Cond, .. })))));
+        assert!(matches!(Request::parse("fact R(a)."), Ok(Some(Request::AddFacts(_)))));
+        assert!(Request::parse("frobnicate").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end tests of the TCP evaluation server: concurrent clients,
+//! reply fidelity against direct [`Session`] evaluation, the
+//! isomorphism-invariant cache, panic isolation, and graceful shutdown.
+
+use caz_service::proto::{decode_reply, WireReply};
+use caz_service::session::{Reply, Session};
+use caz_service::{Server, ServerConfig, ShutdownHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Bind on an ephemeral port, run the server on its own thread, and
+/// hand back the address plus a shutdown handle. The join handle lets
+/// tests assert the accept loop really terminates.
+fn spawn_server(
+    workers: usize,
+) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+/// A line-protocol client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> WireReply {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        decode_reply(reply.trim_end_matches('\n')).expect("well-formed wire reply")
+    }
+
+    fn send_ok(&mut self, line: &str) -> String {
+        match self.send(line) {
+            WireReply::Ok(t) => t,
+            other => panic!("expected ok for {line:?}, got {other:?}"),
+        }
+    }
+}
+
+/// What a local, in-process session says about one command — the ground
+/// truth every server reply must match byte for byte.
+fn direct(session: &mut Session, line: &str) -> WireReply {
+    match session.execute(line) {
+        Ok(Reply::Text(t)) => WireReply::Ok(t),
+        Ok(Reply::Quit) => WireReply::Bye,
+        Err(e) => WireReply::Err(e),
+    }
+}
+
+#[test]
+fn concurrent_clients_match_direct_evaluation() {
+    let (addr, handle, join) = spawn_server(3);
+
+    // Five clients run interleaved scripts — overlapping `mu`/`mucond`
+    // evaluations with per-client data, plus one deliberate error. Each
+    // server reply must equal what a private Session produces.
+    let clients: Vec<_> = (0..5)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut local = Session::new();
+                let script = [
+                    format!("fact R(c{i}, _x). R(d{i}, _y). R(d{i}, _x)."),
+                    "query Q(u, v) := R(u, v)".to_string(),
+                    format!("query Meet := exists p. R(c{i}, p) & R(d{i}, p)"),
+                    "constraint fd R: 1 -> 2".to_string(),
+                    format!("mu Q (c{i}, _x)"),
+                    "mu Meet".to_string(),
+                    "mucond Meet".to_string(),
+                    format!("mu Q (d{i}, _y)"),
+                    "mu Nope".to_string(), // error must round-trip too
+                    "series Meet 3".to_string(),
+                ];
+                for line in &script {
+                    assert_eq!(client.send(line), direct(&mut local, line), "{line:?}");
+                }
+                assert_eq!(client.send("quit"), WireReply::Bye);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn isomorphic_sessions_share_one_cache_entry() {
+    let (addr, handle, join) = spawn_server(2);
+
+    // Client A and client B load the *same* database up to a bijective
+    // renaming of nulls (_x/_y vs _n/_m) and ask for the same measure.
+    let mut a = Client::connect(addr);
+    a.send_ok("fact R(c1, _x). R(c2, _x). R(c2, _y).");
+    a.send_ok("query Q(u, v) := R(u, v)");
+    let mu_a = a.send_ok("mu Q (c1, _x)");
+
+    let mut b = Client::connect(addr);
+    b.send_ok("fact R(c1, _n). R(c2, _n). R(c2, _m).");
+    b.send_ok("query Q(u, v) := R(u, v)");
+    let mu_b = b.send_ok("mu Q (c1, _n)");
+
+    assert_eq!(mu_a, mu_b, "renamed-null request must give the same answer");
+
+    // Exactly one evaluation ran; the second request hit the canonical
+    // cache even though the two clients never shared a null name.
+    let stats = b.send_ok("stats");
+    let field = |name: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(name).map(|v| v.trim().parse().unwrap()))
+            .unwrap_or_else(|| panic!("missing {name} in:\n{stats}"))
+    };
+    assert_eq!(field("jobs_executed_total"), 1, "{stats}");
+    assert_eq!(field("jobs_cached_total"), 1, "{stats}");
+    assert_eq!(field("cache_hits"), 1, "{stats}");
+    assert_eq!(field("cache_entries"), 1, "{stats}");
+    assert!(field("connections_total") >= 2, "{stats}");
+
+    // Close both clients before shutdown: the graceful drain waits for
+    // every connection to end.
+    assert_eq!(a.send("quit"), WireReply::Bye);
+    assert_eq!(b.send("quit"), WireReply::Bye);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn panicking_job_is_isolated_to_an_error_reply() {
+    let (addr, handle, join) = spawn_server(2);
+
+    let mut client = Client::connect(addr);
+    // Eleven distinct nulls exceed the support-polynomial engine's
+    // MAX_NULLS = 10 assertion, so this evaluation panics inside the
+    // worker. (It also exceeds the canonicalizer's cap, so the request
+    // is uncacheable and must reach the pool.)
+    let facts: Vec<String> = (0..11).map(|i| format!("N(_a{i}).")).collect();
+    client.send_ok(&format!("fact {}", facts.join(" ")));
+    client.send_ok("query P := exists x. N(x)");
+    match client.send("mu P") {
+        WireReply::Err(e) => assert!(e.contains("panicked"), "{e}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    // The same connection and the worker pool both survive.
+    client.send_ok("clear");
+    client.send_ok("fact N(_b).");
+    client.send_ok("query Small := exists x. N(x)");
+    assert_eq!(client.send_ok("mu Small"), "μ(Q, D) = 1");
+
+    // So does a fresh connection.
+    let mut second = Client::connect(addr);
+    second.send_ok("fact R(a, _x).");
+    second.send_ok("query Q := exists u, v. R(u, v)");
+    assert_eq!(second.send_ok("mu Q"), "μ(Q, D) = 1");
+    let stats = second.send_ok("stats");
+    assert!(stats.contains("panics_total 1"), "{stats}");
+
+    assert_eq!(client.send("quit"), WireReply::Bye);
+    assert_eq!(second.send("quit"), WireReply::Bye);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn protocol_shutdown_command_stops_the_server() {
+    let (addr, _handle, join) = spawn_server(1);
+    let mut client = Client::connect(addr);
+    client.send_ok("help");
+    assert_eq!(client.send("shutdown"), WireReply::Bye);
+    join.join().unwrap();
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // The OS may briefly accept on the dead listener's backlog;
+            // a write+read must then fail or yield EOF.
+            let mut c = Client::connect(addr);
+            c.writer.write_all(b"help\n").ok();
+            let mut buf = String::new();
+            c.reader.read_line(&mut buf).map(|n| n == 0).unwrap_or(true)
+        },
+        "server must stop accepting after shutdown"
+    );
+}

@@ -14,8 +14,8 @@
 
 use certain_answers::prelude::*;
 use caz_logic::{random_query, QueryGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use caz_testutil::rngs::StdRng;
+use caz_testutil::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2018);

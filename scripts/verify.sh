@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full offline verification gate: the tier-1 checks from ROADMAP.md
+# plus a warnings-as-errors clippy pass over the whole workspace.
+# Must pass with no network: the workspace has zero external
+# dependencies (see the note in Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

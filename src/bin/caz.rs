@@ -1,24 +1,66 @@
-//! `caz` — an interactive shell over the certain-answers framework.
+//! `caz` — the certain-answers shell and evaluation server.
 //!
 //! ```text
-//! $ cargo run --bin caz
+//! $ cargo run --bin caz                     # interactive shell
 //! caz> fact R1(c1, _p1). R1(c2, _p2).
 //! caz> query Q(x, y) := R1(x, y)
 //! caz> mu Q (c1, _p1)
 //! μ(Q, D) = 1
+//!
+//! $ cargo run --bin caz -- serve --addr 127.0.0.1:3707
+//! $ cargo run --bin caz -- serve --batch commands.caz
 //! ```
+//!
+//! Piping commands works without prompt noise: the banner and `caz>`
+//! prompt only appear when stdin is a terminal.
 
 use certain_answers::repl::{Reply, Session};
-use std::io::{BufRead, Write};
+use certain_answers::service::{run_batch, Server, ServerConfig};
+use std::io::{BufRead, BufReader, BufWriter, IsTerminal, Write};
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "\
+usage:
+  caz                         interactive shell (reads commands from stdin)
+  caz serve [options]         TCP evaluation server
+  caz serve --batch <file>    evaluate a command file offline
+options for serve:
+  --addr <host:port>          listen address       (default 127.0.0.1:3707)
+  --workers <n>               worker threads       (default: CPU count)
+  --queue <n>                 pending-job queue    (default 64)
+  --cache <n>                 result-cache entries (default 1024)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => repl(),
+        Some("serve") => serve(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repl() -> ExitCode {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     let mut session = Session::new();
-    println!("caz — certain answers meet zero–one laws (type 'help')");
+    // Suppress the banner and prompt when input is piped or redirected,
+    // so batch output stays clean (`echo 'db' | caz`).
+    let interactive = stdin.is_terminal();
+    if interactive {
+        println!("caz — certain answers meet zero–one laws (type 'help')");
+    }
     loop {
-        print!("caz> ");
-        out.flush().ok();
+        if interactive {
+            print!("caz> ");
+            out.flush().ok();
+        }
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break, // EOF
@@ -37,5 +79,80 @@ fn main() {
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut batch_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| cfg.addr = v),
+            "--batch" => value("--batch").map(|v| batch_file = Some(v)),
+            "--workers" => parse_num(value("--workers"), &mut cfg.workers),
+            "--queue" => parse_num(value("--queue"), &mut cfg.queue_cap),
+            "--cache" => parse_num(value("--cache"), &mut cfg.cache_capacity),
+            other => Err(format!("unknown option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = batch_file {
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stdout = std::io::stdout();
+        let mut out = BufWriter::new(stdout.lock());
+        return match run_batch(BufReader::new(file), &mut out, &cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("batch failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("caz-service listening on {addr} ({} workers)", cfg.workers),
+        Err(_) => eprintln!("caz-service listening"),
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_num(value: Result<String, String>, slot: &mut usize) -> Result<(), String> {
+    let v = value?;
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => {
+            *slot = n;
+            Ok(())
+        }
+        _ => Err(format!("expected a positive number, got {v:?}")),
     }
 }

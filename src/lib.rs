@@ -57,6 +57,7 @@ pub use caz_core as core;
 pub use caz_datalog as datalog;
 pub use caz_idb as idb;
 pub use caz_logic as logic;
+pub use caz_service as service;
 
 pub mod repl;
 

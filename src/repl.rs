@@ -1,352 +1,36 @@
-//! The interactive shell behind the `caz` binary: a small command
-//! language over the whole framework. The command interpreter is a
-//! plain function from lines to output strings so it can be unit-tested
-//! without a terminal.
+//! The `caz` command language, re-exported from [`caz_service`].
+//!
+//! The interpreter used to live here as a REPL-only module; it moved to
+//! `crates/service` (as [`caz_service::session`]) so the same commands
+//! run interactively, over TCP, and in batch mode. This shim keeps the
+//! long-standing `certain_answers::repl::{Session, Reply}` paths (and
+//! the doc examples built on them) working.
 
-use crate::prelude::*;
-use caz_core::{BoolQueryEvent, SuppEvent, TupleAnswerEvent};
-use caz_datalog::DatalogEvent;
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// Interpreter state: the loaded database, named queries, constraints,
-/// and Datalog programs.
-#[derive(Default)]
-pub struct Session {
-    db: Database,
-    nulls: BTreeMap<String, NullId>,
-    queries: BTreeMap<String, Query>,
-    programs: BTreeMap<String, caz_datalog::Program>,
-    sigma: ConstraintSet,
-}
-
-/// Outcome of one command.
-pub enum Reply {
-    /// Text to print.
-    Text(String),
-    /// Leave the shell.
-    Quit,
-}
-
-const HELP: &str = "\
-commands:
-  fact <tuples>              add facts, e.g.  fact R(a, _x). R(b, c).
-  db                         show the database
-  clear                      reset the session
-  query <def>                define a query, e.g.  query Q(x) := R(x, x)
-  datalog <rules>            define a program on ONE line, ';'-separated, e.g.
-                             datalog p(x,y) :- e(x,y); p(x,z) :- p(x,y), e(y,z)
-  constraint <line>          add a constraint, e.g.  constraint fd R: 1 -> 2
-  sigma                      show the constraints
-  naive <name>               naïve evaluation (= almost certainly true answers)
-  certain <name>             certain answers
-  best <name>                best answers (⊴-maximal)
-  mu <name> [tuple]          exact measure μ(Q, D[, ā]), e.g.  mu Q (a, _x)
-  cond <name> [tuple]        conditional measure μ(Q | Σ, D[, ā])
-  series <name> <k>          the finite sequence μ¹..μᵏ
-  compare <name> <t1> <t2>   the orders between two answers
-  help                       this text
-  quit                       exit";
-
-impl Session {
-    /// Create an empty session.
-    pub fn new() -> Session {
-        Session::default()
-    }
-
-    /// Execute one command line.
-    pub fn execute(&mut self, line: &str) -> Result<Reply, String> {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            return Ok(Reply::Text(String::new()));
-        }
-        let (cmd, rest) = match line.split_once(char::is_whitespace) {
-            Some((c, r)) => (c, r.trim()),
-            None => (line, ""),
-        };
-        match cmd {
-            "help" => Ok(Reply::Text(HELP.to_string())),
-            "quit" | "exit" => Ok(Reply::Quit),
-            "clear" => {
-                *self = Session::new();
-                Ok(Reply::Text("session cleared".into()))
-            }
-            "fact" => self.add_facts(rest),
-            "db" => Ok(Reply::Text(format!("{}", self.db))),
-            "query" => self.add_query(rest),
-            "datalog" => self.add_program(rest),
-            "constraint" => self.add_constraint(rest),
-            "sigma" => Ok(Reply::Text(format!("{}", self.sigma))),
-            "naive" => self.naive(rest),
-            "certain" => self.certain(rest),
-            "best" => self.best(rest),
-            "mu" => self.mu(rest, false),
-            "cond" => self.mu(rest, true),
-            "series" => self.series(rest),
-            "compare" => self.compare(rest),
-            other => Err(format!("unknown command {other:?}; try 'help'")),
-        }
-    }
-
-    fn add_facts(&mut self, src: &str) -> Result<Reply, String> {
-        // Re-parse against the session's null names so `_x` stays the
-        // same null across `fact` commands.
-        let parsed = parse_database(src).map_err(|e| e.to_string())?;
-        // Remap the parse's fresh nulls onto the session's.
-        let mut remap: BTreeMap<NullId, NullId> = BTreeMap::new();
-        for (name, id) in &parsed.nulls {
-            let target = *self
-                .nulls
-                .entry(name.clone())
-                .or_insert(*id);
-            remap.insert(*id, target);
-        }
-        let remapped = parsed.db.map(|v| match v {
-            Value::Null(n) => Value::Null(*remap.get(&n).unwrap_or(&n)),
-            c => c,
-        });
-        let added = remapped.len();
-        self.db = self.db.union(&remapped);
-        Ok(Reply::Text(format!("{added} fact(s) added")))
-    }
-
-    fn add_query(&mut self, src: &str) -> Result<Reply, String> {
-        let q = parse_query(src).map_err(|e| e.to_string())?;
-        let name = q.name.clone();
-        self.queries.insert(name.clone(), q);
-        Ok(Reply::Text(format!("query {name} defined")))
-    }
-
-    fn add_program(&mut self, src: &str) -> Result<Reply, String> {
-        let multi = src.replace(';', "\n");
-        let p = parse_program(&multi).map_err(|e| e.to_string())?;
-        let name = p.output.resolve();
-        self.programs.insert(name.clone(), p);
-        Ok(Reply::Text(format!("program {name} defined")))
-    }
-
-    fn add_constraint(&mut self, src: &str) -> Result<Reply, String> {
-        let set = parse_constraints(src).map_err(|e| e.to_string())?;
-        for c in set.iter() {
-            self.sigma.push(c.clone());
-        }
-        Ok(Reply::Text(format!("{} constraint(s) added", set.len())))
-    }
-
-    fn query(&self, name: &str) -> Result<&Query, String> {
-        self.queries
-            .get(name)
-            .ok_or_else(|| format!("no query named {name:?} (define one with 'query')"))
-    }
-
-    /// Parse a tuple literal like `(a, _x)` against the session nulls.
-    fn tuple(&self, src: &str) -> Result<Tuple, String> {
-        let src = src.trim();
-        let inner = src
-            .strip_prefix('(')
-            .and_then(|s| s.strip_suffix(')'))
-            .ok_or_else(|| format!("expected a tuple like (a, _x), got {src:?}"))?;
-        let mut values = Vec::new();
-        for part in inner.split(',') {
-            let part = part.trim();
-            if part.is_empty() {
-                continue;
-            }
-            if let Some(null_name) = part.strip_prefix('_') {
-                let id = self
-                    .nulls
-                    .get(null_name)
-                    .ok_or_else(|| format!("unknown null _{null_name}"))?;
-                values.push(Value::Null(*id));
-            } else {
-                values.push(Value::Const(Cst::new(part)));
-            }
-        }
-        Ok(Tuple::new(values))
-    }
-
-    fn naive(&self, name: &str) -> Result<Reply, String> {
-        if let Some(p) = self.programs.get(name) {
-            return Ok(Reply::Text(format_tuples(&naive_eval_datalog(p, &self.db))));
-        }
-        let q = self.query(name)?;
-        Ok(Reply::Text(format_tuples(&naive_eval(q, &self.db))))
-    }
-
-    fn certain(&self, name: &str) -> Result<Reply, String> {
-        if let Some(p) = self.programs.get(name) {
-            return Ok(Reply::Text(format_tuples(&certain_datalog_answers(p, &self.db))));
-        }
-        let q = self.query(name)?;
-        Ok(Reply::Text(format_tuples(&certain_answers(q, &self.db))))
-    }
-
-    fn best(&self, name: &str) -> Result<Reply, String> {
-        let q = self.query(name)?;
-        Ok(Reply::Text(format_tuples(&best_answers(q, &self.db))))
-    }
-
-    fn event_for(&self, name: &str, tuple: Option<Tuple>) -> Result<Box<dyn SuppEvent>, String> {
-        if let Some(p) = self.programs.get(name) {
-            let t = tuple.unwrap_or_else(Tuple::empty);
-            if t.arity() != p.output_arity {
-                return Err(format!(
-                    "program {name} has output arity {}, tuple has {}",
-                    p.output_arity,
-                    t.arity()
-                ));
-            }
-            return Ok(Box::new(DatalogEvent::new(p.clone(), t)));
-        }
-        let q = self.query(name)?.clone();
-        Ok(match tuple {
-            None if q.is_boolean() => Box::new(BoolQueryEvent::new(q)),
-            None => return Err(format!("query {name} needs a tuple, e.g.  mu {name} (a, b)")),
-            Some(t) => {
-                if t.arity() != q.arity() {
-                    return Err(format!(
-                        "query {name} has arity {}, tuple has {}",
-                        q.arity(),
-                        t.arity()
-                    ));
-                }
-                Box::new(TupleAnswerEvent::new(q, t))
-            }
-        })
-    }
-
-    fn split_name_tuple<'b>(&self, rest: &'b str) -> (&'b str, Option<&'b str>) {
-        match rest.find('(') {
-            Some(i) if rest[..i].trim() != "" => (rest[..i].trim(), Some(rest[i..].trim())),
-            _ => (rest.trim(), None),
-        }
-    }
-
-    fn mu(&self, rest: &str, conditional: bool) -> Result<Reply, String> {
-        let (name, tuple_src) = self.split_name_tuple(rest);
-        let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
-        let ev = self.event_for(name, tuple)?;
-        let value = if conditional {
-            let sev = caz_core::ConstraintEvent::new(self.sigma.clone());
-            caz_core::mu_conditional_exact(ev.as_ref(), &sev, &self.db)
-        } else {
-            caz_core::mu_exact(ev.as_ref(), &self.db)
-        };
-        let label = if conditional { "μ(Q | Σ, D)" } else { "μ(Q, D)" };
-        Ok(Reply::Text(format!("{label} = {value}")))
-    }
-
-    fn series(&self, rest: &str) -> Result<Reply, String> {
-        let (head, k_src) = rest
-            .rsplit_once(char::is_whitespace)
-            .ok_or("usage: series <name> <k>")?;
-        let k: usize = k_src.trim().parse().map_err(|_| "k must be a number")?;
-        if k == 0 || k > 24 {
-            return Err("k must be between 1 and 24".into());
-        }
-        let (name, tuple_src) = self.split_name_tuple(head);
-        let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
-        let ev = self.event_for(name, tuple)?;
-        let s = mu_k_series(ev.as_ref(), &self.db, k);
-        let mut out = String::new();
-        write!(out, "{s}").unwrap();
-        Ok(Reply::Text(out))
-    }
-
-    fn compare(&self, rest: &str) -> Result<Reply, String> {
-        let open = rest.find('(').ok_or("usage: compare <name> (t1) (t2)")?;
-        let name = rest[..open].trim();
-        let tuples = &rest[open..];
-        let mid = tuples.find(')').ok_or("expected two tuples")? + 1;
-        let t1 = self.tuple(tuples[..mid].trim())?;
-        let t2 = self.tuple(tuples[mid..].trim())?;
-        let q = self.query(name)?;
-        let d12 = dominated(q, &self.db, &t1, &t2);
-        let d21 = dominated(q, &self.db, &t2, &t1);
-        let verdict = match (d12, d21) {
-            (true, true) => "equivalent support".to_string(),
-            (true, false) => format!("{t1} ⊲ {t2} ({t2} is strictly better)"),
-            (false, true) => format!("{t2} ⊲ {t1} ({t1} is strictly better)"),
-            (false, false) => "incomparable".to_string(),
-        };
-        Ok(Reply::Text(verdict))
-    }
-}
+pub use caz_service::session::{EvalKind, EvalRequest, Reply, Request, Session};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run(session: &mut Session, line: &str) -> String {
-        match session.execute(line).unwrap() {
-            Reply::Text(t) => t,
+    /// The re-exported session speaks the full command language (the
+    /// in-depth interpreter tests live in `caz-service`).
+    #[test]
+    fn shim_exposes_working_session() {
+        let mut s = Session::new();
+        s.execute("fact R(a, _x).").unwrap();
+        s.execute("query Q := exists u, v. R(u, v)").unwrap();
+        match s.execute("mu Q").unwrap() {
+            Reply::Text(t) => assert_eq!(t, "μ(Q, D) = 1"),
             Reply::Quit => panic!("unexpected quit"),
         }
-    }
-
-    #[test]
-    fn full_session_walkthrough() {
-        let mut s = Session::new();
-        run(&mut s, "fact R1(c1, _p1). R1(c2, _p1). R1(c2, _p2).");
-        run(&mut s, "fact R2(c1, _p2). R2(c2, _p1). R2(_c3, _p1).");
-        run(&mut s, "query Q(x, y) := R1(x, y) & !R2(x, y)");
-        assert_eq!(run(&mut s, "certain Q"), "{}");
-        let naive = run(&mut s, "naive Q");
-        assert!(naive.contains("c1") && naive.contains("c2"));
-        assert_eq!(run(&mut s, "mu Q (c1, _p1)"), "μ(Q, D) = 1");
-        let best = run(&mut s, "best Q");
-        assert!(best.contains("c2"));
-        let cmp = run(&mut s, "compare Q (c1, _p1) (c2, _p2)");
-        assert!(cmp.contains("strictly better"), "{cmp}");
-        run(&mut s, "constraint fd R1: 1 -> 2");
-        run(&mut s, "query Any := exists x, y. R1(x, y) & !R2(x, y)");
-        assert_eq!(run(&mut s, "cond Any"), "μ(Q | Σ, D) = 0");
-    }
-
-    #[test]
-    fn nulls_are_shared_across_fact_commands() {
-        let mut s = Session::new();
-        run(&mut s, "fact R(a, _x).");
-        run(&mut s, "fact S(_x).");
-        assert_eq!(s.db.nulls().len(), 1, "_x must stay the same null");
-        run(&mut s, "query Meet := exists u. R('a', u) & S(u)");
-        assert_eq!(run(&mut s, "mu Meet"), "μ(Q, D) = 1");
-    }
-
-    #[test]
-    fn datalog_in_the_shell() {
-        let mut s = Session::new();
-        run(&mut s, "fact edge(a, _m). edge(_m, c).");
-        run(
-            &mut s,
-            "datalog path(x, y) :- edge(x, y); path(x, z) :- path(x, y), edge(y, z)",
-        );
-        let certain = run(&mut s, "certain path");
-        assert!(certain.contains("(a, c)"), "{certain}");
-        assert_eq!(run(&mut s, "mu path (a, c)"), "μ(Q, D) = 1");
-        assert_eq!(run(&mut s, "mu path (c, a)"), "μ(Q, D) = 0");
-    }
-
-    #[test]
-    fn series_and_errors() {
-        let mut s = Session::new();
-        run(&mut s, "fact R(c1, _x). R(c2, _y).");
-        run(&mut s, "query Col := exists p. R(c1, p) & R(c2, p)");
-        let series = run(&mut s, "series Col 4");
-        assert!(series.contains("k=  4"), "{series}");
-        assert!(s.execute("mu Nope").is_err());
-        assert!(s.execute("series Col 0").is_err());
-        assert!(s.execute("bogus").is_err());
-        assert!(s.execute("mu Col (a, b)").is_err(), "arity mismatch");
         assert!(matches!(s.execute("quit").unwrap(), Reply::Quit));
     }
 
     #[test]
-    fn clear_resets() {
-        let mut s = Session::new();
-        run(&mut s, "fact R(a).");
-        run(&mut s, "clear");
-        assert_eq!(run(&mut s, "db"), "");
-        assert!(run(&mut s, "help").contains("commands"));
+    fn shim_exposes_request_layer() {
+        assert!(matches!(
+            Request::parse("mu Q"),
+            Ok(Some(Request::Eval(EvalRequest { kind: EvalKind::Mu, .. })))
+        ));
     }
 }

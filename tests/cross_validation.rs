@@ -2,206 +2,13 @@
 //! support-polynomial closed forms, exhaustive enumeration, the
 //! theorem fast paths (naïve evaluation, the chase), the Monte-Carlo
 //! estimator, and the UCQ certificate algorithm must all agree.
+//!
+//! The proptest suites live behind the non-default `ext-deps` feature
+//! because the external `proptest` crate cannot be fetched in the
+//! offline build environment (re-add it to [dev-dependencies] before
+//! enabling). The deterministic cross-checks below always run.
 
 use certain_answers::prelude::*;
-use caz_core::{m_k, mu_k, mu_k_conditional, BoolQueryEvent};
-use caz_logic::{random_query, random_ucq, QueryGenConfig};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn small_db(seed: u64, nulls: usize) -> Database {
-    let cfg = DbGenConfig {
-        relations: vec![("R".into(), 2), ("S".into(), 1)],
-        tuples_per_relation: 3,
-        num_constants: 2,
-        num_nulls: nulls,
-        null_prob: 0.5,
-    };
-    random_database(&mut StdRng::seed_from_u64(seed), &cfg)
-}
-
-fn rand_bool_query(seed: u64) -> Query {
-    let cfg = QueryGenConfig {
-        schema: Schema::from_pairs([("R", 2), ("S", 1)]),
-        arity: 0,
-        max_depth: 2,
-        allow_negation: true,
-        allow_forall: true,
-        constants: vec![Cst::new("d0")],
-    };
-    random_query(&mut StdRng::seed_from_u64(seed), &cfg)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Theorem 1, both directions, via three engines: the polynomial
-    /// limit is 0/1, equals naïve evaluation, and the finite μᵏ matches
-    /// the polynomial evaluated at k.
-    #[test]
-    fn polynomial_engine_vs_enumeration_vs_naive(seed in 0u64..5000, nulls in 0usize..3) {
-        let db = small_db(seed, nulls);
-        let q = rand_bool_query(seed.wrapping_add(1));
-        let ev = BoolQueryEvent::new(q.clone());
-        let sp = caz_core::support_poly(&ev, &db);
-        let limit = sp.mu_limit();
-        prop_assert!(limit.is_zero() || limit.is_one());
-        prop_assert_eq!(limit.is_one(), naive_eval_bool(&q, &db));
-        // The polynomial agrees with exhaustive counting at several k.
-        for k in [sp.named_count.max(1), sp.named_count + 2] {
-            let exact = caz_core::supp_k_count(&ev, &db, k);
-            prop_assert_eq!(
-                sp.count_at(k),
-                Ratio::from_int(exact as i64),
-                "k = {}", k
-            );
-        }
-    }
-
-    /// Theorem 2: at moderate k the μ and m sequences are within the
-    /// coarse band around their (common, 0/1) limit, and they agree on
-    /// databases without nulls exactly.
-    #[test]
-    fn mu_and_m_measures_agree(seed in 0u64..2000) {
-        let db = small_db(seed, 0);
-        let q = rand_bool_query(seed.wrapping_add(2));
-        let ev = BoolQueryEvent::new(q);
-        for k in [1usize, 3] {
-            prop_assert_eq!(mu_k(&ev, &db, k), m_k(&ev, &db, k));
-        }
-    }
-
-    /// Corollary 1: certain answers are a subset of naïve answers; and
-    /// every certain answer has μ = 1.
-    #[test]
-    fn certain_subset_of_naive(seed in 0u64..3000) {
-        let db = small_db(seed, 2);
-        let cfg = QueryGenConfig {
-            schema: Schema::from_pairs([("R", 2), ("S", 1)]),
-            arity: 1,
-            max_depth: 2,
-            allow_negation: true,
-            allow_forall: false,
-            constants: vec![],
-        };
-        let q = random_query(&mut StdRng::seed_from_u64(seed.wrapping_add(3)), &cfg);
-        let naive = naive_eval(&q, &db);
-        let certain = certain_answers(&q, &db);
-        for t in &certain {
-            prop_assert!(naive.contains(t), "certain ⊆ naïve");
-            prop_assert!(almost_certainly_true(&q, &db, Some(t)));
-        }
-    }
-
-    /// The Monte-Carlo estimator is consistent with exhaustive μᵏ.
-    #[test]
-    fn sampling_consistent(seed in 0u64..1000) {
-        let db = small_db(seed, 2);
-        let q = rand_bool_query(seed.wrapping_add(4));
-        let ev = BoolQueryEvent::new(q);
-        let k = 6;
-        let exact = mu_k(&ev, &db, k).to_f64();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let est = estimate_mu_k(&mut rng, &ev, &db, k, 1500);
-        // 2σ plus slack for the Bernoulli tail.
-        prop_assert!((est.value - exact).abs() <= 3.5 * est.std_error + 0.05,
-            "estimate {} vs exact {}", est.value, exact);
-    }
-
-    /// Theorem 3: the conditional closed form equals finite-k
-    /// enumeration once k covers the named constants.
-    #[test]
-    fn conditional_closed_form_vs_enumeration(seed in 0u64..2000) {
-        let db = small_db(seed, 2);
-        let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
-        let q = rand_bool_query(seed.wrapping_add(5));
-        let closed = mu_conditional(&q, &sigma, &db, None);
-        let qev = BoolQueryEvent::new(q);
-        let sev = ConstraintEvent::new(sigma);
-        // Named constants: ≤ 2 db constants + 1 query constant; nulls 2.
-        // k = 8 is already in the polynomial regime for this family *and*
-        // FD-conditional sequences stabilize exactly there (values only
-        // depend on collision counts).
-        let fin = mu_k_conditional(&qev, &sev, &db, 8);
-        let fin2 = mu_k_conditional(&qev, &sev, &db, 12);
-        // The sequence converges: closed form is between the trend.
-        let (lo, hi) = if fin <= fin2 { (fin, fin2) } else { (fin2, fin) };
-        let slack = Ratio::from_frac(1, 3);
-        prop_assert!(closed >= (&lo - &slack) && closed <= (&hi + &slack),
-            "closed {} vs finite {}..{}", closed, lo, hi);
-    }
-
-    /// Theorem 5: the chase fast path equals the polynomial engine for
-    /// FD constraints (constant tuples / Boolean queries).
-    #[test]
-    fn chase_path_equals_engine(seed in 0u64..3000) {
-        let db = small_db(seed, 2);
-        let fds = [Fd::new("R", vec![0], 1)];
-        let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
-        let q = rand_bool_query(seed.wrapping_add(6));
-        let fast = mu_conditional_fd(&q, &fds, &db, None).unwrap();
-        let slow = mu_conditional(&q, &sigma, &db, None);
-        prop_assert_eq!(fast.clone(), slow);
-        prop_assert!(fast.is_zero() || fast.is_one(), "0–1 law under FDs");
-    }
-
-    /// Theorem 8: the UCQ certificate algorithm equals brute-force Sep.
-    #[test]
-    fn ucq_certificate_equals_brute_force(seed in 0u64..1500) {
-        let cfg = DbGenConfig {
-            relations: vec![("R".into(), 2), ("S".into(), 1)],
-            tuples_per_relation: 2,
-            num_constants: 2,
-            num_nulls: 2,
-            null_prob: 0.5,
-        };
-        let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
-        let qcfg = QueryGenConfig {
-            schema: Schema::from_pairs([("R", 2), ("S", 1)]),
-            arity: 1,
-            max_depth: 2,
-            allow_negation: false,
-            allow_forall: false,
-            constants: vec![],
-        };
-        let q = random_ucq(&mut StdRng::seed_from_u64(seed.wrapping_add(7)), &qcfg);
-        let cmp = UcqComparator::new(&q).expect("generator yields UCQs");
-        let candidates = adom_candidates(&db, 1);
-        for a in candidates.iter().take(3) {
-            for b in candidates.iter().take(3) {
-                prop_assert_eq!(
-                    cmp.sep(&db, a, b),
-                    sep(&q, &db, a, b),
-                    "Sep({}, {}) on {}", a, b, q
-                );
-            }
-        }
-    }
-
-    /// Satisfiability dispatcher vs brute force on key/FK instances.
-    #[test]
-    fn satisfiability_dispatcher_exact(seed in 0u64..1200) {
-        let cfg = DbGenConfig {
-            relations: vec![("R".into(), 2), ("U".into(), 1)],
-            tuples_per_relation: 3,
-            num_constants: 3,
-            num_nulls: 2,
-            null_prob: 0.5,
-        };
-        let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
-        let schema = Schema::from_pairs([("R", 2), ("U", 1)]);
-        for cons in ["key R[1]", "fd R: 1 -> 2", "fk R[2] -> U[1]", "key R[1]\nfk R[2] -> U[1]"] {
-            let set = parse_constraints(cons).unwrap();
-            let fast = satisfiable(&set, &db, &schema).unwrap();
-            let brute = caz_constraints::satisfiable_generic(
-                &set.to_query(&schema).unwrap(),
-                &db,
-            );
-            prop_assert_eq!(fast, brute, "constraints {} on db {}", cons, db);
-        }
-    }
-}
 
 /// Non-proptest cross-check: the relational algebra path produces the
 /// same measures as the calculus path.
@@ -221,4 +28,246 @@ fn algebra_and_calculus_agree_on_measures() {
     );
 }
 
-use caz_core::ConstraintEvent;
+/// Deterministic replacement for a slice of the proptest sweep: the
+/// polynomial limit is 0/1, equals naïve evaluation, and matches
+/// exhaustive counting at several k, over a seeded workload.
+#[test]
+fn polynomial_engine_vs_enumeration_vs_naive_seeded() {
+    use caz_core::BoolQueryEvent;
+    use caz_logic::{random_query, QueryGenConfig};
+    use caz_testutil::rngs::StdRng;
+    use caz_testutil::SeedableRng;
+
+    for seed in 0u64..24 {
+        let nulls = (seed % 3) as usize;
+        let cfg = DbGenConfig {
+            relations: vec![("R".into(), 2), ("S".into(), 1)],
+            tuples_per_relation: 3,
+            num_constants: 2,
+            num_nulls: nulls,
+            null_prob: 0.5,
+        };
+        let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
+        let qcfg = QueryGenConfig {
+            schema: Schema::from_pairs([("R", 2), ("S", 1)]),
+            arity: 0,
+            max_depth: 2,
+            allow_negation: true,
+            allow_forall: true,
+            constants: vec![Cst::new("d0")],
+        };
+        let q = random_query(&mut StdRng::seed_from_u64(seed.wrapping_add(1)), &qcfg);
+        let ev = BoolQueryEvent::new(q.clone());
+        let sp = caz_core::support_poly(&ev, &db);
+        let limit = sp.mu_limit();
+        assert!(limit.is_zero() || limit.is_one());
+        assert_eq!(limit.is_one(), naive_eval_bool(&q, &db), "seed {seed}");
+        for k in [sp.named_count.max(1), sp.named_count + 2] {
+            let exact = caz_core::supp_k_count(&ev, &db, k);
+            assert_eq!(sp.count_at(k), Ratio::from_int(exact as i64), "seed {seed}, k = {k}");
+        }
+    }
+}
+
+#[cfg(feature = "ext-deps")]
+mod property_based {
+    use super::*;
+    use caz_core::{m_k, mu_k, mu_k_conditional, BoolQueryEvent, ConstraintEvent};
+    use caz_logic::{random_query, random_ucq, QueryGenConfig};
+    use proptest::prelude::*;
+    use caz_testutil::rngs::StdRng;
+    use caz_testutil::SeedableRng;
+
+    fn small_db(seed: u64, nulls: usize) -> Database {
+        let cfg = DbGenConfig {
+            relations: vec![("R".into(), 2), ("S".into(), 1)],
+            tuples_per_relation: 3,
+            num_constants: 2,
+            num_nulls: nulls,
+            null_prob: 0.5,
+        };
+        random_database(&mut StdRng::seed_from_u64(seed), &cfg)
+    }
+
+    fn rand_bool_query(seed: u64) -> Query {
+        let cfg = QueryGenConfig {
+            schema: Schema::from_pairs([("R", 2), ("S", 1)]),
+            arity: 0,
+            max_depth: 2,
+            allow_negation: true,
+            allow_forall: true,
+            constants: vec![Cst::new("d0")],
+        };
+        random_query(&mut StdRng::seed_from_u64(seed), &cfg)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Theorem 1, both directions, via three engines: the polynomial
+        /// limit is 0/1, equals naïve evaluation, and the finite μᵏ matches
+        /// the polynomial evaluated at k.
+        #[test]
+        fn polynomial_engine_vs_enumeration_vs_naive(seed in 0u64..5000, nulls in 0usize..3) {
+            let db = small_db(seed, nulls);
+            let q = rand_bool_query(seed.wrapping_add(1));
+            let ev = BoolQueryEvent::new(q.clone());
+            let sp = caz_core::support_poly(&ev, &db);
+            let limit = sp.mu_limit();
+            prop_assert!(limit.is_zero() || limit.is_one());
+            prop_assert_eq!(limit.is_one(), naive_eval_bool(&q, &db));
+            // The polynomial agrees with exhaustive counting at several k.
+            for k in [sp.named_count.max(1), sp.named_count + 2] {
+                let exact = caz_core::supp_k_count(&ev, &db, k);
+                prop_assert_eq!(
+                    sp.count_at(k),
+                    Ratio::from_int(exact as i64),
+                    "k = {}", k
+                );
+            }
+        }
+
+        /// Theorem 2: at moderate k the μ and m sequences are within the
+        /// coarse band around their (common, 0/1) limit, and they agree on
+        /// databases without nulls exactly.
+        #[test]
+        fn mu_and_m_measures_agree(seed in 0u64..2000) {
+            let db = small_db(seed, 0);
+            let q = rand_bool_query(seed.wrapping_add(2));
+            let ev = BoolQueryEvent::new(q);
+            for k in [1usize, 3] {
+                prop_assert_eq!(mu_k(&ev, &db, k), m_k(&ev, &db, k));
+            }
+        }
+
+        /// Corollary 1: certain answers are a subset of naïve answers; and
+        /// every certain answer has μ = 1.
+        #[test]
+        fn certain_subset_of_naive(seed in 0u64..3000) {
+            let db = small_db(seed, 2);
+            let cfg = QueryGenConfig {
+                schema: Schema::from_pairs([("R", 2), ("S", 1)]),
+                arity: 1,
+                max_depth: 2,
+                allow_negation: true,
+                allow_forall: false,
+                constants: vec![],
+            };
+            let q = random_query(&mut StdRng::seed_from_u64(seed.wrapping_add(3)), &cfg);
+            let naive = naive_eval(&q, &db);
+            let certain = certain_answers(&q, &db);
+            for t in &certain {
+                prop_assert!(naive.contains(t), "certain ⊆ naïve");
+                prop_assert!(almost_certainly_true(&q, &db, Some(t)));
+            }
+        }
+
+        /// The Monte-Carlo estimator is consistent with exhaustive μᵏ.
+        #[test]
+        fn sampling_consistent(seed in 0u64..1000) {
+            let db = small_db(seed, 2);
+            let q = rand_bool_query(seed.wrapping_add(4));
+            let ev = BoolQueryEvent::new(q);
+            let k = 6;
+            let exact = mu_k(&ev, &db, k).to_f64();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let est = estimate_mu_k(&mut rng, &ev, &db, k, 1500);
+            // 2σ plus slack for the Bernoulli tail.
+            prop_assert!((est.value - exact).abs() <= 3.5 * est.std_error + 0.05,
+                "estimate {} vs exact {}", est.value, exact);
+        }
+
+        /// Theorem 3: the conditional closed form equals finite-k
+        /// enumeration once k covers the named constants.
+        #[test]
+        fn conditional_closed_form_vs_enumeration(seed in 0u64..2000) {
+            let db = small_db(seed, 2);
+            let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
+            let q = rand_bool_query(seed.wrapping_add(5));
+            let closed = mu_conditional(&q, &sigma, &db, None);
+            let qev = BoolQueryEvent::new(q);
+            let sev = ConstraintEvent::new(sigma);
+            // Named constants: ≤ 2 db constants + 1 query constant; nulls 2.
+            // k = 8 is already in the polynomial regime for this family *and*
+            // FD-conditional sequences stabilize exactly there (values only
+            // depend on collision counts).
+            let fin = mu_k_conditional(&qev, &sev, &db, 8);
+            let fin2 = mu_k_conditional(&qev, &sev, &db, 12);
+            // The sequence converges: closed form is between the trend.
+            let (lo, hi) = if fin <= fin2 { (fin, fin2) } else { (fin2, fin) };
+            let slack = Ratio::from_frac(1, 3);
+            prop_assert!(closed >= (&lo - &slack) && closed <= (&hi + &slack),
+                "closed {} vs finite {}..{}", closed, lo, hi);
+        }
+
+        /// Theorem 5: the chase fast path equals the polynomial engine for
+        /// FD constraints (constant tuples / Boolean queries).
+        #[test]
+        fn chase_path_equals_engine(seed in 0u64..3000) {
+            let db = small_db(seed, 2);
+            let fds = [Fd::new("R", vec![0], 1)];
+            let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
+            let q = rand_bool_query(seed.wrapping_add(6));
+            let fast = mu_conditional_fd(&q, &fds, &db, None).unwrap();
+            let slow = mu_conditional(&q, &sigma, &db, None);
+            prop_assert_eq!(fast.clone(), slow);
+            prop_assert!(fast.is_zero() || fast.is_one(), "0–1 law under FDs");
+        }
+
+        /// Theorem 8: the UCQ certificate algorithm equals brute-force Sep.
+        #[test]
+        fn ucq_certificate_equals_brute_force(seed in 0u64..1500) {
+            let cfg = DbGenConfig {
+                relations: vec![("R".into(), 2), ("S".into(), 1)],
+                tuples_per_relation: 2,
+                num_constants: 2,
+                num_nulls: 2,
+                null_prob: 0.5,
+            };
+            let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
+            let qcfg = QueryGenConfig {
+                schema: Schema::from_pairs([("R", 2), ("S", 1)]),
+                arity: 1,
+                max_depth: 2,
+                allow_negation: false,
+                allow_forall: false,
+                constants: vec![],
+            };
+            let q = random_ucq(&mut StdRng::seed_from_u64(seed.wrapping_add(7)), &qcfg);
+            let cmp = UcqComparator::new(&q).expect("generator yields UCQs");
+            let candidates = adom_candidates(&db, 1);
+            for a in candidates.iter().take(3) {
+                for b in candidates.iter().take(3) {
+                    prop_assert_eq!(
+                        cmp.sep(&db, a, b),
+                        sep(&q, &db, a, b),
+                        "Sep({}, {}) on {}", a, b, q
+                    );
+                }
+            }
+        }
+
+        /// Satisfiability dispatcher vs brute force on key/FK instances.
+        #[test]
+        fn satisfiability_dispatcher_exact(seed in 0u64..1200) {
+            let cfg = DbGenConfig {
+                relations: vec![("R".into(), 2), ("U".into(), 1)],
+                tuples_per_relation: 3,
+                num_constants: 3,
+                num_nulls: 2,
+                null_prob: 0.5,
+            };
+            let db = random_database(&mut StdRng::seed_from_u64(seed), &cfg);
+            let schema = Schema::from_pairs([("R", 2), ("U", 1)]);
+            for cons in ["key R[1]", "fd R: 1 -> 2", "fk R[2] -> U[1]", "key R[1]\nfk R[2] -> U[1]"] {
+                let set = parse_constraints(cons).unwrap();
+                let fast = satisfiable(&set, &db, &schema).unwrap();
+                let brute = caz_constraints::satisfiable_generic(
+                    &set.to_query(&schema).unwrap(),
+                    &db,
+                );
+                prop_assert_eq!(fast, brute, "constraints {} on db {}", cons, db);
+            }
+        }
+    }
+}

@@ -4,8 +4,8 @@
 use certain_answers::prelude::*;
 use caz_core::{mu_implication, sigma_almost_certainly_true, BoolQueryEvent};
 use caz_logic::{random_query, QueryGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use caz_testutil::rngs::StdRng;
+use caz_testutil::SeedableRng;
 
 fn db_cfg(nulls: usize) -> DbGenConfig {
     DbGenConfig {
@@ -112,7 +112,7 @@ fn theorem_3_convergence_randomized() {
     let mut rng = StdRng::seed_from_u64(60);
     let sigma = parse_constraints("ind R[1] <= S[1]").unwrap();
     let mut non_trivial = 0;
-    for _ in 0..20 {
+    for _ in 0..60 {
         let db = random_database(&mut rng, &db_cfg(2));
         let q = random_query(&mut rng, &q_cfg(0));
         let v = mu_conditional(&q, &sigma, &db, None);
