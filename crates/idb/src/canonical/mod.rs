@@ -6,23 +6,49 @@
 //! the alternative measure `m` of Theorem 2 counts databases rather than
 //! valuations, so we need a decision procedure for this equivalence.
 //!
-//! For the small null counts the measure engine operates on (the cost of
-//! the measures themselves is exponential in the number of nulls), a
-//! minimum-over-permutations canonical string is simple and exact.
+//! Two implementations live side by side:
+//!
+//! * [`refine`] — the production path: color refinement over the fact
+//!   hypergraph partitions the nulls by iterated structural signatures,
+//!   then an individualize-and-refine search explores only the residual
+//!   symmetric cells. Verified cell symmetries (transpositions that are
+//!   automorphisms) collapse interchangeable branches, so realistic
+//!   databases with dozens of nulls canonicalize in a handful of nodes
+//!   where the old code gave up at nine.
+//! * [`oracle`] — the brute-force reference path kept as the in-tree
+//!   correctness oracle: factorial enumeration of null orders (the
+//!   seed's original algorithm) and an exhaustive, unpruned variant of
+//!   the refinement search. The seeded differential suite in
+//!   `tests/differential.rs` pins the fast path against both.
+//!
+//! Both paths emit strings produced by the same faithful serialization
+//! ([`serialize_with`]), so equality of canonical strings implies
+//! isomorphism *regardless of which algorithm produced each side* — a
+//! budget fallback can never cause a false cache merge.
+
+pub mod oracle;
+pub mod refine;
 
 use crate::database::Database;
 use crate::value::{NullId, Value};
 use std::collections::BTreeMap;
 
-/// Hard cap on nulls for the factorial canonicalization.
-const MAX_NULLS: usize = 9;
+pub use refine::{refined_canonical, stable_partition, Partition};
+
+/// Null counts up to this bound keep the seed's totality guarantee: if
+/// the refinement search exhausts its budget (pathological symmetric
+/// orbits), [`try_iso_canonical`] falls back to the factorial oracle
+/// instead of reporting the database uncanonicalizable. Beyond it, the
+/// factorial fallback is unaffordable and the refinement search is the
+/// only path.
+pub(crate) const MAX_FACTORIAL_NULLS: usize = 9;
 
 /// Serialize `db` with nulls renamed according to `order` (null at
 /// position `i` prints as `?i`); relation blocks sorted by *resolved*
 /// relation name and tuples sorted within each block, so the result —
 /// and any hash of it — is stable across processes regardless of symbol
 /// interning order or null-id allocation order.
-fn serialize_with(db: &Database, order: &[NullId]) -> String {
+pub(crate) fn serialize_with(db: &Database, order: &[NullId]) -> String {
     let index: BTreeMap<NullId, usize> =
         order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut blocks: Vec<String> = db
@@ -68,65 +94,60 @@ fn serialize_with(db: &Database, order: &[NullId]) -> String {
     blocks.concat()
 }
 
-fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
-    if items.is_empty() {
-        return vec![Vec::new()];
-    }
-    let mut out = Vec::new();
-    for (i, &x) in items.iter().enumerate() {
-        let mut rest: Vec<T> = items.to_vec();
-        rest.remove(i);
-        for mut p in permutations(&rest) {
-            p.insert(0, x);
-            out.push(p);
-        }
-    }
-    out
-}
-
 /// A canonical string for `db`, identical for isomorphic databases and
-/// distinct otherwise. Panics if the database has more than 9 nulls.
+/// distinct otherwise. Panics only when the refinement search blows its
+/// node budget on a database whose residual symmetric orbits are too
+/// large for the factorial fallback (more than
+/// [`MAX_FACTORIAL_NULLS`] nulls) — realistic databases, including ones
+/// with dozens of nulls, canonicalize.
 pub fn iso_canonical(db: &Database) -> String {
     try_iso_canonical(db).unwrap_or_else(|| {
         panic!(
-            "canonicalization supports at most {MAX_NULLS} nulls, got {}",
+            "canonicalization budget exhausted on a database with {} nulls \
+             (residual symmetric orbits too large)",
             db.nulls().len()
         )
     })
 }
 
-/// Non-panicking [`iso_canonical`]: `None` when the database has more
-/// nulls than the factorial minimization supports. Callers that use the
-/// canonical form opportunistically (e.g. result caches) degrade to
+/// Non-panicking [`iso_canonical`]: `None` when the refinement search
+/// exhausts its budget on a database with more than
+/// [`MAX_FACTORIAL_NULLS`] nulls. Callers that use the canonical form
+/// opportunistically (e.g. result caches) degrade to
 /// "uncanonicalizable" instead of dying.
+///
+/// Whether the budget suffices depends only on the isomorphism class
+/// (the search tree's shape is invariant under null renaming), so for a
+/// given class this either always succeeds or always fails — mixing the
+/// refinement result with the factorial fallback can never split or
+/// merge classes.
 pub fn try_iso_canonical(db: &Database) -> Option<String> {
-    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
-    if nulls.len() > MAX_NULLS {
-        return None;
+    match refine::refined_canonical(db, refine::DEFAULT_BUDGET) {
+        Some(s) => Some(s),
+        None if db.nulls().len() <= MAX_FACTORIAL_NULLS => oracle::min_perm_canonical(db),
+        None => None,
     }
-    Some(
-        permutations(&nulls)
-            .into_iter()
-            .map(|order| serialize_with(db, &order))
-            .min()
-            .unwrap_or_else(|| serialize_with(db, &[])),
-    )
 }
 
 /// A stable 128-bit digest of the canonical form: equal for isomorphic
 /// databases, stable across processes and runs (the serialization in
 /// [`iso_canonical`] depends only on resolved relation names, constant
 /// names, and null structure — never on interning or allocation order).
-/// `None` under the same null cap as [`try_iso_canonical`].
+/// `None` under the same budget condition as [`try_iso_canonical`].
 ///
 /// FNV-1a at 128 bits: collisions are negligible at any realistic cache
 /// size, and the digest is cheap enough to compute on every request.
+/// The *high* bits are well mixed, which the service layer relies on
+/// for shard selection.
 pub fn canonical_hash(db: &Database) -> Option<u128> {
     try_iso_canonical(db).map(|s| fnv1a_128(s.as_bytes()))
 }
 
-/// FNV-1a over `bytes`, 128-bit variant.
-pub(crate) fn fnv1a_128(bytes: &[u8]) -> u128 {
+/// FNV-1a over `bytes`, 128-bit variant. Exposed so callers that
+/// already hold a canonical string (e.g. the service cache key builder)
+/// can derive the same digest [`canonical_hash`] would produce without
+/// recanonicalizing.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
     const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
     const PRIME: u128 = 0x0000000001000000000000000000013b;
     let mut h = OFFSET;
@@ -141,24 +162,24 @@ pub(crate) fn fnv1a_128(bytes: &[u8]) -> u128 {
 /// mapping the database onto itself. This is the `|Aut|` factor relating
 /// the valuation-counting and database-counting measures in the proof of
 /// Theorem 2: two `C`-bijective valuations give the same `v(D)` iff they
-/// differ by such an automorphism. Panics beyond 9 nulls.
+/// differ by such an automorphism.
+///
+/// Total for any null count: when every stable cell of the refinement
+/// partition is fully symmetric (all transpositions verified as
+/// automorphisms), the count is the product of the cell factorials;
+/// otherwise a pruned per-cell backtracking search enumerates the
+/// cell-respecting permutations. Panics only if the count itself
+/// overflows `u64` (≥ 21 fully interchangeable nulls).
 pub fn null_automorphism_count(db: &Database) -> u64 {
-    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
-    assert!(nulls.len() <= MAX_NULLS, "too many nulls for automorphism counting");
-    permutations(&nulls)
-        .into_iter()
-        .filter(|perm| {
-            let map: BTreeMap<NullId, NullId> =
-                nulls.iter().copied().zip(perm.iter().copied()).collect();
-            db.map(|v| match v {
-                Value::Null(n) => Value::Null(map[&n]),
-                c => c,
-            }) == *db
-        })
-        .count() as u64
+    refine::automorphism_count(db)
 }
 
 /// True iff `a` and `b` differ only by a bijective renaming of nulls.
+/// Total for any null count: canonical forms decide the common case;
+/// if both sides exhaust the canonicalization budget (necessarily the
+/// same isomorphism class exhausts or neither does), a pruned
+/// backtracking matcher over the aligned refinement partitions decides
+/// directly.
 pub fn is_isomorphic(a: &Database, b: &Database) -> bool {
     if a.nulls().len() != b.nulls().len() || a.consts() != b.consts() {
         return false;
@@ -166,7 +187,19 @@ pub fn is_isomorphic(a: &Database, b: &Database) -> bool {
     if a.schema() != b.schema() {
         return false;
     }
-    iso_canonical(a) == iso_canonical(b)
+    if a.relations()
+        .zip(b.relations())
+        .any(|(ra, rb)| ra.len() != rb.len())
+    {
+        return false;
+    }
+    match (try_iso_canonical(a), try_iso_canonical(b)) {
+        (Some(ca), Some(cb)) => ca == cb,
+        // Budget exhaustion is class-invariant: one side succeeding and
+        // the other failing proves the classes differ.
+        (Some(_), None) | (None, Some(_)) => false,
+        (None, None) => refine::backtracking_isomorphic(a, b),
+    }
 }
 
 #[cfg(test)]
@@ -183,13 +216,38 @@ mod tests {
     }
 
     #[test]
-    fn try_canonical_bails_beyond_cap() {
+    fn fully_symmetric_orbits_beyond_old_cap_canonicalize() {
+        // Ten independent nulls were uncanonicalizable under the seed's
+        // factorial MAX_NULLS = 9 cap; the verified-symmetry pruning
+        // collapses the interchangeable branches to a single path.
         let mut db = Database::new();
-        for _ in 0..(MAX_NULLS + 1) {
+        for _ in 0..10 {
             db.insert("R", Tuple::new(vec![Value::Null(NullId::fresh())]));
         }
-        assert_eq!(try_iso_canonical(&db), None);
-        assert_eq!(canonical_hash(&db), None);
+        assert!(try_iso_canonical(&db).is_some());
+        assert!(canonical_hash(&db).is_some());
+    }
+
+    #[test]
+    fn twenty_null_chain_canonicalizes_and_is_invariant() {
+        // A 21-null chain R(?0,?1), R(?1,?2), … — far beyond the old
+        // factorial cap — must canonicalize, and two independently
+        // allocated copies must agree byte for byte.
+        let chain = |k: usize| {
+            let ns: Vec<NullId> = (0..=k).map(|_| NullId::fresh()).collect();
+            let mut db = Database::new();
+            for w in ns.windows(2) {
+                db.insert("R", Tuple::new(vec![Value::Null(w[0]), Value::Null(w[1])]));
+            }
+            db
+        };
+        let (a, b) = (chain(20), chain(20));
+        assert_eq!(a.nulls().len(), 21);
+        assert_eq!(try_iso_canonical(&a), try_iso_canonical(&b));
+        assert!(canonical_hash(&a).is_some());
+        assert!(is_isomorphic(&a, &b));
+        // A chain one link shorter is a different class.
+        assert!(!is_isomorphic(&a, &chain(19)));
     }
 
     #[test]
@@ -271,5 +329,44 @@ mod tests {
         let mut d2 = Database::new();
         d2.insert("R", Tuple::new(vec![Value::Null(y), Value::Null(x)]));
         assert!(is_isomorphic(&d1, &d2));
+    }
+
+    #[test]
+    fn automorphism_count_at_fifteen_nulls() {
+        // 15 fully interchangeable nulls: |Aut| = 15!, counted via the
+        // per-cell symmetry product — the old code asserted at > 9.
+        let mut db = Database::new();
+        for _ in 0..15 {
+            db.insert("U", Tuple::new(vec![Value::Null(NullId::fresh())]));
+        }
+        assert_eq!(null_automorphism_count(&db), (1..=15u64).product());
+    }
+
+    #[test]
+    fn automorphism_count_rigid_chain_at_sixteen_nulls() {
+        // A directed 16-null chain is rigid: only the identity fixes it.
+        let ns: Vec<NullId> = (0..16).map(|_| NullId::fresh()).collect();
+        let mut db = Database::new();
+        for w in ns.windows(2) {
+            db.insert("E", Tuple::new(vec![Value::Null(w[0]), Value::Null(w[1])]));
+        }
+        assert_eq!(null_automorphism_count(&db), 1);
+    }
+
+    #[test]
+    fn automorphism_count_directed_cycle() {
+        // A directed 12-cycle has exactly the 12 rotations. The stable
+        // partition is a single cell whose transpositions are NOT
+        // automorphisms, so this exercises the backtracking counter.
+        let ns: Vec<NullId> = (0..12).map(|_| NullId::fresh()).collect();
+        let mut db = Database::new();
+        for i in 0..12 {
+            db.insert(
+                "E",
+                Tuple::new(vec![Value::Null(ns[i]), Value::Null(ns[(i + 1) % 12])]),
+            );
+        }
+        assert_eq!(null_automorphism_count(&db), 12);
+        assert!(try_iso_canonical(&db).is_some(), "IR splits the cycle cell");
     }
 }

@@ -1,0 +1,187 @@
+//! Brute-force reference canonicalizers, kept in-tree as correctness
+//! oracles for the production [`refine`](super::refine) path.
+//!
+//! Two oracles, pinning two different properties:
+//!
+//! * [`min_perm_canonical`] — the seed's original algorithm: the
+//!   minimum of [`serialize_with`](super::serialize_with) over *all*
+//!   `n!` null orders. Its output is the ground truth for the
+//!   *equivalence kernel* (two databases get equal strings iff they are
+//!   isomorphic), but its concrete string generally differs from the
+//!   refinement canonicalizer's: refinement restricts the minimum to
+//!   orders compatible with the stable partition, and on an asymmetric
+//!   database those are a strict subset of all orders.
+//! * [`exhaustive_refined_canonical`] — the *same* search tree as the
+//!   production individualize-and-refine, but enumerated without the
+//!   node budget and without the verified-symmetry branch collapsing.
+//!   Its output must match the production path **byte for byte**, so it
+//!   pins exactly the two things the fast path adds (pruning and
+//!   budgeting) against an implementation with neither.
+//!
+//! Both are factorial-time and guarded by [`MAX_ORACLE_NULLS`]; they
+//! exist for the differential suite and for the ≤9-null totality
+//! fallback in [`try_iso_canonical`](super::try_iso_canonical).
+
+use super::refine::{refine_until_stable, stable_partition};
+use super::serialize_with;
+use crate::database::Database;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
+
+/// Hard cap on nulls for the factorial oracles (9! = 362,880 orders).
+pub const MAX_ORACLE_NULLS: usize = 9;
+
+/// All permutations of `items`, in input-index lexicographic order.
+pub(crate) fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<T> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The seed's canonical form: minimum serialization over all `n!` null
+/// orders. `None` beyond [`MAX_ORACLE_NULLS`].
+pub fn min_perm_canonical(db: &Database) -> Option<String> {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    if nulls.len() > MAX_ORACLE_NULLS {
+        return None;
+    }
+    Some(
+        permutations(&nulls)
+            .into_iter()
+            .map(|order| serialize_with(db, &order))
+            .min()
+            .unwrap_or_else(|| serialize_with(db, &[])),
+    )
+}
+
+/// The seed's automorphism counter: filter all `n!` permutations by
+/// whether they map the database onto itself. `None` beyond
+/// [`MAX_ORACLE_NULLS`].
+pub fn perm_automorphism_count(db: &Database) -> Option<u64> {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    if nulls.len() > MAX_ORACLE_NULLS {
+        return None;
+    }
+    let count = permutations(&nulls)
+        .into_iter()
+        .filter(|perm| {
+            let map: BTreeMap<NullId, NullId> =
+                nulls.iter().copied().zip(perm.iter().copied()).collect();
+            db.map(|v| match v {
+                Value::Null(n) => Value::Null(map[&n]),
+                c => c,
+            }) == *db
+        })
+        .count() as u64;
+    Some(count)
+}
+
+/// Node cap for [`exhaustive_refined_canonical`]: without symmetry
+/// pruning a large orbit's tree is factorial, and the oracle must stay
+/// affordable inside a 5,000-database differential run.
+const EXHAUSTIVE_NODE_CAP: usize = 1_000_000;
+
+/// The refinement canonical form computed the slow, obviously-correct
+/// way: enumerate **every** leaf of the individualize-and-refine tree —
+/// no node budget, no verified-symmetry branch collapsing — and take
+/// the minimum serialization. Byte-for-byte equal to
+/// [`refined_canonical`](super::refine::refined_canonical) whenever the
+/// latter succeeds: collapsed branches only ever drop leaves that are
+/// duplicated by an automorphism, never the minimum. `None` only if the
+/// unpruned tree exceeds [`EXHAUSTIVE_NODE_CAP`] nodes.
+pub fn exhaustive_refined_canonical(db: &Database) -> Option<String> {
+    fn walk(
+        db: &Database,
+        p: &super::refine::Partition,
+        nodes: &mut usize,
+        best: &mut Option<String>,
+    ) -> Option<()> {
+        *nodes += 1;
+        if *nodes > EXHAUSTIVE_NODE_CAP {
+            return None;
+        }
+        let Some(ci) = p.first_non_singleton() else {
+            let s = serialize_with(db, &p.order());
+            if best.as_ref().is_none_or(|b| s < *b) {
+                *best = Some(s);
+            }
+            return Some(());
+        };
+        // Branch on EVERY member — the pruned search branches once per
+        // verified-symmetric component; enumerating them all is what
+        // makes this an oracle for that collapsing.
+        for &member in &p.cells()[ci] {
+            let mut child = p.individualize(ci, member);
+            refine_until_stable(db, &mut child);
+            walk(db, &child, nodes, best)?;
+        }
+        Some(())
+    }
+    let mut best = None;
+    let mut nodes = 0;
+    walk(db, &stable_partition(db), &mut nodes, &mut best)?;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::value::cst;
+
+    #[test]
+    fn permutation_counts() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations::<u8>(&[]).len(), 1);
+    }
+
+    #[test]
+    fn min_perm_bails_beyond_cap() {
+        let mut db = Database::new();
+        for _ in 0..(MAX_ORACLE_NULLS + 1) {
+            db.insert("R", Tuple::new(vec![Value::Null(NullId::fresh())]));
+        }
+        assert_eq!(min_perm_canonical(&db), None);
+        assert_eq!(perm_automorphism_count(&db), None);
+    }
+
+    #[test]
+    fn oracles_agree_with_production_on_a_mixed_database() {
+        let (x, y, z) = (NullId::fresh(), NullId::fresh(), NullId::fresh());
+        let mut db = Database::new();
+        db.insert("R", Tuple::new(vec![cst("a"), Value::Null(x)]));
+        db.insert("R", Tuple::new(vec![Value::Null(y), Value::Null(x)]));
+        db.insert("S", Tuple::new(vec![Value::Null(z)]));
+        let fast = super::super::refine::refined_canonical(&db, 50_000).unwrap();
+        assert_eq!(exhaustive_refined_canonical(&db), Some(fast.clone()));
+        // The min-perm string uses a different (coarser) search space but
+        // the same serialization; on this db the stable partition is
+        // discrete except for nothing, so both should find strings that
+        // at minimum agree as canonical *keys* within their own scheme.
+        let a = min_perm_canonical(&db).unwrap();
+        let renamed = db.map(|v| v); // identity: same class
+        assert_eq!(min_perm_canonical(&renamed), Some(a));
+    }
+
+    #[test]
+    fn exhaustive_matches_production_on_symmetric_orbits() {
+        let mut db = Database::new();
+        for _ in 0..5 {
+            db.insert("U", Tuple::new(vec![Value::Null(NullId::fresh())]));
+        }
+        assert_eq!(
+            exhaustive_refined_canonical(&db),
+            super::super::refine::refined_canonical(&db, 50_000),
+        );
+    }
+}

@@ -1,0 +1,545 @@
+//! Color refinement over the fact hypergraph: the production
+//! canonicalization path.
+//!
+//! The idea is the classic one from graph canonization (1-dimensional
+//! Weisfeiler–Leman plus individualize-and-refine, as in `nauty`/
+//! `bliss`), transposed to incomplete databases where the "vertices"
+//! are the marked nulls and the "edges" are the facts they occur in:
+//!
+//! 1. **Initial colors** come from each null's *incidence signature*:
+//!    for every occurrence, the relation name, the column, and the
+//!    co-occurring constants (other nulls abstracted to their current
+//!    color, repeated occurrences of the same null marked).
+//! 2. **Refinement** recomputes signatures against the current colors
+//!    until the partition stops splitting. The resulting *stable
+//!    partition* is isomorphism-invariant: renaming nulls permutes cell
+//!    members but never changes the cells' structural keys or order.
+//! 3. **Individualize-and-refine** handles residual symmetric cells:
+//!    pick the first non-singleton cell, split one member off, refine,
+//!    recurse; the canonical form is the minimum serialization over all
+//!    leaves (discrete partitions) of that search tree. Branches whose
+//!    members are *verified* interchangeable — every transposition
+//!    inside the component is checked to be an automorphism — are
+//!    collapsed to one representative, so fully symmetric orbits cost
+//!    linear instead of factorial work.
+//!
+//! A node budget bounds the search on adversarial inputs (large orbits
+//! with no verifiable pairwise symmetry). Budget exhaustion depends
+//! only on the isomorphism class: the tree's shape and the pruning
+//! decisions are functions of the structure, never of null ids, so a
+//! class either always canonicalizes or never does.
+
+use super::serialize_with;
+use crate::database::Database;
+use crate::tuple::Tuple;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
+
+/// Node budget for [`refined_canonical`] under the crate-level API: far
+/// above anything a realistic database needs (those finish in tens of
+/// nodes), low enough that a hopeless symmetric blow-up fails fast.
+pub(crate) const DEFAULT_BUDGET: usize = 50_000;
+
+/// An ordered partition of a database's nulls. Cell *order* is
+/// canonical (derived from structural keys only), cell *membership
+/// order* is arbitrary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    cells: Vec<Vec<NullId>>,
+}
+
+impl Partition {
+    /// The cells, coarsest split first, in canonical order.
+    pub fn cells(&self) -> &[Vec<NullId>] {
+        &self.cells
+    }
+
+    /// Sizes of the cells in canonical order — a cheap isomorphism
+    /// invariant (isomorphic databases have identical profiles).
+    pub fn cell_sizes(&self) -> Vec<usize> {
+        self.cells.iter().map(Vec::len).collect()
+    }
+
+    /// True iff every cell is a singleton (the partition determines a
+    /// unique canonical labeling).
+    pub fn is_discrete(&self) -> bool {
+        self.cells.iter().all(|c| c.len() == 1)
+    }
+
+    pub(crate) fn first_non_singleton(&self) -> Option<usize> {
+        self.cells.iter().position(|c| c.len() > 1)
+    }
+
+    /// Map from null to its cell index.
+    fn ranks(&self) -> BTreeMap<NullId, usize> {
+        let mut out = BTreeMap::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            for &n in cell {
+                out.insert(n, i);
+            }
+        }
+        out
+    }
+
+    /// The canonical null order of a discrete partition.
+    pub(crate) fn order(&self) -> Vec<NullId> {
+        debug_assert!(self.is_discrete());
+        self.cells.iter().map(|c| c[0]).collect()
+    }
+
+    /// Split `member` out of cell `cell` (member first, remainder
+    /// keeps the cell's position directly after it).
+    pub(crate) fn individualize(&self, cell: usize, member: NullId) -> Partition {
+        let mut cells = Vec::with_capacity(self.cells.len() + 1);
+        for (i, c) in self.cells.iter().enumerate() {
+            if i == cell {
+                cells.push(vec![member]);
+                cells.push(c.iter().copied().filter(|&n| n != member).collect());
+            } else {
+                cells.push(c.clone());
+            }
+        }
+        Partition { cells }
+    }
+}
+
+/// For every null, the sorted list of its occurrence signatures under
+/// the current coloring: relation, arity, column, and the co-occurring
+/// values with constants spelled out, the null itself marked `*`, and
+/// other nulls abstracted to their current cell rank.
+fn signatures(db: &Database, ranks: &BTreeMap<NullId, usize>) -> BTreeMap<NullId, Vec<String>> {
+    let mut sigs: BTreeMap<NullId, Vec<String>> = BTreeMap::new();
+    for rel in db.relations() {
+        let rel_name = rel.name().resolve();
+        for t in rel.iter() {
+            for (i, v) in t.iter().enumerate() {
+                let Value::Null(n) = v else { continue };
+                let mut sig = String::new();
+                sig.push_str(&rel_name);
+                sig.push('/');
+                sig.push_str(&t.arity().to_string());
+                sig.push('#');
+                sig.push_str(&i.to_string());
+                sig.push('(');
+                for (j, w) in t.iter().enumerate() {
+                    if j > 0 {
+                        sig.push(',');
+                    }
+                    match w {
+                        Value::Const(c) => {
+                            sig.push('c');
+                            sig.push_str(&c.name());
+                        }
+                        Value::Null(m) if m == n => sig.push('*'),
+                        Value::Null(m) => {
+                            sig.push('r');
+                            sig.push_str(&ranks[m].to_string());
+                        }
+                    }
+                }
+                sig.push(')');
+                sigs.entry(*n).or_default().push(sig);
+            }
+        }
+    }
+    for v in sigs.values_mut() {
+        v.sort();
+    }
+    sigs
+}
+
+/// One refinement round: regroup every cell by (old rank, signature
+/// key). `BTreeMap` ordering makes the new cell order a function of
+/// structural keys only, so it is invariant under null renaming.
+fn refine_round(db: &Database, p: &Partition) -> Partition {
+    let ranks = p.ranks();
+    let sigs = signatures(db, &ranks);
+    let mut groups: BTreeMap<(usize, &[String]), Vec<NullId>> = BTreeMap::new();
+    for (i, cell) in p.cells.iter().enumerate() {
+        for &n in cell {
+            groups
+                .entry((i, sigs[&n].as_slice()))
+                .or_default()
+                .push(n);
+        }
+    }
+    Partition { cells: groups.into_values().collect() }
+}
+
+/// Iterate refinement rounds to the fixpoint. Refinement only splits,
+/// so an unchanged cell count means an unchanged partition.
+pub(crate) fn refine_until_stable(db: &Database, p: &mut Partition) {
+    loop {
+        let next = refine_round(db, p);
+        if next.cells.len() == p.cells.len() {
+            return;
+        }
+        *p = next;
+    }
+}
+
+/// The stable color-refinement partition of `db`'s nulls: an
+/// isomorphism-invariant ordered partition. Every null-automorphism
+/// maps each cell onto itself; distinct cells hold structurally
+/// distinguishable nulls.
+pub fn stable_partition(db: &Database) -> Partition {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    let mut p = Partition {
+        cells: if nulls.is_empty() { Vec::new() } else { vec![nulls] },
+    };
+    refine_until_stable(db, &mut p);
+    p
+}
+
+/// Apply the transposition of nulls `x`/`y` to `db` and test whether it
+/// is an automorphism. O(database) per call, used to *verify* cell
+/// symmetries before exploiting them.
+fn swap_is_automorphism(db: &Database, x: NullId, y: NullId) -> bool {
+    db.map(|v| match v {
+        Value::Null(n) if n == x => Value::Null(y),
+        Value::Null(n) if n == y => Value::Null(x),
+        other => other,
+    }) == *db
+}
+
+/// Group a cell's members into components connected by *verified*
+/// transposition automorphisms. Transpositions generate the full
+/// symmetric group on each component, so within a component all members
+/// are interchangeable: the IR search only needs one representative per
+/// component, and the automorphism counter can take the factorial of
+/// the component size.
+fn symmetric_components(db: &Database, cell: &[NullId]) -> Vec<Vec<NullId>> {
+    let k = cell.len();
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if find(&mut parent, i) != find(&mut parent, j)
+                && swap_is_automorphism(db, cell[i], cell[j])
+            {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    let mut comps: BTreeMap<usize, Vec<NullId>> = BTreeMap::new();
+    for (i, &n) in cell.iter().enumerate() {
+        let root = find(&mut parent, i);
+        comps.entry(root).or_default().push(n);
+    }
+    comps.into_values().collect()
+}
+
+/// The individualize-and-refine search: streaming minimum over leaf
+/// serializations, with verified-symmetry branch collapsing and a node
+/// budget.
+struct Search<'a> {
+    db: &'a Database,
+    budget: usize,
+    best: Option<String>,
+}
+
+struct BudgetExhausted;
+
+impl Search<'_> {
+    fn run(&mut self, p: &Partition) -> Result<(), BudgetExhausted> {
+        if self.budget == 0 {
+            return Err(BudgetExhausted);
+        }
+        self.budget -= 1;
+        let Some(ci) = p.first_non_singleton() else {
+            let s = serialize_with(self.db, &p.order());
+            if self.best.as_ref().is_none_or(|b| s < *b) {
+                self.best = Some(s);
+            }
+            return Ok(());
+        };
+        // Branch once per verified-symmetric component: members joined
+        // by transposition automorphisms produce identical leaf sets.
+        for component in symmetric_components(self.db, &p.cells[ci]) {
+            let mut child = p.individualize(ci, component[0]);
+            refine_until_stable(self.db, &mut child);
+            self.run(&child)?;
+        }
+        Ok(())
+    }
+}
+
+/// The refinement-based canonical form: minimum serialization over the
+/// leaves of the individualize-and-refine tree rooted at the stable
+/// partition. `None` iff the search exceeds `budget` nodes — a property
+/// of the isomorphism class, never of the concrete null ids.
+pub fn refined_canonical(db: &Database, budget: usize) -> Option<String> {
+    let mut search = Search { db, budget, best: None };
+    match search.run(&stable_partition(db)) {
+        Ok(()) => search.best,
+        Err(BudgetExhausted) => None,
+    }
+}
+
+/// Number of null automorphisms, total for any null count.
+///
+/// Fast path: if every stable cell is a single verified-symmetric
+/// component, `Aut` is exactly the direct product of the cells'
+/// symmetric groups, so the count is the product of cell factorials.
+/// Otherwise a backtracking search enumerates the cell-respecting
+/// permutations with incremental pruning (automorphisms always respect
+/// the stable partition, because its colors are structural invariants).
+pub(crate) fn automorphism_count(db: &Database) -> u64 {
+    let p = stable_partition(db);
+    let fully_symmetric = p
+        .cells
+        .iter()
+        .all(|cell| symmetric_components(db, cell).len() == 1);
+    if fully_symmetric {
+        return p
+            .cells
+            .iter()
+            .try_fold(1u64, |acc, cell| {
+                (1..=cell.len() as u64).try_fold(acc, |a, k| a.checked_mul(k))
+            })
+            .expect("null automorphism count overflows u64");
+    }
+    let mut count = 0u64;
+    let mut matcher = Matcher::new(db, &p, db, &p);
+    matcher.search(0, &mut |_| {
+        count += 1;
+        true // keep enumerating
+    });
+    count
+}
+
+/// Decide isomorphism directly by backtracking over cell-aligned
+/// candidate maps — the fallback when both sides exhaust the
+/// canonicalization budget. Sound and complete: stable partitions are
+/// isomorphism-invariant, so any isomorphism maps `a`'s i-th cell onto
+/// `b`'s i-th cell; if the cell-size profiles disagree there is none.
+pub(crate) fn backtracking_isomorphic(a: &Database, b: &Database) -> bool {
+    let (pa, pb) = (stable_partition(a), stable_partition(b));
+    if pa.cell_sizes() != pb.cell_sizes() {
+        return false;
+    }
+    let mut found = false;
+    let mut matcher = Matcher::new(a, &pa, b, &pb);
+    matcher.search(0, &mut |_| {
+        found = true;
+        false // one witness is enough
+    });
+    found
+}
+
+/// Backtracking enumeration of the bijections from `src`'s nulls to
+/// `dst`'s nulls that (1) respect the aligned stable partitions and
+/// (2) map `src` onto `dst`. Pruning: after each single assignment,
+/// every `src` tuple whose nulls are all assigned must have its image
+/// present in `dst`. Because the map is bijective on nulls and the
+/// identity on constants, per-tuple image presence for *all* tuples
+/// plus equal tuple counts already forces the image to equal `dst`.
+struct Matcher<'a> {
+    src: &'a Database,
+    dst: &'a Database,
+    /// Nulls of `src` in cell order, flattened.
+    order: Vec<NullId>,
+    /// For each position in `order`, the candidate targets (the aligned
+    /// `dst` cell) and which of them are taken.
+    cells: Vec<(usize, usize)>,
+    targets: Vec<Vec<NullId>>,
+    used: Vec<Vec<bool>>,
+    map: BTreeMap<NullId, NullId>,
+    /// For each src null, the tuples (relation resolved name, tuple)
+    /// it occurs in — checked as soon as fully assigned.
+    occurrences: BTreeMap<NullId, Vec<(String, Tuple)>>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(src: &'a Database, ps: &Partition, dst: &'a Database, pd: &Partition) -> Matcher<'a> {
+        let mut order = Vec::new();
+        let mut cells = Vec::new();
+        for (ci, cell) in ps.cells.iter().enumerate() {
+            for &n in cell {
+                order.push(n);
+                cells.push((ci, 0));
+            }
+        }
+        let targets: Vec<Vec<NullId>> = pd.cells.to_vec();
+        let used = targets.iter().map(|c| vec![false; c.len()]).collect();
+        let mut occurrences: BTreeMap<NullId, Vec<(String, Tuple)>> = BTreeMap::new();
+        for rel in src.relations() {
+            let name = rel.name().resolve();
+            for t in rel.iter() {
+                for n in t.nulls() {
+                    let entry = occurrences.entry(n).or_default();
+                    if !entry.iter().any(|(rn, rt)| *rn == name && rt == t) {
+                        entry.push((name.clone(), t.clone()));
+                    }
+                }
+            }
+        }
+        Matcher { src, dst, order, cells, targets, used, map: BTreeMap::new(), occurrences }
+    }
+
+    /// True iff every fully-assigned tuple containing `n` maps into
+    /// `dst`.
+    fn consistent(&self, n: NullId) -> bool {
+        let Some(occ) = self.occurrences.get(&n) else { return true };
+        occ.iter().all(|(rel_name, t)| {
+            let mut complete = true;
+            let image = Tuple::new(
+                t.iter()
+                    .map(|v| match v {
+                        Value::Null(m) => match self.map.get(m) {
+                            Some(&target) => Value::Null(target),
+                            None => {
+                                complete = false;
+                                *v
+                            }
+                        },
+                        c => *c,
+                    })
+                    .collect(),
+            );
+            if !complete {
+                return true;
+            }
+            self.dst
+                .relation(rel_name)
+                .is_some_and(|rel| rel.contains(&image))
+        })
+    }
+
+    /// Depth-first over positions; `emit` receives each complete valid
+    /// map and returns whether to continue enumerating.
+    fn search(&mut self, pos: usize, emit: &mut dyn FnMut(&BTreeMap<NullId, NullId>) -> bool) -> bool {
+        if pos == self.order.len() {
+            // Bijective-on-nulls + identity-on-constants maps are
+            // injective on tuples; per-tuple presence (checked along
+            // the way) plus equal sizes forces image == dst. The
+            // callers pre-check sizes; assert in debug builds.
+            debug_assert_eq!(
+                self.src.map(|v| match v {
+                    Value::Null(m) => Value::Null(self.map[&m]),
+                    c => c,
+                }),
+                *self.dst
+            );
+            return emit(&self.map);
+        }
+        let n = self.order[pos];
+        let cell = self.cells[pos].0;
+        for ti in 0..self.targets[cell].len() {
+            if self.used[cell][ti] {
+                continue;
+            }
+            let target = self.targets[cell][ti];
+            self.used[cell][ti] = true;
+            self.map.insert(n, target);
+            let keep_going = !self.consistent(n) || self.search(pos + 1, emit);
+            self.map.remove(&n);
+            self.used[cell][ti] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::cst;
+
+    fn null() -> Value {
+        Value::Null(NullId::fresh())
+    }
+
+    #[test]
+    fn stable_partition_splits_by_constant_context() {
+        // ?x sits next to a, ?y next to b, ?z shares a tuple with ?x:
+        // three distinguishable nulls, three singleton cells.
+        let (x, y, z) = (NullId::fresh(), NullId::fresh(), NullId::fresh());
+        let mut db = Database::new();
+        db.insert("R", Tuple::new(vec![cst("a"), Value::Null(x)]));
+        db.insert("R", Tuple::new(vec![cst("b"), Value::Null(y)]));
+        db.insert("S", Tuple::new(vec![Value::Null(x), Value::Null(z)]));
+        let p = stable_partition(&db);
+        assert!(p.is_discrete(), "{p:?}");
+        assert_eq!(p.cells().len(), 3);
+    }
+
+    #[test]
+    fn stable_partition_keeps_symmetric_nulls_together() {
+        let mut db = Database::new();
+        db.insert("U", Tuple::new(vec![null()]));
+        db.insert("U", Tuple::new(vec![null()]));
+        db.insert("U", Tuple::new(vec![null()]));
+        let p = stable_partition(&db);
+        assert_eq!(p.cell_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn refinement_propagates_through_shared_tuples() {
+        // ?a is pinned by the constant; ?b co-occurs with ?a, ?c with
+        // ?b. The first round only separates ?a; the second separates
+        // ?b from ?c — a genuine fixpoint iteration.
+        let (a, b, c) = (NullId::fresh(), NullId::fresh(), NullId::fresh());
+        let mut db = Database::new();
+        db.insert("K", Tuple::new(vec![cst("k"), Value::Null(a)]));
+        db.insert("E", Tuple::new(vec![Value::Null(a), Value::Null(b)]));
+        db.insert("E", Tuple::new(vec![Value::Null(b), Value::Null(c)]));
+        db.insert("E", Tuple::new(vec![Value::Null(c), Value::Null(c)]));
+        let p = stable_partition(&db);
+        assert!(p.is_discrete(), "{p:?}");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let mut db = Database::new();
+        for _ in 0..6 {
+            db.insert("U", Tuple::new(vec![null()]));
+        }
+        // Budget 1 cannot even reach a leaf of a 6-null symmetric cell.
+        assert_eq!(refined_canonical(&db, 1), None);
+        assert!(refined_canonical(&db, DEFAULT_BUDGET).is_some());
+    }
+
+    #[test]
+    fn symmetric_components_verify_before_collapsing() {
+        // Two interchangeable nulls and one pinned by a constant tuple:
+        // the pinned one lands in its own cell after refinement, and the
+        // symmetric pair forms one component.
+        let (x, y, z) = (NullId::fresh(), NullId::fresh(), NullId::fresh());
+        let mut db = Database::new();
+        db.insert("U", Tuple::new(vec![Value::Null(x)]));
+        db.insert("U", Tuple::new(vec![Value::Null(y)]));
+        db.insert("U", Tuple::new(vec![Value::Null(z)]));
+        db.insert("P", Tuple::new(vec![cst("p"), Value::Null(z)]));
+        let p = stable_partition(&db);
+        let mut sizes = p.cell_sizes();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 2]);
+        let pair = p.cells().iter().find(|c| c.len() == 2).unwrap();
+        let comps = symmetric_components(&db, pair);
+        assert_eq!(comps.len(), 1, "x and y interchange");
+    }
+
+    #[test]
+    fn backtracking_matcher_agrees_on_small_cases() {
+        let mk = |shared: bool| {
+            let (x, y) = (NullId::fresh(), NullId::fresh());
+            let mut db = Database::new();
+            db.insert("R", Tuple::new(vec![Value::Null(x), Value::Null(if shared { x } else { y })]));
+            db.insert("S", Tuple::new(vec![Value::Null(y)]));
+            db
+        };
+        assert!(backtracking_isomorphic(&mk(true), &mk(true)));
+        assert!(backtracking_isomorphic(&mk(false), &mk(false)));
+        assert!(!backtracking_isomorphic(&mk(true), &mk(false)));
+    }
+}

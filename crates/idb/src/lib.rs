@@ -29,7 +29,8 @@ pub mod valuation;
 pub mod value;
 
 pub use canonical::{
-    canonical_hash, is_isomorphic, iso_canonical, null_automorphism_count, try_iso_canonical,
+    canonical_hash, fnv1a_128, is_isomorphic, iso_canonical, null_automorphism_count,
+    try_iso_canonical,
 };
 pub use codd::{is_codd, null_occurrences, to_codd, CoddResult};
 pub use database::Database;

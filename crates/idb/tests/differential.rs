@@ -1,0 +1,316 @@
+//! Seeded differential suite: the refinement canonicalizer against the
+//! in-tree brute-force oracles.
+//!
+//! Every test derives its randomness from `CAZ_TEST_SEED` (decimal,
+//! default [`DEFAULT_SEED`]); the seed is embedded in every assertion
+//! message, so a counterexample found anywhere reproduces offline with
+//! `CAZ_TEST_SEED=<seed> cargo test -p caz-idb --test differential`.
+//!
+//! What is pinned, and against what:
+//!
+//! * `refined_canonical` (budgeted, symmetry-pruned) must agree **byte
+//!   for byte** with `exhaustive_refined_canonical` (same search tree,
+//!   no budget, no pruning) — this isolates exactly the two things the
+//!   production path adds.
+//! * The *equivalence kernel* (which databases get equal strings) must
+//!   agree with the seed's `min_perm_canonical`, whose strings live in
+//!   a different space but whose equalities define isomorphism.
+//! * `null_automorphism_count` must equal the seed's filter-all-`n!`
+//!   counter wherever the latter is affordable.
+//! * Beyond the old 9-null cap: canonical forms exist, are invariant
+//!   under random bijective renamings, and separate structural mutants
+//!   (tuple dropped, null merged).
+
+use caz_idb::canonical::oracle::{
+    exhaustive_refined_canonical, min_perm_canonical, perm_automorphism_count,
+};
+use caz_idb::canonical::refine::refined_canonical;
+use caz_idb::{
+    canonical_hash, is_isomorphic, null_automorphism_count, random_database, try_iso_canonical,
+    Database, DbGenConfig, NullId, Tuple, Value,
+};
+use caz_testutil::rngs::StdRng;
+use caz_testutil::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Default seed for the whole suite; override with `CAZ_TEST_SEED`.
+const DEFAULT_SEED: u64 = 3707;
+
+fn base_seed() -> u64 {
+    match std::env::var("CAZ_TEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("CAZ_TEST_SEED={s:?} is not a u64: {e}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// A varied small-database config (≤9 nulls in the pool).
+fn small_config(rng: &mut StdRng) -> DbGenConfig {
+    let shapes: &[&[(&str, usize)]] = &[
+        &[("R", 2)],
+        &[("R", 2), ("S", 1)],
+        &[("R", 3), ("S", 2)],
+        &[("E", 2), ("A", 1), ("B", 1)],
+    ];
+    let shape = shapes[rng.random_range(0..shapes.len())];
+    DbGenConfig {
+        relations: shape.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+        tuples_per_relation: rng.random_range(1..=5),
+        num_constants: rng.random_range(1..=4),
+        num_nulls: rng.random_range(0..=9),
+        null_prob: 0.3 + 0.6 * (rng.random_range(0..=10) as f64) / 10.0,
+    }
+}
+
+/// A database with exactly `n` occurring nulls: a random functional
+/// graph `E(x, f(x))` over the nulls plus a few constant anchors —
+/// the regime the old factorial canonicalizer rejected outright.
+fn large_null_db(rng: &mut StdRng, n: usize) -> Database {
+    let nulls: Vec<NullId> = (0..n).map(|_| NullId::fresh()).collect();
+    let mut db = Database::new();
+    for i in 0..n {
+        let j = rng.random_range(0..n);
+        db.insert("E", Tuple::new(vec![Value::Null(nulls[i]), Value::Null(nulls[j])]));
+    }
+    for _ in 0..rng.random_range(0..4usize) {
+        let i = rng.random_range(0..n);
+        let c = caz_idb::cst(&format!("d{}", rng.random_range(0..3usize)));
+        db.insert("A", Tuple::new(vec![c, Value::Null(nulls[i])]));
+    }
+    db
+}
+
+/// Apply a uniformly random bijective renaming onto fresh null ids.
+fn rename_nulls(db: &Database, rng: &mut StdRng) -> Database {
+    let olds: Vec<NullId> = db.nulls().into_iter().collect();
+    let mut news: Vec<NullId> = (0..olds.len()).map(|_| NullId::fresh()).collect();
+    for i in (1..news.len()).rev() {
+        let j = rng.random_range(0..=i);
+        news.swap(i, j);
+    }
+    let map: BTreeMap<NullId, NullId> = olds.into_iter().zip(news).collect();
+    db.map(|v| match v {
+        Value::Null(n) => Value::Null(map[&n]),
+        c => c,
+    })
+}
+
+/// Mutant: one tuple removed (schema preserved). `None` if empty.
+fn drop_one_tuple(db: &Database, rng: &mut StdRng) -> Option<Database> {
+    if db.is_empty() {
+        return None;
+    }
+    let victim = rng.random_range(0..db.len());
+    let mut out = Database::new();
+    let mut idx = 0;
+    for rel in db.relations() {
+        let name = rel.name().resolve();
+        out.relation_mut(&name, rel.arity());
+        for t in rel.iter() {
+            if idx != victim {
+                out.insert(&name, t.clone());
+            }
+            idx += 1;
+        }
+    }
+    Some(out)
+}
+
+/// Mutant: two distinct nulls identified. `None` with fewer than two.
+fn merge_two_nulls(db: &Database, rng: &mut StdRng) -> Option<Database> {
+    let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+    if nulls.len() < 2 {
+        return None;
+    }
+    let i = rng.random_range(0..nulls.len());
+    let mut j = rng.random_range(0..nulls.len() - 1);
+    if j >= i {
+        j += 1;
+    }
+    let (x, y) = (nulls[i], nulls[j]);
+    Some(db.map(|v| if v == Value::Null(x) { Value::Null(y) } else { v }))
+}
+
+/// Tentpole lock: on ≥5,000 random small databases the pruned, budgeted
+/// production search returns byte-for-byte the same canonical string as
+/// the unpruned exhaustive enumeration of the same tree, and the string
+/// is invariant under random bijective null renamings.
+#[test]
+fn refinement_matches_exhaustive_oracle_byte_for_byte() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff);
+    let mut compared = 0u32;
+    let mut skipped = 0u32;
+    for i in 0..5_200u32 {
+        let config = small_config(&mut rng);
+        let db = random_database(&mut rng, &config);
+        let Some(slow) = exhaustive_refined_canonical(&db) else {
+            skipped += 1; // unpruned tree blew the oracle's node cap
+            continue;
+        };
+        let fast = refined_canonical(&db, 1_000_000);
+        assert_eq!(
+            fast.as_deref(),
+            Some(slow.as_str()),
+            "pruned search diverged from exhaustive oracle \
+             (seed {seed}, iteration {i}, db:\n{db})"
+        );
+        let renamed = rename_nulls(&db, &mut rng);
+        assert_eq!(
+            refined_canonical(&renamed, 1_000_000).as_deref(),
+            Some(slow.as_str()),
+            "canonical form not renaming-invariant (seed {seed}, iteration {i})"
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 5_000,
+        "only {compared} databases compared ({skipped} skipped) — \
+         grow the iteration count (seed {seed})"
+    );
+}
+
+/// The equivalence kernel agrees with the seed's min-over-permutations
+/// oracle: a pair of small databases gets equal refinement strings iff
+/// it gets equal min-perm strings. (The strings themselves differ —
+/// refinement minimizes over a partition-respecting subset of orders —
+/// but the induced equivalence must be identical.)
+#[test]
+fn equivalence_kernel_agrees_with_min_perm_oracle() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e1);
+    for i in 0..400u32 {
+        let config = DbGenConfig {
+            num_nulls: rng.random_range(0..=6),
+            tuples_per_relation: rng.random_range(1..=4),
+            num_constants: rng.random_range(1..=3),
+            ..small_config(&mut rng)
+        };
+        let a = random_database(&mut rng, &config);
+        // One surely-isomorphic partner and one independent database
+        // (usually non-isomorphic — either verdict is fine, they must
+        // just agree across schemes).
+        let partners = [rename_nulls(&a, &mut rng), random_database(&mut rng, &config)];
+        for (p, b) in partners.iter().enumerate() {
+            let fast = try_iso_canonical(&a) == try_iso_canonical(b);
+            let oracle = min_perm_canonical(&a)
+                .zip(min_perm_canonical(b))
+                .map(|(x, y)| x == y)
+                .expect("≤6 nulls is within the oracle cap");
+            assert_eq!(
+                fast, oracle,
+                "equivalence verdicts diverge (seed {seed}, iteration {i}, \
+                 partner {p}, a:\n{a}\nb:\n{b})"
+            );
+            assert_eq!(
+                fast,
+                is_isomorphic(&a, b),
+                "is_isomorphic disagrees with canonical equality \
+                 (seed {seed}, iteration {i}, partner {p})"
+            );
+        }
+    }
+}
+
+/// The partition-based automorphism counter equals the seed's
+/// filter-all-`n!` counter wherever the latter is affordable.
+#[test]
+fn automorphism_count_agrees_with_permutation_oracle() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa07);
+    for i in 0..300u32 {
+        let config = DbGenConfig {
+            num_nulls: rng.random_range(0..=6),
+            tuples_per_relation: rng.random_range(1..=4),
+            ..small_config(&mut rng)
+        };
+        let db = random_database(&mut rng, &config);
+        let oracle = perm_automorphism_count(&db).expect("≤6 nulls");
+        assert_eq!(
+            null_automorphism_count(&db),
+            oracle,
+            "automorphism counts diverge (seed {seed}, iteration {i}, db:\n{db})"
+        );
+    }
+}
+
+/// Beyond the old factorial cap (10–24 nulls): canonical forms exist,
+/// are invariant under random renamings, and separate structural
+/// mutants. This is the acceptance criterion the old `MAX_NULLS = 9`
+/// code failed by construction.
+#[test]
+fn large_null_databases_canonicalize_and_separate_mutants() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a46e);
+    let mut twenty_plus = 0u32;
+    for i in 0..300u32 {
+        let n = rng.random_range(10..=24usize);
+        let db = large_null_db(&mut rng, n);
+        assert_eq!(db.nulls().len(), n, "generator must realize every null");
+        let canon = try_iso_canonical(&db).unwrap_or_else(|| {
+            panic!("budget exhausted at {n} nulls (seed {seed}, iteration {i}, db:\n{db})")
+        });
+        let hash = canonical_hash(&db).expect("canonical string exists");
+        if n >= 20 {
+            twenty_plus += 1;
+        }
+        let renamed = rename_nulls(&db, &mut rng);
+        assert_eq!(
+            try_iso_canonical(&renamed).as_deref(),
+            Some(canon.as_str()),
+            "not renaming-invariant at {n} nulls (seed {seed}, iteration {i})"
+        );
+        assert_eq!(
+            canonical_hash(&renamed),
+            Some(hash),
+            "hash not renaming-invariant at {n} nulls (seed {seed}, iteration {i})"
+        );
+        let dropped = drop_one_tuple(&db, &mut rng).expect("nonempty");
+        assert_ne!(
+            try_iso_canonical(&dropped).as_deref(),
+            Some(canon.as_str()),
+            "dropped-tuple mutant not separated (seed {seed}, iteration {i})"
+        );
+        let merged = merge_two_nulls(&db, &mut rng).expect("≥2 nulls");
+        assert_ne!(
+            try_iso_canonical(&merged).as_deref(),
+            Some(canon.as_str()),
+            "merged-null mutant not separated (seed {seed}, iteration {i})"
+        );
+    }
+    assert!(
+        twenty_plus >= 30,
+        "sampled only {twenty_plus} databases with ≥20 nulls (seed {seed})"
+    );
+}
+
+/// Regression for the old panics: `is_isomorphic` and
+/// `null_automorphism_count` are total at 15+ nulls and return sound
+/// verdicts on renamed copies vs. mutants.
+#[test]
+fn isomorphism_and_aut_count_total_beyond_fifteen_nulls() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf1f7ee);
+    for i in 0..40u32 {
+        let n = rng.random_range(15..=22usize);
+        let db = large_null_db(&mut rng, n);
+        let renamed = rename_nulls(&db, &mut rng);
+        assert!(
+            is_isomorphic(&db, &renamed),
+            "renamed copy not isomorphic at {n} nulls (seed {seed}, iteration {i})"
+        );
+        assert_eq!(
+            null_automorphism_count(&db),
+            null_automorphism_count(&renamed),
+            "|Aut| not an isomorphism invariant (seed {seed}, iteration {i})"
+        );
+        if let Some(merged) = merge_two_nulls(&db, &mut rng) {
+            assert!(
+                !is_isomorphic(&db, &merged),
+                "merged-null mutant reported isomorphic (seed {seed}, iteration {i})"
+            );
+        }
+    }
+}

@@ -1,16 +1,38 @@
-//! An LRU result cache with atomic hit/miss/eviction counters.
+//! A sharded LRU result cache with atomic hit/miss/eviction counters.
 //!
 //! Keys are the isomorphism-invariant strings built by
 //! [`crate::session::Session::cache_key`]: two requests whose databases
 //! (and answer tuples) differ only by a bijective renaming of nulls
 //! produce the same key and therefore share one entry. The measures are
 //! worst-case exponential in the number of nulls, so a hit saves
-//! unbounded work; the cache itself is a plain mutexed map — the lock is
-//! held for microseconds while jobs run for seconds.
+//! unbounded work.
+//!
+//! The deployment-facing type is [`ShardedCache`]: the high bits of the
+//! key's 128-bit canonical hash select one of `N` independently locked
+//! [`ResultCache`] shards, so concurrent sessions whose keys land in
+//! different shards never contend on a lock. Each shard keeps its own
+//! monotonic counters; the globals reported by
+//! [`ShardedCache::counters`] are exact sums over shards, an invariant
+//! the metrics snapshot and the stress tests rely on.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A fully resolved cache key: the isomorphism-invariant request string
+/// plus the 128-bit FNV-1a digest of the embedded canonical form, which
+/// [`ShardedCache`] uses for shard selection. Both components come from
+/// [`crate::session::Session::cache_key`]; renaming-equivalent requests
+/// produce equal keys (text *and* hash), so they land in the same shard
+/// and share one entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    /// The full request key (kind, definition, sigma, canonical form).
+    pub text: String,
+    /// FNV-1a 128 digest of the canonical database form; the *high*
+    /// bits pick the shard.
+    pub shard_hash: u128,
+}
 
 /// Thread-safe LRU cache from request keys to reply text.
 pub struct ResultCache {
@@ -139,6 +161,88 @@ impl Lru {
     }
 }
 
+/// An LRU cache split into independently locked shards.
+///
+/// Shard selection uses the *high* bits of the key's canonical hash
+/// (FNV-1a's low bits absorb the last input bytes; the high bits are
+/// the best mixed). The shard count is rounded up to a power of two so
+/// selection is a shift, and total capacity is divided evenly across
+/// shards (each gets at least 1 entry). Eviction is therefore per-shard
+/// LRU — global recency order is not maintained across shards, the
+/// standard trade for lock independence.
+pub struct ShardedCache {
+    shards: Vec<ResultCache>,
+    /// `log2(shards.len())`; the selector shifts the hash right by
+    /// `128 - bits` (0 bits ⇒ everything in shard 0).
+    bits: u32,
+}
+
+impl ShardedCache {
+    /// A cache of `capacity` total entries split over `shards` locks
+    /// (clamped to ≥ 1 and rounded up to a power of two).
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        ShardedCache {
+            shards: (0..n).map(|_| ResultCache::new(per_shard)).collect(),
+            bits: n.trailing_zeros(),
+        }
+    }
+
+    /// The shard index the high bits of `hash` select.
+    pub fn shard_index(&self, hash: u128) -> usize {
+        if self.bits == 0 {
+            return 0; // `hash >> 128` would be UB-adjacent (overflowing shift)
+        }
+        (hash >> (128 - self.bits)) as usize
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Look up `key` in its shard, refreshing recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<String> {
+        self.shards[self.shard_index(key.shard_hash)].get(&key.text)
+    }
+
+    /// Insert (or refresh) `key` in its shard, evicting LRU entries
+    /// beyond the shard's capacity.
+    pub fn insert(&self, key: &CacheKey, value: String) {
+        self.shards[self.shard_index(key.shard_hash)].insert(key.text.clone(), value);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ResultCache::len).sum()
+    }
+
+    /// True iff every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(ResultCache::is_empty)
+    }
+
+    /// Global monotonic counters `(hits, misses, evictions,
+    /// insertions)`: exact sums of the per-shard counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
+            let (h, m, e, i) = s.counters();
+            (acc.0 + h, acc.1 + m, acc.2 + e, acc.3 + i)
+        })
+    }
+
+    /// Counters of shard `i`: `(hits, misses, evictions, insertions)`.
+    pub fn shard_counters(&self, i: usize) -> (u64, u64, u64, u64) {
+        self.shards[i].counters()
+    }
+
+    /// Entry count of shard `i`.
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +316,83 @@ mod tests {
         let (h, m, _, i) = c.counters();
         assert_eq!(h + m, 2000);
         assert!(i >= 12 - 8_u64, "at least the live set was inserted");
+    }
+
+    fn key(text: &str, hash: u128) -> CacheKey {
+        CacheKey { text: text.to_string(), shard_hash: hash }
+    }
+
+    #[test]
+    fn shard_selection_uses_high_bits() {
+        let c = ShardedCache::new(64, 8);
+        assert_eq!(c.shard_count(), 8);
+        // Low bits must not matter…
+        assert_eq!(c.shard_index(0), c.shard_index(0xffff_ffff));
+        // …while the top three bits select the shard directly.
+        assert_eq!(c.shard_index(u128::MAX), 7);
+        assert_eq!(c.shard_index(1u128 << 125), 1);
+        assert_eq!(c.shard_index(3u128 << 125), 3);
+    }
+
+    #[test]
+    fn single_shard_accepts_any_hash() {
+        let c = ShardedCache::new(4, 1);
+        assert_eq!(c.shard_count(), 1);
+        assert_eq!(c.shard_index(u128::MAX), 0);
+        c.insert(&key("a", u128::MAX), "1".into());
+        assert_eq!(c.get(&key("a", u128::MAX)).as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedCache::new(16, 3).shard_count(), 4);
+        assert_eq!(ShardedCache::new(16, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn colliding_shard_distinct_text_keys_coexist() {
+        // Same shard hash (a high-bit collision), different request
+        // text: the shard's inner map must keep both — the hash only
+        // routes, the full text is the key.
+        let c = ShardedCache::new(16, 4);
+        let h = 5u128 << 120;
+        c.insert(&key("req-a", h), "va".into());
+        c.insert(&key("req-b", h), "vb".into());
+        assert_eq!(c.get(&key("req-a", h)).as_deref(), Some("va"));
+        assert_eq!(c.get(&key("req-b", h)).as_deref(), Some("vb"));
+        assert_eq!(c.shard_len(c.shard_index(h)), 2);
+    }
+
+    #[test]
+    fn global_counters_are_sums_of_shard_counters() {
+        let c = ShardedCache::new(8, 4);
+        for i in 0..16u32 {
+            let k = key(&format!("k{i}"), (i as u128) << 121);
+            c.insert(&k, format!("v{i}"));
+            c.get(&k);
+        }
+        c.get(&key("absent", 0));
+        let mut sums = (0, 0, 0, 0);
+        for s in 0..c.shard_count() {
+            let (h, m, e, i) = c.shard_counters(s);
+            sums = (sums.0 + h, sums.1 + m, sums.2 + e, sums.3 + i);
+        }
+        assert_eq!(c.counters(), sums);
+        assert_eq!(sums.3, 16, "all insertions distinct");
+        assert_eq!(sums.1, 1, "one miss");
+    }
+
+    #[test]
+    fn per_shard_capacity_splits_total() {
+        // 8 entries over 4 shards ⇒ 2 per shard: a third insertion into
+        // one shard evicts that shard's LRU entry.
+        let c = ShardedCache::new(8, 4);
+        let h = 1u128 << 126; // all in shard 2
+        c.insert(&key("a", h), "1".into());
+        c.insert(&key("b", h), "2".into());
+        c.insert(&key("c", h), "3".into());
+        assert_eq!(c.get(&key("a", h)), None, "shard-local LRU evicted");
+        let (_, _, evictions, _) = c.counters();
+        assert_eq!(evictions, 1);
     }
 }

@@ -12,7 +12,9 @@
 //! * [`pool`] — a bounded worker pool with per-job panic isolation;
 //! * [`cache`] — an isomorphism-invariant LRU result cache keyed by the
 //!   canonical form of the database (two databases differing only by a
-//!   renaming of nulls share one entry);
+//!   renaming of nulls share one entry), sharded by the high bits of
+//!   the canonical hash so concurrent sessions don't contend on one
+//!   lock;
 //! * [`server`] — a line-oriented protocol over `std::net::TcpListener`
 //!   plus an offline batch driver, with a [`metrics`] registry exposed
 //!   through the `stats` command.
@@ -27,7 +29,7 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use cache::ResultCache;
+pub use cache::{CacheKey, ResultCache, ShardedCache};
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
 pub use server::{run_batch, Server, ServerConfig, ShutdownHandle};

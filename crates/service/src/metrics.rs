@@ -105,8 +105,10 @@ impl Metrics {
     }
 
     /// Render the registry (plus the cache counters) as stable
-    /// `key value` lines.
-    pub fn snapshot(&self, cache: &crate::cache::ResultCache) -> String {
+    /// `key value` lines. The global `cache_*` lines are exact sums of
+    /// the per-shard `cache_shard<i>_*` lines that follow them — an
+    /// invariant the stress tests assert.
+    pub fn snapshot(&self, cache: &crate::cache::ShardedCache) -> String {
         let (hits, misses, evictions, insertions) = cache.counters();
         let lat = &self.eval_latency;
         let mut out = String::new();
@@ -128,6 +130,15 @@ impl Metrics {
         line("cache_evictions", evictions);
         line("cache_insertions", insertions);
         line("cache_entries", cache.len() as u64);
+        line("cache_shards", cache.shard_count() as u64);
+        for i in 0..cache.shard_count() {
+            let (h, m, e, ins) = cache.shard_counters(i);
+            line(&format!("cache_shard{i}_hits"), h);
+            line(&format!("cache_shard{i}_misses"), m);
+            line(&format!("cache_shard{i}_evictions"), e);
+            line(&format!("cache_shard{i}_insertions"), ins);
+            line(&format!("cache_shard{i}_entries"), cache.shard_len(i) as u64);
+        }
         line("eval_latency_count", lat.count());
         line("eval_latency_mean_micros", lat.mean_micros());
         line("eval_latency_p50_micros", lat.quantile_micros(0.50));
@@ -141,7 +152,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::ResultCache;
+    use crate::cache::{CacheKey, ShardedCache};
 
     #[test]
     fn histogram_buckets_and_quantiles() {
@@ -167,10 +178,11 @@ mod tests {
     #[test]
     fn snapshot_is_parseable_key_value_lines() {
         let m = Metrics::new();
-        let c = ResultCache::new(4);
+        let c = ShardedCache::new(4, 2);
         m.requests.fetch_add(3, Ordering::Relaxed);
-        c.insert("k".into(), "v".into());
-        c.get("k");
+        let key = CacheKey { text: "k".into(), shard_hash: 0 };
+        c.insert(&key, "v".into());
+        c.get(&key);
         let snap = m.snapshot(&c);
         let mut saw_hits = None;
         for line in snap.lines() {
@@ -182,5 +194,33 @@ mod tests {
         }
         assert_eq!(saw_hits, Some(1));
         assert!(snap.contains("requests_total 3"));
+        assert!(snap.contains("cache_shards 2"), "{snap}");
+    }
+
+    #[test]
+    fn snapshot_globals_sum_per_shard_lines() {
+        let m = Metrics::new();
+        let c = ShardedCache::new(8, 4);
+        for i in 0..12u32 {
+            let k = CacheKey {
+                text: format!("k{i}"),
+                shard_hash: (i as u128) << 121,
+            };
+            c.insert(&k, "v".into());
+            c.get(&k);
+        }
+        let snap = m.snapshot(&c);
+        let value = |key: &str| -> u64 {
+            snap.lines()
+                .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix(' ')))
+                .unwrap_or_else(|| panic!("missing {key} in {snap}"))
+                .parse()
+                .unwrap()
+        };
+        for stat in ["hits", "misses", "evictions", "insertions", "entries"] {
+            let global = value(&format!("cache_{stat}"));
+            let sharded: u64 = (0..4).map(|i| value(&format!("cache_shard{i}_{stat}"))).sum();
+            assert_eq!(global, sharded, "cache_{stat} must sum the shards");
+        }
     }
 }

@@ -6,8 +6,8 @@
 //! the expensive part — evaluation — is shipped to the shared
 //! [`WorkerPool`] as a cloned-session job, so a handful of workers
 //! bound the exponential compute regardless of client count, and the
-//! shared [`ResultCache`] amortizes identical (up to null renaming)
-//! requests across *all* clients.
+//! shared [`ShardedCache`] amortizes identical (up to null renaming)
+//! requests across *all* clients without serializing them on one lock.
 //!
 //! Shutdown: `quit` ends one connection after its in-flight job
 //! completes (the connection thread always waits for the reply);
@@ -16,7 +16,7 @@
 //! command stops the acceptor and then drains every queued job before
 //! the pool threads exit.
 
-use crate::cache::ResultCache;
+use crate::cache::ShardedCache;
 use crate::metrics::Metrics;
 use crate::pool::{Outcome, WorkerPool};
 use crate::proto::{encode_reply, WireReply};
@@ -36,8 +36,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue depth before submission blocks (backpressure).
     pub queue_cap: usize,
-    /// Result-cache capacity in entries.
+    /// Result-cache capacity in entries (split across shards).
     pub cache_capacity: usize,
+    /// Number of independently locked cache shards (rounded up to a
+    /// power of two).
+    pub cache_shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +52,7 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             queue_cap: 64,
             cache_capacity: 1024,
+            cache_shards: 8,
         }
     }
 }
@@ -56,7 +60,7 @@ impl Default for ServerConfig {
 /// State shared by every connection thread.
 struct Shared {
     pool: WorkerPool,
-    cache: ResultCache,
+    cache: ShardedCache,
     metrics: Metrics,
     stop: AtomicBool,
 }
@@ -101,7 +105,7 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
-                cache: ResultCache::new(cfg.cache_capacity),
+                cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
                 metrics: Metrics::new(),
                 stop: AtomicBool::new(false),
             }),
@@ -225,7 +229,7 @@ fn process_line(session: &mut Session, shared: &Shared, line: &str) -> (WireRepl
             shared.metrics.eval_latency.record(start.elapsed());
             match result {
                 Ok(text) => {
-                    if let Some(k) = key {
+                    if let Some(k) = &key {
                         shared.cache.insert(k, text.clone());
                     }
                     (WireReply::Ok(text), Control::Continue)
@@ -259,7 +263,7 @@ pub fn run_batch<R: BufRead, W: Write>(
 ) -> std::io::Result<()> {
     let shared = Shared {
         pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
-        cache: ResultCache::new(cfg.cache_capacity),
+        cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
         metrics: Metrics::new(),
         stop: AtomicBool::new(false),
     };

@@ -14,8 +14,10 @@ use caz_core::{
     certain_answers, mu_k_series, BoolQueryEvent, ConstraintEvent, SuppEvent, TupleAnswerEvent,
 };
 use caz_datalog::{certain_datalog_answers, naive_eval_datalog, parse_program, DatalogEvent};
+use crate::cache::CacheKey;
 use caz_idb::{
-    format_tuples, parse_database, try_iso_canonical, Cst, Database, NullId, Tuple, Value,
+    fnv1a_128, format_tuples, parse_database, try_iso_canonical, Cst, Database, NullId, Tuple,
+    Value,
 };
 use caz_logic::{naive_eval, parse_query, Query};
 use std::collections::BTreeMap;
@@ -223,7 +225,11 @@ impl Session {
     /// of nulls must — and do — share one cache entry. `naive`,
     /// `certain`, `best`, and `compare` print tuples containing
     /// session-specific null names and stay uncached.
-    pub fn cache_key(&self, req: &EvalRequest) -> Option<String> {
+    ///
+    /// The key carries the FNV-1a 128 digest of the canonical database
+    /// form alongside the text; the sharded cache routes on the digest's
+    /// high bits, so renaming-equivalent requests land in the same shard.
+    pub fn cache_key(&self, req: &EvalRequest) -> Option<CacheKey> {
         let (kind_tag, head, sigma) = match req.kind {
             EvalKind::Mu => ("mu", req.args.as_str(), None),
             EvalKind::Cond => ("cond", req.args.as_str(), Some(&self.sigma)),
@@ -242,7 +248,7 @@ impl Session {
         kind_tag: &str,
         head: &str,
         sigma: Option<&ConstraintSet>,
-    ) -> Option<String> {
+    ) -> Option<CacheKey> {
         let (name, tuple_src) = self.split_name_tuple(head);
         // Key on the *definition*, not the name: two sessions may bind
         // the same name to different queries.
@@ -263,8 +269,12 @@ impl Session {
         }
         ext.insert(ANSWER_REL, tuple);
         let canon = try_iso_canonical(&ext)?;
+        let shard_hash = fnv1a_128(canon.as_bytes());
         let sigma_part = sigma.map(|s| s.to_string()).unwrap_or_default();
-        Some(format!("{kind_tag}\u{1}{def}\u{1}{sigma_part}\u{1}{canon}"))
+        Some(CacheKey {
+            text: format!("{kind_tag}\u{1}{def}\u{1}{sigma_part}\u{1}{canon}"),
+            shard_hash,
+        })
     }
 
     fn add_facts(&mut self, src: &str) -> Result<Reply, String> {

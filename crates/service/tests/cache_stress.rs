@@ -1,0 +1,142 @@
+//! Concurrency stress for the sharded result cache: 8 threads of mixed
+//! get/insert traffic over keys spanning every shard, then accounting
+//! invariants — per-shard counters sum exactly to the global totals, no
+//! insertion is lost, and shard selection routes deterministically on
+//! the high hash bits.
+
+use caz_service::{CacheKey, ShardedCache};
+use std::sync::Arc;
+
+const SHARDS: usize = 8;
+const KEYS: usize = 64;
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 2_000;
+
+/// A key whose high hash bits spread round-robin over all 8 shards and
+/// whose remaining bits vary, so shard selection sees realistic
+/// (non-zero) low bits.
+fn key(i: usize) -> CacheKey {
+    let shard = (i % SHARDS) as u128;
+    let noise = (i as u128).wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1u128 << 120) - 1);
+    CacheKey {
+        text: format!("key-{i}"),
+        shard_hash: (shard << 125) | noise,
+    }
+}
+
+#[test]
+fn eight_thread_mixed_traffic_keeps_shard_accounting_exact() {
+    // Capacity ≥ keyspace so nothing is ever evicted: at the end every
+    // inserted key must still be present ("no lost insertions").
+    let cache = Arc::new(ShardedCache::new(KEYS * 2, SHARDS));
+    assert_eq!(cache.shard_count(), SHARDS);
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut local_hits = 0u64;
+                let mut local_misses = 0u64;
+                for op in 0..OPS_PER_THREAD {
+                    // Deterministic per-thread walk hitting every shard.
+                    let i = (t * 13 + op * 7) % KEYS;
+                    let k = key(i);
+                    match cache.get(&k) {
+                        Some(v) => {
+                            assert_eq!(v, format!("value-{i}"), "foreign value for {}", k.text);
+                            local_hits += 1;
+                        }
+                        None => {
+                            local_misses += 1;
+                            cache.insert(&k, format!("value-{i}"));
+                        }
+                    }
+                }
+                (local_hits, local_misses)
+            })
+        })
+        .collect();
+
+    let mut thread_hits = 0u64;
+    let mut thread_misses = 0u64;
+    for h in handles {
+        let (hits, misses) = h.join().expect("stress thread panicked");
+        thread_hits += hits;
+        thread_misses += misses;
+    }
+
+    // Per-shard counters must sum exactly to the globals…
+    let global = cache.counters();
+    let mut sums = (0u64, 0u64, 0u64, 0u64);
+    for s in 0..cache.shard_count() {
+        let (h, m, e, i) = cache.shard_counters(s);
+        sums = (sums.0 + h, sums.1 + m, sums.2 + e, sums.3 + i);
+    }
+    assert_eq!(global, sums, "global counters must be exact shard sums");
+
+    // …and to what the threads observed.
+    assert_eq!(global.0, thread_hits, "hits");
+    assert_eq!(global.1, thread_misses, "misses");
+    assert_eq!(global.0 + global.1, (THREADS * OPS_PER_THREAD) as u64);
+
+    // No lost insertions: capacity exceeds the keyspace, so every key
+    // that any thread inserted is still retrievable, and entry counts
+    // agree across views.
+    assert_eq!(global.2, 0, "no evictions at 2× capacity");
+    for i in 0..KEYS {
+        let k = key(i);
+        assert_eq!(
+            cache.get(&k).as_deref(),
+            Some(format!("value-{i}").as_str()),
+            "insertion lost for {}",
+            k.text
+        );
+    }
+    assert_eq!(cache.len(), KEYS);
+    let per_shard_len: usize = (0..SHARDS).map(|s| cache.shard_len(s)).sum();
+    assert_eq!(per_shard_len, KEYS);
+    // The round-robin keyspace puts exactly KEYS/SHARDS keys in each.
+    for s in 0..SHARDS {
+        assert_eq!(cache.shard_len(s), KEYS / SHARDS, "shard {s} population");
+    }
+}
+
+#[test]
+fn shard_selection_is_deterministic_and_high_bit_driven() {
+    let cache = ShardedCache::new(64, SHARDS);
+    for i in 0..KEYS {
+        let k = key(i);
+        let expected = i % SHARDS;
+        assert_eq!(
+            cache.shard_index(k.shard_hash),
+            expected,
+            "high bits of {:#034x} must route to shard {expected}",
+            k.shard_hash
+        );
+        // Determinism: the same hash always lands in the same shard.
+        assert_eq!(cache.shard_index(k.shard_hash), cache.shard_index(k.shard_hash));
+    }
+    // Low-bit changes never reroute: flip every low bit below the
+    // selector range and check the shard is unchanged.
+    for i in 0..KEYS {
+        let h = key(i).shard_hash;
+        assert_eq!(cache.shard_index(h), cache.shard_index(h ^ ((1u128 << 125) - 1)));
+    }
+}
+
+#[test]
+fn same_shard_hash_different_text_is_a_collision_not_a_merge() {
+    // Two *different* requests whose canonical hashes happen to share
+    // high bits must coexist: the hash only routes to a shard, the full
+    // key text disambiguates within it.
+    let cache = ShardedCache::new(16, SHARDS);
+    let h = 6u128 << 125 | 0xdead_beef;
+    let a = CacheKey { text: "request-a".into(), shard_hash: h };
+    let b = CacheKey { text: "request-b".into(), shard_hash: h };
+    cache.insert(&a, "answer-a".into());
+    cache.insert(&b, "answer-b".into());
+    assert_eq!(cache.get(&a).as_deref(), Some("answer-a"));
+    assert_eq!(cache.get(&b).as_deref(), Some("answer-b"));
+    assert_eq!(cache.shard_index(a.shard_hash), cache.shard_index(b.shard_hash));
+    assert_eq!(cache.shard_len(cache.shard_index(h)), 2);
+}

@@ -155,8 +155,9 @@ fn panicking_job_is_isolated_to_an_error_reply() {
     let mut client = Client::connect(addr);
     // Eleven distinct nulls exceed the support-polynomial engine's
     // MAX_NULLS = 10 assertion, so this evaluation panics inside the
-    // worker. (It also exceeds the canonicalizer's cap, so the request
-    // is uncacheable and must reach the pool.)
+    // worker. (The refinement canonicalizer handles 11 nulls fine, so
+    // the request IS keyed — but error replies are never cached, so it
+    // must reach the pool and panic there.)
     let facts: Vec<String> = (0..11).map(|i| format!("N(_a{i}).")).collect();
     client.send_ok(&format!("fact {}", facts.join(" ")));
     client.send_ok("query P := exists x. N(x)");

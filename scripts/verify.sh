@@ -17,6 +17,18 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Seeded differential property stage: the refinement canonicalizer vs.
+# the in-tree factorial oracles. CAZ_TEST_SEED picks the PRNG seed so a
+# counterexample found anywhere (CI, fuzzing, a user report) reproduces
+# offline with a single env var; every assertion message embeds the
+# seed, and we print it here so a failing log is self-contained.
+export CAZ_TEST_SEED="${CAZ_TEST_SEED:-3707}"
+echo "==> property tests (CAZ_TEST_SEED=${CAZ_TEST_SEED})"
+if ! cargo test -q -p caz-idb --test differential; then
+    echo "property tests FAILED — reproduce with: CAZ_TEST_SEED=${CAZ_TEST_SEED} cargo test -p caz-idb --test differential" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

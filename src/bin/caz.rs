@@ -28,7 +28,9 @@ options for serve:
   --addr <host:port>          listen address       (default 127.0.0.1:3707)
   --workers <n>               worker threads       (default: CPU count)
   --queue <n>                 pending-job queue    (default 64)
-  --cache <n>                 result-cache entries (default 1024)";
+  --cache <n>                 result-cache entries (default 1024)
+  --cache-shards <n>          cache lock shards, rounded up to a power
+                              of two (default 8)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +101,7 @@ fn serve(args: &[String]) -> ExitCode {
             "--workers" => parse_num(value("--workers"), &mut cfg.workers),
             "--queue" => parse_num(value("--queue"), &mut cfg.queue_cap),
             "--cache" => parse_num(value("--cache"), &mut cfg.cache_capacity),
+            "--cache-shards" => parse_num(value("--cache-shards"), &mut cfg.cache_shards),
             other => Err(format!("unknown option {other:?}")),
         };
         if let Err(e) = parsed {
