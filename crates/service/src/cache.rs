@@ -133,6 +133,11 @@ impl ResultCache {
         self.inner.lock().unwrap().map.len()
     }
 
+    /// The maximum number of entries this cache holds (≥ 1).
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+
     /// True iff no entry is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -180,6 +185,14 @@ pub struct ShardedCache {
 impl ShardedCache {
     /// A cache of `capacity` total entries split over `shards` locks
     /// (clamped to ≥ 1 and rounded up to a power of two).
+    ///
+    /// Per-shard capacity is `ceil(capacity / shards)` **clamped to
+    /// ≥ 1**: a configuration like `capacity: 2, shards: 8` would
+    /// otherwise round every shard to zero entries and silently disable
+    /// caching. The clamp means the *effective* total capacity —
+    /// reported by [`ShardedCache::capacity`] — can exceed the
+    /// requested one (it is exactly `max(1, ceil(capacity / n)) * n`
+    /// for `n` rounded-up shards), never undershoot it.
     pub fn new(capacity: usize, shards: usize) -> ShardedCache {
         let n = shards.max(1).next_power_of_two();
         let per_shard = capacity.div_ceil(n).max(1);
@@ -187,6 +200,13 @@ impl ShardedCache {
             shards: (0..n).map(|_| ResultCache::new(per_shard)).collect(),
             bits: n.trailing_zeros(),
         }
+    }
+
+    /// The effective total capacity: per-shard capacity × shard count.
+    /// At least the capacity requested in [`ShardedCache::new`], and at
+    /// least one entry per shard.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(ResultCache::capacity).sum()
     }
 
     /// The shard index the high bits of `hash` select.
@@ -347,6 +367,28 @@ mod tests {
     fn shard_count_rounds_up_to_power_of_two() {
         assert_eq!(ShardedCache::new(16, 3).shard_count(), 4);
         assert_eq!(ShardedCache::new(16, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn tiny_capacity_never_rounds_a_shard_to_zero() {
+        // capacity < shards: every shard must still hold ≥ 1 entry, so
+        // the cache can never be silently inert.
+        for (cap, shards) in [(1, 8), (2, 8), (7, 8), (0, 4)] {
+            let c = ShardedCache::new(cap, shards);
+            let n = c.shard_count();
+            assert_eq!(c.capacity(), n, "cap {cap} over {shards} shards");
+            for s in 0..n {
+                let h = (s as u128) << (128 - n.trailing_zeros());
+                c.insert(&key(&format!("k{s}"), h), "v".into());
+                assert_eq!(
+                    c.get(&key(&format!("k{s}"), h)).as_deref(),
+                    Some("v"),
+                    "shard {s} of {n} must cache at cap {cap}"
+                );
+            }
+        }
+        // Ample capacity: the effective total covers the request.
+        assert!(ShardedCache::new(1024, 8).capacity() >= 1024);
     }
 
     #[test]

@@ -15,17 +15,24 @@
 //!   renaming of nulls share one entry), sharded by the high bits of
 //!   the canonical hash so concurrent sessions don't contend on one
 //!   lock;
-//! * [`server`] — a line-oriented protocol over `std::net::TcpListener`
-//!   plus an offline batch driver, with a [`metrics`] registry exposed
-//!   through the `stats` command.
+//! * [`server`] — a line-oriented protocol served by a single
+//!   epoll-based reactor thread (`reactor`, private) multiplexing every
+//!   connection over `std::net::TcpListener`, plus an offline batch
+//!   driver, with a [`metrics`] registry exposed through the `stats`
+//!   command.
+//!
+//! `unsafe` is denied crate-wide and allowed only in the reactor's
+//! syscall-binding submodule (raw `epoll`/`pipe2` FFI — the workspace
+//! is std-only, so those few calls are declared directly).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
+mod reactor;
 pub mod server;
 pub mod session;
 

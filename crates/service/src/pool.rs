@@ -24,9 +24,43 @@ pub enum Outcome {
     Panicked,
 }
 
+/// Invoked by a worker once a detached job finishes (normally or by
+/// panic). Runs on the worker thread, so it must be cheap and must not
+/// panic — the reactor's callback just enqueues a completion and writes
+/// one byte to a wakeup pipe.
+pub type DoneCallback = Box<dyn FnOnce(JobResult, Outcome) + Send>;
+
+/// How a finished job's result leaves the worker.
+enum Delivery {
+    /// Synchronous submitters block on a reply channel.
+    Channel(SyncSender<(JobResult, Outcome)>),
+    /// Detached submitters (the evented reactor) get a callback.
+    Callback(DoneCallback),
+}
+
 struct Job {
     work: Box<dyn FnOnce() -> JobResult + Send>,
-    reply: SyncSender<(JobResult, Outcome)>,
+    delivery: Delivery,
+}
+
+/// A not-yet-submitted detached job: the work closure plus the
+/// completion callback. Returned intact by
+/// [`WorkerPool::try_submit_detached`] when the queue is full, so the
+/// caller can park it and retry without rebuilding the closures.
+pub struct DetachedJob {
+    /// The evaluation to run on a worker.
+    pub work: Box<dyn FnOnce() -> JobResult + Send>,
+    /// Invoked with the result (on the worker thread) when done.
+    pub on_done: DoneCallback,
+}
+
+/// Why [`WorkerPool::try_submit_detached`] declined a job. The job is
+/// handed back so no work is lost.
+pub enum TrySubmitError {
+    /// The bounded queue is full; retry after a completion frees a slot.
+    Full(DetachedJob),
+    /// The pool has shut down; the job will never run.
+    ShutDown(DetachedJob),
 }
 
 /// A fixed-size pool of worker threads pulling jobs off a bounded queue.
@@ -67,7 +101,7 @@ impl WorkerPool {
         work: Box<dyn FnOnce() -> JobResult + Send>,
     ) -> Result<Receiver<(JobResult, Outcome)>, &'static str> {
         let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job { work, reply: reply_tx };
+        let job = Job { work, delivery: Delivery::Channel(reply_tx) };
         // Clone the sender out of the lock so a full queue blocks only
         // this submitter, not everyone.
         let tx = self.tx.lock().unwrap().clone();
@@ -76,6 +110,29 @@ impl WorkerPool {
             None => return Err("worker pool is shut down"),
         }
         Ok(reply_rx)
+    }
+
+    /// Submit a job whose result is delivered by callback instead of a
+    /// channel, without ever blocking the caller: a full queue hands the
+    /// job back as [`TrySubmitError::Full`]. This is the reactor's entry
+    /// point — one readiness thread must never block on backpressure, so
+    /// it parks returned jobs and retries when a completion signals a
+    /// freed queue slot.
+    pub fn try_submit_detached(&self, job: DetachedJob) -> Result<(), TrySubmitError> {
+        let tx = self.tx.lock().unwrap().clone();
+        let wrapped = Job {
+            work: job.work,
+            delivery: Delivery::Callback(job.on_done),
+        };
+        let Some(tx) = tx else {
+            return Err(TrySubmitError::ShutDown(unwrap_job(wrapped)));
+        };
+        tx.try_send(wrapped).map_err(|e| match e {
+            std::sync::mpsc::TrySendError::Full(j) => TrySubmitError::Full(unwrap_job(j)),
+            std::sync::mpsc::TrySendError::Disconnected(j) => {
+                TrySubmitError::ShutDown(unwrap_job(j))
+            }
+        })
     }
 
     /// Convenience: submit and wait for the result.
@@ -119,9 +176,27 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
             Ok(r) => (r, Outcome::Completed),
             Err(payload) => (Err(panic_message(payload.as_ref())), Outcome::Panicked),
         };
-        // The submitter may have gone away (client disconnected); that
-        // only means nobody reads the result.
-        let _ = job.reply.send((result, outcome));
+        match job.delivery {
+            // The submitter may have gone away (client disconnected);
+            // that only means nobody reads the result.
+            Delivery::Channel(reply) => {
+                let _ = reply.send((result, outcome));
+            }
+            // The callback fires even for panicked jobs — it runs
+            // outside catch_unwind, after the panic was converted to an
+            // error, so a reactor waiting on this completion always
+            // hears back.
+            Delivery::Callback(on_done) => on_done(result, outcome),
+        }
+    }
+}
+
+/// Recover the caller-facing [`DetachedJob`] from an internal [`Job`]
+/// that `try_send` handed back.
+fn unwrap_job(job: Job) -> DetachedJob {
+    match job.delivery {
+        Delivery::Callback(on_done) => DetachedJob { work: job.work, on_done },
+        Delivery::Channel(_) => unreachable!("detached submission uses callbacks"),
     }
 }
 
@@ -180,6 +255,88 @@ mod tests {
             assert_eq!(outcome, Outcome::Completed);
             assert_eq!(res.unwrap(), format!("ok {i}"));
         }
+    }
+
+    #[test]
+    fn detached_jobs_call_back_even_on_panic() {
+        use std::sync::mpsc::channel;
+        let pool = WorkerPool::new(2, 4);
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        pool.try_submit_detached(DetachedJob {
+            work: Box::new(|| Ok("fine".into())),
+            on_done: Box::new(move |res, out| tx.send((res, out)).unwrap()),
+        })
+        .map_err(|_| "rejected")
+        .unwrap();
+        pool.try_submit_detached(DetachedJob {
+            work: Box::new(|| panic!("detached boom")),
+            on_done: Box::new(move |res, out| tx2.send((res, out)).unwrap()),
+        })
+        .map_err(|_| "rejected")
+        .unwrap();
+        let mut results: Vec<_> = (0..2).map(|_| rx.recv().unwrap()).collect();
+        results.sort_by_key(|(_, o)| *o == Outcome::Panicked);
+        assert_eq!(results[0].0.as_deref(), Ok("fine"));
+        assert_eq!(results[1].1, Outcome::Panicked);
+        assert!(results[1].0.as_ref().unwrap_err().contains("detached boom"));
+    }
+
+    #[test]
+    fn full_queue_hands_the_detached_job_back() {
+        use std::sync::mpsc::channel;
+        // One worker blocked on a gate + a queue of one: the third
+        // submission must come back as Full with its closures intact.
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let (done_tx, done_rx) = channel();
+        let submit = |msg: &'static str| DetachedJob {
+            work: Box::new(move || Ok(msg.into())),
+            on_done: {
+                let done_tx = done_tx.clone();
+                Box::new(move |res, _| done_tx.send(res).unwrap())
+            },
+        };
+        pool.try_submit_detached(DetachedJob {
+            work: Box::new(move || {
+                gate_rx.lock().unwrap().recv().ok();
+                Ok("gated".into())
+            }),
+            on_done: {
+                let done_tx = done_tx.clone();
+                Box::new(move |res, _| done_tx.send(res).unwrap())
+            },
+        })
+        .map_err(|_| "rejected")
+        .unwrap();
+        // Give the worker a moment to pick up the gated job, then fill
+        // the single queue slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.try_submit_detached(submit("queued")).map_err(|_| "rejected").unwrap();
+        let parked = match pool.try_submit_detached(submit("parked")) {
+            Err(TrySubmitError::Full(job)) => job,
+            _ => panic!("expected Full"),
+        };
+        gate_tx.send(()).unwrap();
+        assert_eq!(done_rx.recv().unwrap().unwrap(), "gated");
+        // The parked job resubmits and runs to completion — retrying on
+        // Full exactly like the reactor does, since the queue slot only
+        // frees once the worker pulls the queued job off the channel.
+        let mut parked = Some(parked);
+        while let Some(job) = parked.take() {
+            match pool.try_submit_detached(job) {
+                Ok(()) => {}
+                Err(TrySubmitError::Full(job)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    parked = Some(job);
+                }
+                Err(TrySubmitError::ShutDown(_)) => panic!("pool shut down"),
+            }
+        }
+        let mut rest = vec![done_rx.recv().unwrap().unwrap(), done_rx.recv().unwrap().unwrap()];
+        rest.sort();
+        assert_eq!(rest, vec!["parked".to_string(), "queued".to_string()]);
     }
 
     #[test]

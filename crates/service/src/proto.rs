@@ -1,20 +1,47 @@
 //! The line-oriented wire protocol.
 //!
-//! Requests are exactly the session command language, one command per
-//! line (`\n`-terminated). Every request gets exactly one reply line:
+//! Requests are the session command language, one command per line
+//! (`\n`-terminated). Historically every request got exactly one reply
+//! line; the vectorized `eval*` command and streamed `series` replies
+//! relax that invariant into *reply groups*: zero or more tagged chunk
+//! lines followed by exactly one terminal line.
 //!
 //! ```text
-//! reply   = "ok" [" " payload] LF      ; success
-//!         | "err " payload LF          ; failure
-//!         | "bye" LF                   ; acknowledges quit/exit
-//! payload = escaped UTF-8: "\\" => backslash, "\n" => newline
+//! group   = chunk* final
+//! chunk   = "ok* " tag " " payload LF   ; partial success, more follows
+//!         | "ok* " tag LF               ; partial success, empty payload
+//!         | "err* " tag " " payload LF  ; one failed element of the group
+//! final   = "ok" [" " payload] LF       ; group (or plain request) succeeded
+//!         | "err " payload LF           ; group (or plain request) failed
+//!         | "bye" LF                    ; acknowledges quit/exit/shutdown
+//! tag     = 1*( any byte except SP / LF )
+//! payload = escaped UTF-8: "\\" => backslash, "\n" => newline,
+//!           "\r" => carriage return, "\t" => tab
 //! ```
 //!
-//! Multi-line results (tables, series) are escaped onto the single
-//! payload line, keeping the protocol trivially parseable — a client
-//! never needs lookahead to know where a reply ends.
+//! Plain commands (`mu`, `fact`, `stats`, …) still reply with a single
+//! `final` line, so pre-chunking clients keep working unchanged. Chunked
+//! groups appear in exactly two places:
+//!
+//! * **`eval*`** — many read-only evaluation jobs on one request line,
+//!   TAB-separated, each job [`escape`]d (so a job containing a literal
+//!   tab round-trips). The server fans the jobs out across the worker
+//!   pool and replies one chunk per job, tagged with the job's 0-based
+//!   index — **in completion order, not index order** — then a terminal
+//!   `ok done <n>`. A failed job is an `err*` chunk; it never aborts its
+//!   siblings.
+//! * **`series <name> <k>`** — the server streams one chunk per `k`,
+//!   tagged `1..=k`, each payload one `k=…` row of the series table, as
+//!   soon as that μᵏ is computed (ascending `k`), then a terminal
+//!   `ok done <k>`. Joining the chunk payloads with newlines (plus a
+//!   trailing newline) reconstructs byte-for-byte what the interactive
+//!   shell prints.
+//!
+//! A reply group is terminated by its `final` line even when a mid-group
+//! element failed, so a client never needs lookahead: read lines until a
+//! non-`*` status.
 
-/// Escape a reply payload onto one line.
+/// Escape a reply payload (or an `eval*` job) onto one line.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -22,6 +49,7 @@ pub fn escape(s: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
             c => out.push(c),
         }
     }
@@ -41,6 +69,7 @@ pub fn unescape(s: &str) -> String {
         match chars.next() {
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
             Some('\\') => out.push('\\'),
             Some(other) => out.push(other),
             None => out.push('\\'),
@@ -49,7 +78,19 @@ pub fn unescape(s: &str) -> String {
     out
 }
 
-/// A parsed reply line.
+/// Split the argument text of an `eval*` request into its job command
+/// lines: jobs are TAB-separated and individually [`escape`]d.
+pub fn split_jobs(rest: &str) -> Vec<String> {
+    rest.split('\t').map(unescape).collect()
+}
+
+/// Join job command lines into `eval*` argument text ([`escape`] each,
+/// TAB-separate). The client-side inverse of [`split_jobs`].
+pub fn join_jobs<'a, I: IntoIterator<Item = &'a str>>(jobs: I) -> String {
+    jobs.into_iter().map(escape).collect::<Vec<_>>().join("\t")
+}
+
+/// A parsed terminal reply line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireReply {
     /// `ok [payload]`.
@@ -60,7 +101,29 @@ pub enum WireReply {
     Bye,
 }
 
-/// Render a reply as its wire line (without the trailing newline).
+/// One line of a reply group: a tagged chunk or the terminal reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFrame {
+    /// `ok* <tag> [payload]` — a successful partial result.
+    Chunk {
+        /// Group-defined tag: the job index for `eval*`, `k` for `series`.
+        tag: String,
+        /// Unescaped chunk payload.
+        payload: String,
+    },
+    /// `err* <tag> <payload>` — a failed element of the group.
+    ChunkErr {
+        /// Group-defined tag of the failed element.
+        tag: String,
+        /// Unescaped error text.
+        payload: String,
+    },
+    /// The terminal line ending the group.
+    Final(WireReply),
+}
+
+/// Render a terminal reply as its wire line (without the trailing
+/// newline).
 pub fn encode_reply(reply: &WireReply) -> String {
     match reply {
         WireReply::Ok(s) if s.is_empty() => "ok".to_string(),
@@ -70,7 +133,8 @@ pub fn encode_reply(reply: &WireReply) -> String {
     }
 }
 
-/// Parse a wire line back into a reply. `None` for malformed lines.
+/// Parse a wire line back into a terminal reply. `None` for chunk and
+/// malformed lines.
 pub fn decode_reply(line: &str) -> Option<WireReply> {
     let line = line.strip_suffix('\n').unwrap_or(line);
     if line == "bye" {
@@ -88,6 +152,40 @@ pub fn decode_reply(line: &str) -> Option<WireReply> {
     None
 }
 
+/// Render any reply-group line (without the trailing newline).
+pub fn encode_frame(frame: &WireFrame) -> String {
+    match frame {
+        WireFrame::Chunk { tag, payload } if payload.is_empty() => format!("ok* {tag}"),
+        WireFrame::Chunk { tag, payload } => format!("ok* {tag} {}", escape(payload)),
+        WireFrame::ChunkErr { tag, payload } => format!("err* {tag} {}", escape(payload)),
+        WireFrame::Final(reply) => encode_reply(reply),
+    }
+}
+
+/// Parse one reply-group line: a chunk, or a terminal reply wrapped in
+/// [`WireFrame::Final`]. `None` for malformed lines.
+pub fn decode_frame(line: &str) -> Option<WireFrame> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    for (prefix, is_err) in [("ok* ", false), ("err* ", true)] {
+        if let Some(rest) = line.strip_prefix(prefix) {
+            let (tag, payload) = match rest.split_once(' ') {
+                Some((t, p)) => (t, unescape(p)),
+                None => (rest, String::new()),
+            };
+            if tag.is_empty() {
+                return None;
+            }
+            let tag = tag.to_string();
+            return Some(if is_err {
+                WireFrame::ChunkErr { tag, payload }
+            } else {
+                WireFrame::Chunk { tag, payload }
+            });
+        }
+    }
+    decode_reply(line).map(WireFrame::Final)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,12 +198,14 @@ mod tests {
             "two\nlines",
             "back\\slash",
             "crlf\r\n",
+            "tab\tseparated",
             "μ(Q, D) = 1",
             "\\n literal",
             "trailing\\",
         ] {
             assert_eq!(unescape(&escape(s)), s, "{s:?}");
             assert!(!escape(s).contains('\n'), "escaped form is one line");
+            assert!(!escape(s).contains('\t'), "escaped form has no raw tab");
         }
     }
 
@@ -121,5 +221,40 @@ mod tests {
             assert_eq!(decode_reply(&encode_reply(&r)).as_ref(), Some(&r));
         }
         assert_eq!(decode_reply("gibberish"), None);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        for f in [
+            WireFrame::Chunk { tag: "0".into(), payload: "μ(Q, D) = 1".into() },
+            WireFrame::Chunk { tag: "17".into(), payload: String::new() },
+            WireFrame::Chunk { tag: "3".into(), payload: "k=  3  1/2  (≈0.5)".into() },
+            WireFrame::ChunkErr { tag: "2".into(), payload: "no query named \"Nope\"".into() },
+            WireFrame::Final(WireReply::Ok("done 4".into())),
+            WireFrame::Final(WireReply::Err("oops".into())),
+            WireFrame::Final(WireReply::Bye),
+        ] {
+            assert_eq!(decode_frame(&encode_frame(&f)).as_ref(), Some(&f), "{f:?}");
+        }
+        // Terminal replies decode as Final frames, chunks never decode
+        // as terminal replies.
+        assert_eq!(
+            decode_frame("ok payload"),
+            Some(WireFrame::Final(WireReply::Ok("payload".into())))
+        );
+        assert_eq!(decode_reply("ok* 0 payload"), None);
+        assert_eq!(decode_frame("ok* "), None, "missing tag");
+        assert_eq!(decode_frame("gibberish"), None);
+    }
+
+    #[test]
+    fn job_splitting_roundtrip() {
+        let jobs = ["mu Q (c1, _x)", "series Q 4", "odd\ttab", "multi\nline"];
+        let joined = join_jobs(jobs);
+        assert!(!joined.contains('\n'));
+        assert_eq!(joined.matches('\t').count(), 3, "separators only");
+        assert_eq!(split_jobs(&joined), jobs.to_vec());
+        // A single unescaped command is itself a one-job list.
+        assert_eq!(split_jobs("mu Q"), vec!["mu Q".to_string()]);
     }
 }

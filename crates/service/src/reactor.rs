@@ -1,0 +1,774 @@
+//! A single-threaded, epoll-based readiness loop serving every client
+//! connection of the evaluation server.
+//!
+//! The previous server spent one OS thread per connection, blocked on
+//! `read` almost all the time; 64 idle monitoring connections cost 64
+//! stacks. Here one reactor thread owns the listener and all client
+//! sockets in non-blocking mode:
+//!
+//! * readable sockets are drained into per-connection buffers and
+//!   split into command lines;
+//! * complete lines are classified ([`crate::server::classify`]) —
+//!   cheap state mutations and cache hits are answered inline,
+//!   evaluation misses become [`DetachedJob`]s on the shared
+//!   [`WorkerPool`](crate::pool::WorkerPool);
+//! * a worker finishing a job pushes a [`Completion`] onto a shared
+//!   queue and writes one byte to a wakeup pipe registered in the same
+//!   epoll set, so replies complete asynchronously without the reactor
+//!   ever blocking on a worker;
+//! * writes go through per-connection buffers; a socket that refuses
+//!   bytes (slow reader) gets `EPOLLOUT` interest until its buffer
+//!   drains, stalling only that connection.
+//!
+//! Each connection runs **at most one command at a time** (pipelined
+//! lines queue in arrival order), which preserves the historical
+//! reply-ordering guarantee; concurrency comes from having many
+//! connections in flight at once. Submission to the pool never blocks:
+//! a full queue hands the job back and the reactor parks it, retrying
+//! when a completion signals a freed slot (a full queue implies jobs in
+//! flight, so a completion is guaranteed to arrive).
+//!
+//! The syscall surface (`epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//! `pipe2`) is declared directly against libc in the [`sys`] submodule
+//! — the workspace is std-only by charter, so no crate dependency; all
+//! `unsafe` in this crate is confined to those few wrappers.
+
+use crate::cache::CacheKey;
+use crate::pool::{DetachedJob, JobResult, Outcome, TrySubmitError};
+use crate::proto::{encode_frame, WireFrame, WireReply};
+use crate::server::{
+    classify, done_frame, finish_eval, multi_frame, single_frame, Control, MultiJob, Shared, Step,
+};
+use crate::session::Session;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// The epoll token of the wakeup pipe's read end.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+/// Reject request lines longer than this (buffered bytes without a
+/// newline): a line-oriented protocol peer sending a megabyte without
+/// a line break is broken or hostile, and the reactor must bound
+/// per-connection memory.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// What one finished piece of pool work means for its connection.
+enum Done {
+    /// One streamed `series` row (`k` ascending), emitted by the worker
+    /// while later rows are still being computed.
+    SeriesRow { k: usize, row: String },
+    /// A single `eval`/`mu`/`certain` job finished.
+    Single {
+        key: Option<CacheKey>,
+        start: Instant,
+        result: JobResult,
+        outcome: Outcome,
+    },
+    /// One member job of an `eval*` group finished.
+    Sub {
+        index: usize,
+        key: Option<CacheKey>,
+        start: Instant,
+        result: JobResult,
+        outcome: Outcome,
+    },
+    /// The `series` job returned its aggregate (all rows emitted).
+    SeriesEnd {
+        key: Option<CacheKey>,
+        start: Instant,
+        result: JobResult,
+        outcome: Outcome,
+    },
+}
+
+/// A completion message from a worker thread to the reactor.
+struct Completion {
+    conn: u64,
+    done: Done,
+}
+
+/// The worker-side half of the completion path: a queue plus the write
+/// end of the wakeup pipe. Shared (`Arc`) with every in-flight job's
+/// callback, so the pipe outlives the reactor if a late callback fires
+/// during teardown.
+struct Notifier {
+    queue: Mutex<Vec<Completion>>,
+    wake_w: std::os::fd::OwnedFd,
+}
+
+impl Notifier {
+    fn push(&self, completion: Completion) {
+        self.queue.lock().unwrap().push(completion);
+        // A full pipe is fine: the reader is already signaled.
+        sys::write_wake_byte(&self.wake_w);
+    }
+}
+
+/// What the reactor's serving loop still owes one connection.
+enum Inflight {
+    /// One evaluation job on the pool.
+    Single,
+    /// An `eval*` group: chunks outstanding before the terminal line.
+    Multi { remaining: usize, total: usize },
+    /// A streaming `series` job.
+    Series,
+}
+
+/// Per-connection state: socket, session, buffers, and the one
+/// in-flight command (if any).
+struct Conn {
+    stream: std::net::TcpStream,
+    session: Session,
+    /// Bytes read but not yet split into lines.
+    rbuf: Vec<u8>,
+    /// Complete command lines waiting their turn (one command in
+    /// flight at a time keeps replies ordered).
+    pending: VecDeque<Vec<u8>>,
+    /// Encoded reply bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` the socket has taken.
+    wpos: usize,
+    inflight: Option<Inflight>,
+    /// `EPOLLOUT` interest is currently registered.
+    want_write: bool,
+    /// Close once `wbuf` drains (after `quit`/`shutdown`/oversize).
+    closing: bool,
+    /// The peer half-closed its read side; serve what's queued, then go.
+    read_eof: bool,
+}
+
+impl Conn {
+    fn new(stream: std::net::TcpStream) -> Conn {
+        Conn {
+            stream,
+            session: Session::new(),
+            rbuf: Vec::new(),
+            pending: VecDeque::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: None,
+            want_write: false,
+            closing: false,
+            read_eof: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos >= self.wbuf.len()
+    }
+}
+
+/// The readiness loop. Constructed by [`crate::server::Server::run`];
+/// consumes the listener and serves until shutdown.
+pub(crate) struct Reactor {
+    epoll: sys::Epoll,
+    /// `None` once shutdown stops the acceptor.
+    listener: Option<TcpListener>,
+    wake_r: std::os::fd::OwnedFd,
+    notifier: Arc<Notifier>,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Jobs bounced by a full pool queue, retried as completions free
+    /// slots. Pairs the owning connection so a dead connection's parked
+    /// work is dropped instead of run.
+    parked: VecDeque<(u64, DetachedJob)>,
+    stopping: bool,
+}
+
+impl Reactor {
+    pub(crate) fn new(listener: TcpListener, shared: Arc<Shared>) -> std::io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let epoll = sys::Epoll::new()?;
+        let (wake_r, wake_w) = sys::pipe_nonblocking()?;
+        epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake_r.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKE)?;
+        Ok(Reactor {
+            epoll,
+            listener: Some(listener),
+            wake_r,
+            notifier: Arc::new(Notifier {
+                queue: Mutex::new(Vec::new()),
+                wake_w,
+            }),
+            shared,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            parked: VecDeque::new(),
+            stopping: false,
+        })
+    }
+
+    /// Serve until shutdown: returns once the stop flag is set *and*
+    /// every accepted connection has ended (draining the pool is the
+    /// caller's job, so even an error return loses no queued work).
+    pub(crate) fn run(mut self) -> std::io::Result<()> {
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) && !self.stopping {
+                self.begin_stop();
+            }
+            if self.stopping && self.conns.is_empty() {
+                return Ok(());
+            }
+            for (token, events) in self.epoll.wait()? {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => sys::drain_pipe(&self.wake_r),
+                    id => self.conn_ready(id, events),
+                }
+            }
+            self.drain_completions();
+            self.retry_parked();
+        }
+    }
+
+    /// Stop accepting: deregister and close the listener. Connected
+    /// clients keep being served until they disconnect.
+    fn begin_stop(&mut self) {
+        self.stopping = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .add(stream.as_raw_fd(), sys::EPOLLIN | sys::EPOLLRDHUP, token)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (e.g. the
+                // peer already reset); keep the acceptor alive.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, id: u64, events: u32) {
+        if !self.conns.contains_key(&id) {
+            return; // closed earlier in this batch of events
+        }
+        if events & sys::EPOLLERR != 0 {
+            self.drop_conn(id);
+            return;
+        }
+        if events & sys::EPOLLOUT != 0 {
+            self.flush_writes(id);
+        }
+        if self.conns.contains_key(&id)
+            && events & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+        {
+            self.read_ready(id);
+        }
+    }
+
+    fn read_ready(&mut self, id: u64) {
+        let mut oversize = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            let mut buf = [0u8; 8192];
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&buf[..n]);
+                    if conn.rbuf.len() > MAX_LINE_BYTES
+                        && !conn.rbuf[..MAX_LINE_BYTES].contains(&b'\n')
+                    {
+                        oversize = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(id);
+                    return;
+                }
+            }
+        }
+        if oversize {
+            let conn = self.conns.get_mut(&id).expect("checked above");
+            conn.rbuf.clear();
+            conn.pending.clear();
+            conn.read_eof = true;
+            conn.closing = true;
+            self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            self.queue_frames(
+                id,
+                &[WireFrame::Final(WireReply::Err("request line too long".into()))],
+            );
+            return;
+        }
+        self.extract_lines(id);
+        self.pump(id);
+    }
+
+    /// Split complete `\n`-terminated lines (stripping a trailing `\r`)
+    /// out of the read buffer into the pending-command queue.
+    fn extract_lines(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            conn.pending.push_back(line);
+        }
+    }
+
+    /// Start queued commands until one goes in flight (or the queue
+    /// runs dry), then close the connection if it is finished.
+    fn pump(&mut self, id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.inflight.is_some() || conn.closing {
+                break;
+            }
+            let Some(raw) = conn.pending.pop_front() else { break };
+            match String::from_utf8(raw) {
+                Ok(line) => self.dispatch(id, &line),
+                Err(_) => {
+                    self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    self.queue_frames(
+                        id,
+                        &[WireFrame::Final(WireReply::Err(
+                            "input line is not valid UTF-8".into(),
+                        ))],
+                    );
+                }
+            }
+        }
+        self.maybe_close(id);
+    }
+
+    /// Classify one command line and either queue its reply frames or
+    /// put its evaluation in flight on the pool.
+    fn dispatch(&mut self, id: u64, line: &str) {
+        let shared = Arc::clone(&self.shared);
+        let step = {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            classify(&mut conn.session, &shared, line)
+        };
+        match step {
+            Step::Done(frames, control) => {
+                match control {
+                    Control::Continue => {}
+                    Control::QuitConnection => {
+                        if let Some(conn) = self.conns.get_mut(&id) {
+                            conn.closing = true;
+                            conn.pending.clear();
+                        }
+                    }
+                    Control::ShutdownServer => {
+                        // The fix for the lost-shutdown bug: commit the
+                        // stop *before* attempting to write `bye`. A
+                        // client that disconnects without reading its
+                        // reply can no longer cancel a server shutdown.
+                        shared.stop.store(true, Ordering::SeqCst);
+                        self.begin_stop();
+                        if let Some(conn) = self.conns.get_mut(&id) {
+                            conn.closing = true;
+                            conn.pending.clear();
+                        }
+                    }
+                }
+                self.queue_frames(id, &frames);
+            }
+            Step::Single { ev, key, start } => {
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.inflight = Some(Inflight::Single);
+                let job_session = conn.session.clone();
+                let notifier = Arc::clone(&self.notifier);
+                self.submit_or_park(
+                    id,
+                    DetachedJob {
+                        work: Box::new(move || job_session.eval(&ev)),
+                        on_done: Box::new(move |result, outcome| {
+                            notifier.push(Completion {
+                                conn: id,
+                                done: Done::Single { key, start, result, outcome },
+                            });
+                        }),
+                    },
+                );
+            }
+            Step::Multi { total, ready, jobs } => {
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.inflight = Some(Inflight::Multi { remaining: jobs.len(), total });
+                let session_snapshot = conn.session.clone();
+                self.queue_frames(id, &ready);
+                for MultiJob { index, ev, key, start } in jobs {
+                    let job_session = session_snapshot.clone();
+                    let notifier = Arc::clone(&self.notifier);
+                    self.submit_or_park(
+                        id,
+                        DetachedJob {
+                            work: Box::new(move || job_session.eval(&ev)),
+                            on_done: Box::new(move |result, outcome| {
+                                notifier.push(Completion {
+                                    conn: id,
+                                    done: Done::Sub { index, key, start, result, outcome },
+                                });
+                            }),
+                        },
+                    );
+                }
+            }
+            Step::Series { rest, key, start } => {
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.inflight = Some(Inflight::Series);
+                let job_session = conn.session.clone();
+                let row_notifier = Arc::clone(&self.notifier);
+                let end_notifier = Arc::clone(&self.notifier);
+                self.submit_or_park(
+                    id,
+                    DetachedJob {
+                        work: Box::new(move || {
+                            job_session.eval_series_chunks(&rest, &mut |k, row| {
+                                row_notifier.push(Completion {
+                                    conn: id,
+                                    done: Done::SeriesRow { k, row: row.to_string() },
+                                });
+                            })
+                        }),
+                        on_done: Box::new(move |result, outcome| {
+                            end_notifier.push(Completion {
+                                conn: id,
+                                done: Done::SeriesEnd { key, start, result, outcome },
+                            });
+                        }),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Submit to the pool without blocking; park the job on a full
+    /// queue ([`Reactor::retry_parked`] resubmits as completions free
+    /// slots).
+    fn submit_or_park(&mut self, id: u64, job: DetachedJob) {
+        match self.shared.pool.try_submit_detached(job) {
+            Ok(()) => {}
+            Err(TrySubmitError::Full(job)) => self.parked.push_back((id, job)),
+            // Unreachable while the reactor runs (the pool shuts down
+            // after it), but never drop a completion on the floor.
+            Err(TrySubmitError::ShutDown(job)) => {
+                (job.on_done)(Err("worker pool is shut down".into()), Outcome::Completed);
+            }
+        }
+    }
+
+    fn retry_parked(&mut self) {
+        while let Some((id, job)) = self.parked.pop_front() {
+            if !self.conns.contains_key(&id) {
+                continue; // connection died; drop its parked work
+            }
+            match self.shared.pool.try_submit_detached(job) {
+                Ok(()) => {}
+                Err(TrySubmitError::Full(job)) => {
+                    self.parked.push_front((id, job));
+                    return; // still full; a future completion re-triggers
+                }
+                Err(TrySubmitError::ShutDown(job)) => {
+                    (job.on_done)(Err("worker pool is shut down".into()), Outcome::Completed);
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let completions = std::mem::take(&mut *self.notifier.queue.lock().unwrap());
+        for completion in completions {
+            self.complete(completion);
+        }
+    }
+
+    /// Apply one finished piece of pool work: global effects (metrics,
+    /// cache) happen even if the connection is gone; frames are queued
+    /// only if it is still here.
+    fn complete(&mut self, completion: Completion) {
+        let id = completion.conn;
+        match completion.done {
+            Done::SeriesRow { k, row } => {
+                let streaming = matches!(
+                    self.conns.get(&id).and_then(|c| c.inflight.as_ref()),
+                    Some(Inflight::Series)
+                );
+                if streaming {
+                    self.queue_frames(
+                        id,
+                        &[WireFrame::Chunk { tag: k.to_string(), payload: row }],
+                    );
+                }
+            }
+            Done::Single { key, start, result, outcome } => {
+                let result = finish_eval(&self.shared, key.as_ref(), start, result, outcome);
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.inflight = None;
+                self.queue_frames(id, &[single_frame(result)]);
+                self.pump(id);
+            }
+            Done::Sub { index, key, start, result, outcome } => {
+                let result = finish_eval(&self.shared, key.as_ref(), start, result, outcome);
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                let mut frames = vec![multi_frame(index, result)];
+                if let Some(Inflight::Multi { remaining, total }) = &mut conn.inflight {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        frames.push(done_frame(*total));
+                        conn.inflight = None;
+                    }
+                }
+                let group_done = conn.inflight.is_none();
+                self.queue_frames(id, &frames);
+                if group_done {
+                    self.pump(id);
+                }
+            }
+            Done::SeriesEnd { key, start, result, outcome } => {
+                let result = finish_eval(&self.shared, key.as_ref(), start, result, outcome);
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.inflight = None;
+                let frames = match result {
+                    // The rows already went out as chunks; close the
+                    // group. (A cache hit replays the same chunks via
+                    // `classify` without touching this path.)
+                    Ok(aggregate) => vec![done_frame(aggregate.lines().count())],
+                    Err(e) => vec![WireFrame::Final(WireReply::Err(e))],
+                };
+                self.queue_frames(id, &frames);
+                self.pump(id);
+            }
+        }
+    }
+
+    /// Append frames to the connection's write buffer and push as much
+    /// as the socket will take.
+    fn queue_frames(&mut self, id: u64, frames: &[WireFrame]) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        for frame in frames {
+            conn.wbuf.extend_from_slice(encode_frame(frame).as_bytes());
+            conn.wbuf.push(b'\n');
+        }
+        self.flush_writes(id);
+    }
+
+    fn flush_writes(&mut self, id: u64) {
+        let mut dead = false;
+        let mut interest: Option<u32> = None;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if !conn.want_write {
+                            conn.want_write = true;
+                            interest = Some(sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP);
+                        }
+                        break;
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.flushed() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                if conn.want_write {
+                    conn.want_write = false;
+                    interest = Some(sys::EPOLLIN | sys::EPOLLRDHUP);
+                }
+            }
+            if let Some(events) = interest {
+                let _ = self.epoll.modify(conn.stream.as_raw_fd(), events, id);
+            }
+        }
+        if dead {
+            self.drop_conn(id);
+        } else {
+            self.maybe_close(id);
+        }
+    }
+
+    /// Remove a finished connection: everything queued was answered and
+    /// flushed, and either the peer is done sending (`read_eof`) or we
+    /// decided to close (`closing`).
+    fn maybe_close(&mut self, id: u64) {
+        let Some(conn) = self.conns.get(&id) else { return };
+        let idle = conn.inflight.is_none() && conn.pending.is_empty() && conn.flushed();
+        if idle && (conn.closing || conn.read_eof) {
+            self.drop_conn(id);
+        }
+    }
+
+    fn drop_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        }
+        self.parked.retain(|(owner, _)| *owner != id);
+    }
+}
+
+/// Raw Linux syscall bindings for the reactor, kept to the minimum
+/// surface (`epoll`, `pipe2`, pipe reads/writes). The only `unsafe` in
+/// the crate lives here, wrapped in safe, owned-fd interfaces.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const O_CLOEXEC: i32 = 0o2000000;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    /// `struct epoll_event`; packed on x86-64, where the kernel ABI has
+    /// no padding between the 32-bit mask and the 64-bit data word.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An owned epoll instance.
+    pub struct Epoll(OwnedFd);
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            let fd = cvt(unsafe { epoll_create1(O_CLOEXEC) })?;
+            Ok(Epoll(unsafe { OwnedFd::from_raw_fd(fd) }))
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: token };
+            cvt(unsafe { epoll_ctl(self.0.as_raw_fd(), op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Block until readiness, retrying `EINTR`. Returns
+        /// `(token, event mask)` pairs.
+        pub fn wait(&self) -> io::Result<Vec<(u64, u32)>> {
+            const MAX_EVENTS: usize = 64;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            loop {
+                let n = unsafe {
+                    epoll_wait(self.0.as_raw_fd(), buf.as_mut_ptr(), MAX_EVENTS as i32, -1)
+                };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                return Ok(buf[..n as usize]
+                    .iter()
+                    .map(|ev| {
+                        let ev = *ev; // copy out of the packed array
+                        (ev.data, ev.events)
+                    })
+                    .collect());
+            }
+        }
+    }
+
+    /// A non-blocking, close-on-exec pipe: `(read end, write end)`.
+    pub fn pipe_nonblocking() -> io::Result<(OwnedFd, OwnedFd)> {
+        let mut fds = [0i32; 2];
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        Ok(unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) })
+    }
+
+    /// Write one wakeup byte; a full pipe (`EAGAIN`) already means the
+    /// reader has a pending wakeup, so errors are deliberately ignored.
+    pub fn write_wake_byte(fd: &OwnedFd) {
+        let byte = [1u8];
+        let _ = unsafe { write(fd.as_raw_fd(), byte.as_ptr(), 1) };
+    }
+
+    /// Discard every buffered byte from the wake pipe's read end.
+    pub fn drain_pipe(fd: &OwnedFd) {
+        let mut buf = [0u8; 256];
+        loop {
+            let n = unsafe { read(fd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                return; // empty (EAGAIN) or closed; either way, done
+            }
+        }
+    }
+}

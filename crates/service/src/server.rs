@@ -1,27 +1,38 @@
 //! The evaluation server: the session command language served over TCP
 //! and over batch files, with shared worker pool, cache, and metrics.
 //!
-//! Concurrency model: one OS thread per connection owns that client's
-//! [`Session`] (facts, named queries, constraints are per-client state);
-//! the expensive part — evaluation — is shipped to the shared
-//! [`WorkerPool`] as a cloned-session job, so a handful of workers
-//! bound the exponential compute regardless of client count, and the
-//! shared [`ShardedCache`] amortizes identical (up to null renaming)
-//! requests across *all* clients without serializing them on one lock.
+//! Concurrency model: a **single evented reactor thread**
+//! ([`crate::reactor`]) owns the listener and every client socket in
+//! non-blocking mode — per-connection state (facts, named queries,
+//! constraints) lives in that connection's [`Session`]; the expensive
+//! part — evaluation — is shipped to the shared [`WorkerPool`] as a
+//! cloned-session job, so a handful of workers bound the exponential
+//! compute regardless of client count, and the shared [`ShardedCache`]
+//! amortizes identical (up to null renaming) requests across *all*
+//! clients without serializing them on one lock. Replies complete
+//! asynchronously: a worker finishing a job enqueues a completion and
+//! wakes the reactor through a pipe registered in the same epoll set.
 //!
-//! Shutdown: `quit` ends one connection after its in-flight job
-//! completes (the connection thread always waits for the reply);
-//! a vanished client (SIGPIPE surfaces as a write error — Rust ignores
-//! the signal) likewise ends only that connection; the admin `shutdown`
-//! command stops the acceptor and then drains every queued job before
-//! the pool threads exit.
+//! This module holds everything the reactor and the offline batch
+//! driver share: [`classify`] turns one command line into either
+//! immediate reply frames or pool work (resolving cache hits on the
+//! way), and [`finish_eval`] applies the global effects of a finished
+//! job (metrics, cache insertion) symmetrically in both drivers.
+//!
+//! Shutdown: `quit` ends one connection after its in-flight work
+//! completes; a vanished client ends only that connection; the admin
+//! `shutdown` command stops the acceptor **before** the `bye` reply is
+//! attempted — a client that disconnects without reading its `bye`
+//! cannot lose a server-wide shutdown — and then every queued job is
+//! drained before the pool threads exit.
 
-use crate::cache::ShardedCache;
+use crate::cache::{CacheKey, ShardedCache};
 use crate::metrics::Metrics;
-use crate::pool::{Outcome, WorkerPool};
-use crate::proto::{encode_reply, WireReply};
-use crate::session::{Reply, Request, Session};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use crate::pool::{JobResult, Outcome, WorkerPool};
+use crate::proto::{encode_frame, WireFrame, WireReply};
+use crate::reactor::Reactor;
+use crate::session::{parse_eval_job, EvalKind, EvalRequest, Reply, Request, Session};
+use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,7 +45,7 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads evaluating jobs.
     pub workers: usize,
-    /// Bounded queue depth before submission blocks (backpressure).
+    /// Bounded queue depth before submission parks (backpressure).
     pub queue_cap: usize,
     /// Result-cache capacity in entries (split across shards).
     pub cache_capacity: usize,
@@ -57,22 +68,227 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by every connection thread.
-struct Shared {
-    pool: WorkerPool,
-    cache: ShardedCache,
-    metrics: Metrics,
-    stop: AtomicBool,
+/// State shared by the reactor, the worker callbacks, and shutdown
+/// handles.
+pub(crate) struct Shared {
+    pub(crate) pool: WorkerPool,
+    pub(crate) cache: ShardedCache,
+    pub(crate) metrics: Metrics,
+    pub(crate) stop: AtomicBool,
 }
 
-/// What a processed line asks the connection loop to do next.
-enum Control {
+impl Shared {
+    fn new(cfg: &ServerConfig) -> Shared {
+        Shared {
+            pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
+            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            metrics: Metrics::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+}
+
+/// What a processed line asks the serving loop to do next.
+pub(crate) enum Control {
     /// Keep reading commands.
     Continue,
     /// Close this connection.
     QuitConnection,
     /// Stop the whole server (acceptor + drain).
     ShutdownServer,
+}
+
+/// One `eval*` job that missed the cache and needs a worker.
+pub(crate) struct MultiJob {
+    /// 0-based index in the request line; tags the reply chunk.
+    pub(crate) index: usize,
+    pub(crate) ev: EvalRequest,
+    pub(crate) key: Option<CacheKey>,
+    pub(crate) start: Instant,
+}
+
+/// The classification of one request line: either finished frames, or
+/// work for the pool (cache hits and parse errors already resolved).
+pub(crate) enum Step {
+    /// Reply frames ready to write, plus what to do with the connection.
+    Done(Vec<WireFrame>, Control),
+    /// One evaluation job (cache missed).
+    Single {
+        ev: EvalRequest,
+        key: Option<CacheKey>,
+        start: Instant,
+    },
+    /// A vectorized `eval*` line: `ready` holds chunks resolved without
+    /// a worker (per-job parse errors and cache hits), `jobs` the
+    /// misses. `total` counts every job for the terminal `done` line.
+    Multi {
+        total: usize,
+        ready: Vec<WireFrame>,
+        jobs: Vec<MultiJob>,
+    },
+    /// A `series` line that missed the cache: stream row chunks from a
+    /// worker via [`Session::eval_series_chunks`].
+    Series {
+        rest: String,
+        key: Option<CacheKey>,
+        start: Instant,
+    },
+}
+
+/// Terminal line of a chunked reply group covering `n` elements.
+pub(crate) fn done_frame(n: usize) -> WireFrame {
+    WireFrame::Final(WireReply::Ok(format!("done {n}")))
+}
+
+/// Classify one protocol line against a session + shared server state:
+/// run cheap state mutations inline, resolve cache hits (recording
+/// them into `cache_hit_latency`), and hand evaluation misses back as
+/// pool work. Used identically by the evented reactor and the batch
+/// driver.
+pub(crate) fn classify(session: &mut Session, shared: &Shared, line: &str) -> Step {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    if line.trim() == "shutdown" {
+        return Step::Done(
+            vec![WireFrame::Final(WireReply::Bye)],
+            Control::ShutdownServer,
+        );
+    }
+    let finish = |reply, control| Step::Done(vec![WireFrame::Final(reply)], control);
+    let request = match Request::parse(line) {
+        Ok(Some(r)) => r,
+        Ok(None) => return finish(WireReply::Ok(String::new()), Control::Continue),
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return finish(WireReply::Err(e), Control::Continue);
+        }
+    };
+    match request {
+        Request::Quit => finish(WireReply::Bye, Control::QuitConnection),
+        Request::Stats => finish(
+            WireReply::Ok(shared.metrics.snapshot(&shared.cache)),
+            Control::Continue,
+        ),
+        Request::Eval(ev) if ev.kind == EvalKind::Series => {
+            let key = session.cache_key(&ev);
+            if let Some(hit) = key.as_ref().and_then(|k| shared.cache.get(k)) {
+                shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.cache_hit_latency.record(start.elapsed());
+                return Step::Done(series_frames(&hit), Control::Continue);
+            }
+            Step::Series { rest: ev.args, key, start }
+        }
+        Request::Eval(ev) => {
+            let key = session.cache_key(&ev);
+            if let Some(hit) = key.as_ref().and_then(|k| shared.cache.get(k)) {
+                shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.cache_hit_latency.record(start.elapsed());
+                return finish(WireReply::Ok(hit), Control::Continue);
+            }
+            Step::Single { ev, key, start }
+        }
+        Request::EvalMulti(raw_jobs) => {
+            let total = raw_jobs.len();
+            let mut ready = Vec::new();
+            let mut jobs = Vec::new();
+            for (index, raw) in raw_jobs.iter().enumerate() {
+                let tag = index.to_string();
+                match parse_eval_job(raw) {
+                    Err(e) => {
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        ready.push(WireFrame::ChunkErr { tag, payload: e });
+                    }
+                    Ok(ev) => {
+                        let key = session.cache_key(&ev);
+                        match key.as_ref().and_then(|k| shared.cache.get(k)) {
+                            Some(hit) => {
+                                shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
+                                shared.metrics.cache_hit_latency.record(start.elapsed());
+                                ready.push(WireFrame::Chunk { tag, payload: hit });
+                            }
+                            None => jobs.push(MultiJob { index, ev, key, start }),
+                        }
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                ready.push(done_frame(total));
+                return Step::Done(ready, Control::Continue);
+            }
+            Step::Multi { total, ready, jobs }
+        }
+        other => match session.apply(&other) {
+            Ok(Reply::Text(t)) => finish(WireReply::Ok(t), Control::Continue),
+            Ok(Reply::Quit) => finish(WireReply::Bye, Control::QuitConnection),
+            Err(e) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                finish(WireReply::Err(e), Control::Continue)
+            }
+        },
+    }
+}
+
+/// Render a (cached or aggregated) series text as its chunked reply
+/// group: one `k`-tagged chunk per row plus the terminal `done` line.
+pub(crate) fn series_frames(aggregate: &str) -> Vec<WireFrame> {
+    let mut frames: Vec<WireFrame> = aggregate
+        .lines()
+        .enumerate()
+        .map(|(i, row)| WireFrame::Chunk {
+            tag: (i + 1).to_string(),
+            payload: row.to_string(),
+        })
+        .collect();
+    frames.push(done_frame(frames.len()));
+    frames
+}
+
+/// Apply the global effects of one finished evaluation job — executed
+/// and panic counters, the executed-job latency histogram, cache
+/// insertion on success, the error counter on failure — and hand the
+/// result back for framing. Shared by the reactor's completion path
+/// and the batch driver, so the accounting cannot drift between them.
+pub(crate) fn finish_eval(
+    shared: &Shared,
+    key: Option<&CacheKey>,
+    start: Instant,
+    result: JobResult,
+    outcome: Outcome,
+) -> JobResult {
+    shared.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    if outcome == Outcome::Panicked {
+        shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.metrics.eval_latency.record(start.elapsed());
+    match result {
+        Ok(text) => {
+            if let Some(k) = key {
+                shared.cache.insert(k, text.clone());
+            }
+            Ok(text)
+        }
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}
+
+/// Frame a finished single evaluation as its terminal reply line.
+pub(crate) fn single_frame(result: JobResult) -> WireFrame {
+    WireFrame::Final(match result {
+        Ok(t) => WireReply::Ok(t),
+        Err(e) => WireReply::Err(e),
+    })
+}
+
+/// Frame one finished `eval*` job as its index-tagged chunk.
+pub(crate) fn multi_frame(index: usize, result: JobResult) -> WireFrame {
+    let tag = index.to_string();
+    match result {
+        Ok(payload) => WireFrame::Chunk { tag, payload },
+        Err(payload) => WireFrame::ChunkErr { tag, payload },
+    }
 }
 
 /// A bound, not-yet-running evaluation server.
@@ -92,7 +308,8 @@ impl ShutdownHandle {
     /// Request shutdown: stop accepting, then drain queued jobs.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking acceptor with a throwaway connection.
+        // Wake the reactor: a throwaway connection makes the listener
+        // readable, and the reactor checks the stop flag on every wake.
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -103,12 +320,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
-                cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
-                metrics: Metrics::new(),
-                stop: AtomicBool::new(false),
-            }),
+            shared: Arc::new(Shared::new(cfg)),
         })
     }
 
@@ -125,155 +337,122 @@ impl Server {
         })
     }
 
-    /// Accept and serve until `shutdown` (protocol command or handle).
+    /// Serve until `shutdown` (protocol command or handle): one evented
+    /// reactor thread multiplexes the listener and every connection.
     /// Returns after every accepted connection has ended and every
     /// queued job has been drained.
     pub fn run(self) -> std::io::Result<()> {
-        let addr = self.listener.local_addr()?;
-        let mut conn_threads = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            self.shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-            let shared = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
-                .name("caz-conn".into())
-                .spawn(move || {
-                    let _ = handle_client(stream, &shared, addr);
-                })
-                .expect("spawn connection thread");
-            conn_threads.push(handle);
-        }
-        // Graceful drain: wait for clients to finish, then for the
-        // workers to finish everything still queued.
-        for h in conn_threads {
-            let _ = h.join();
-        }
+        let result = Reactor::new(self.listener, Arc::clone(&self.shared))?.run();
+        // Drain queued jobs even when the event loop errored out, so no
+        // accepted work is silently dropped.
         self.shared.pool.shutdown();
-        Ok(())
+        result
     }
 }
 
-fn handle_client(stream: TcpStream, shared: &Shared, server_addr: SocketAddr) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut session = Session::new();
-    for line in reader.lines() {
-        let line = line?;
-        let (reply, control) = process_line(&mut session, shared, &line);
-        // A client that disappeared mid-reply (EPIPE — Rust ignores
-        // SIGPIPE, so it surfaces here as an error) just ends this
-        // connection; the server and its queued jobs are unaffected.
-        writer.write_all(encode_reply(&reply).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        match control {
-            Control::Continue => {}
-            Control::QuitConnection => break,
-            Control::ShutdownServer => {
-                shared.stop.store(true, Ordering::SeqCst);
-                let _ = TcpStream::connect(server_addr); // wake acceptor
-                break;
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Execute one protocol line against a session + shared server state.
-fn process_line(session: &mut Session, shared: &Shared, line: &str) -> (WireReply, Control) {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    if line.trim() == "shutdown" {
-        return (WireReply::Bye, Control::ShutdownServer);
-    }
-    let request = match Request::parse(line) {
-        Ok(Some(r)) => r,
-        Ok(None) => return (WireReply::Ok(String::new()), Control::Continue),
-        Err(e) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            return (WireReply::Err(e), Control::Continue);
-        }
-    };
-    match request {
-        Request::Quit => (WireReply::Bye, Control::QuitConnection),
-        Request::Stats => (
-            WireReply::Ok(shared.metrics.snapshot(&shared.cache)),
-            Control::Continue,
-        ),
-        Request::Eval(ev) => {
-            let start = Instant::now();
-            let key = session.cache_key(&ev);
-            if let Some(k) = &key {
-                if let Some(hit) = shared.cache.get(k) {
-                    shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
-                    shared.metrics.eval_latency.record(start.elapsed());
-                    return (WireReply::Ok(hit), Control::Continue);
-                }
-            }
-            // Ship a snapshot of the session to the pool: evaluation is
-            // read-only, and the clone keeps the job `'static`.
-            let job_session = session.clone();
-            let job_request = ev.clone();
-            let (result, outcome) = shared
-                .pool
-                .run(Box::new(move || job_session.eval(&job_request)));
-            shared.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
-            if outcome == Outcome::Panicked {
-                shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
-            }
-            shared.metrics.eval_latency.record(start.elapsed());
-            match result {
-                Ok(text) => {
-                    if let Some(k) = &key {
-                        shared.cache.insert(k, text.clone());
-                    }
-                    (WireReply::Ok(text), Control::Continue)
-                }
-                Err(e) => {
-                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    (WireReply::Err(e), Control::Continue)
-                }
-            }
-        }
-        other => match session.apply(&other) {
-            Ok(Reply::Text(t)) => (WireReply::Ok(t), Control::Continue),
-            Ok(Reply::Quit) => (WireReply::Bye, Control::QuitConnection),
-            Err(e) => {
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                (WireReply::Err(e), Control::Continue)
-            }
-        },
-    }
-}
-
-/// Run the command language over a batch input, writing one wire reply
-/// line per command — the server's offline mode (`caz serve --batch`).
-/// The same pool, cache, and metrics machinery is used, so a repetitive
-/// batch benefits from the canonical cache exactly like network
-/// traffic, and a trailing `stats` command reports on the run.
+/// Run the command language over a batch input, writing wire reply
+/// frames per command — the server's offline mode (`caz serve
+/// --batch`). The same classification, pool, cache, and metrics
+/// machinery is used, so a repetitive batch benefits from the
+/// canonical cache exactly like network traffic, and a trailing
+/// `stats` command reports on the run. `eval*` lines fan out across
+/// the pool (chunks written in index order); `series` replies use the
+/// same chunked framing as the network server, computed as one job.
+///
+/// Error handling: a line that is not valid UTF-8 yields one `err`
+/// reply and the batch continues; a real I/O error flushes every
+/// buffered reply before propagating, so partial output is never lost.
 pub fn run_batch<R: BufRead, W: Write>(
     input: R,
     output: &mut W,
     cfg: &ServerConfig,
 ) -> std::io::Result<()> {
-    let shared = Shared {
-        pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
-        cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
-        metrics: Metrics::new(),
-        stop: AtomicBool::new(false),
-    };
+    let shared = Shared::new(cfg);
     shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
     let mut session = Session::new();
+    let write_frames = |output: &mut W, frames: &[WireFrame]| -> std::io::Result<()> {
+        for f in frames {
+            output.write_all(encode_frame(f).as_bytes())?;
+            output.write_all(b"\n")?;
+        }
+        Ok(())
+    };
     for line in input.lines() {
-        let line = line?;
-        let (reply, control) = process_line(&mut session, &shared, &line);
-        output.write_all(encode_reply(&reply).as_bytes())?;
-        output.write_all(b"\n")?;
+        let line = match line {
+            Ok(l) => l,
+            // A single undecodable line is that line's problem, not the
+            // batch's: reply `err` and keep going.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let frame =
+                    WireFrame::Final(WireReply::Err("input line is not valid UTF-8".into()));
+                write_frames(output, &[frame])?;
+                continue;
+            }
+            // A real I/O error still must not discard replies already
+            // buffered: flush first, then propagate.
+            Err(e) => {
+                output.flush()?;
+                return Err(e);
+            }
+        };
+        let control = match classify(&mut session, &shared, &line) {
+            Step::Done(frames, control) => {
+                write_frames(output, &frames)?;
+                control
+            }
+            Step::Single { ev, key, start } => {
+                let job_session = session.clone();
+                let (result, outcome) =
+                    shared.pool.run(Box::new(move || job_session.eval(&ev)));
+                let result = finish_eval(&shared, key.as_ref(), start, result, outcome);
+                write_frames(output, &[single_frame(result)])?;
+                Control::Continue
+            }
+            Step::Multi { total, ready, jobs } => {
+                write_frames(output, &ready)?;
+                // Fan out across the pool, then collect in index order:
+                // batch output is deterministic where network chunks
+                // arrive in completion order.
+                let submitted: Vec<_> = jobs
+                    .into_iter()
+                    .map(|job| {
+                        let job_session = session.clone();
+                        let ev = job.ev.clone();
+                        let rx = shared.pool.submit(Box::new(move || job_session.eval(&ev)));
+                        (job, rx)
+                    })
+                    .collect();
+                for (job, rx) in submitted {
+                    let (result, outcome) = match rx {
+                        Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                            (Err("worker dropped the job".into()), Outcome::Completed)
+                        }),
+                        Err(e) => (Err(e.into()), Outcome::Completed),
+                    };
+                    let result =
+                        finish_eval(&shared, job.key.as_ref(), job.start, result, outcome);
+                    write_frames(output, &[multi_frame(job.index, result)])?;
+                }
+                write_frames(output, &[done_frame(total)])?;
+                Control::Continue
+            }
+            Step::Series { rest, key, start } => {
+                let job_session = session.clone();
+                let job_rest = rest.clone();
+                let (result, outcome) = shared.pool.run(Box::new(move || {
+                    job_session.eval_series_chunks(&job_rest, &mut |_, _| {})
+                }));
+                let result = finish_eval(&shared, key.as_ref(), start, result, outcome);
+                let frames = match result {
+                    Ok(aggregate) => series_frames(&aggregate),
+                    Err(e) => vec![WireFrame::Final(WireReply::Err(e))],
+                };
+                write_frames(output, &frames)?;
+                Control::Continue
+            }
+        };
         match control {
             Control::Continue => {}
             Control::QuitConnection | Control::ShutdownServer => break,
@@ -287,17 +466,28 @@ pub fn run_batch<R: BufRead, W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::decode_reply;
+    use crate::proto::{decode_frame, join_jobs};
 
-    fn batch(cmds: &str) -> Vec<WireReply> {
+    fn batch(cmds: &str) -> Vec<WireFrame> {
+        batch_bytes(cmds.as_bytes())
+    }
+
+    fn batch_bytes(cmds: &[u8]) -> Vec<WireFrame> {
         let mut out = Vec::new();
         let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
-        run_batch(cmds.as_bytes(), &mut out, &cfg).unwrap();
+        run_batch(cmds, &mut out, &cfg).unwrap();
         String::from_utf8(out)
             .unwrap()
             .lines()
-            .map(|l| decode_reply(l).expect("well-formed reply"))
+            .map(|l| decode_frame(l).expect("well-formed reply frame"))
             .collect()
+    }
+
+    fn ok_text(frame: &WireFrame) -> &str {
+        match frame {
+            WireFrame::Final(WireReply::Ok(t)) => t,
+            other => panic!("expected ok, got {other:?}"),
+        }
     }
 
     #[test]
@@ -311,28 +501,154 @@ mod tests {
              quit\n",
         );
         assert_eq!(replies.len(), 6);
-        assert!(matches!(&replies[0], WireReply::Ok(t) if t.contains("2 fact(s)")));
-        assert!(matches!(&replies[2], WireReply::Ok(t) if t == "μ(Q, D) = 1"));
+        assert!(ok_text(&replies[0]).contains("2 fact(s)"));
+        assert_eq!(ok_text(&replies[2]), "μ(Q, D) = 1");
         assert_eq!(replies[2], replies[3], "repeat identical");
-        let WireReply::Ok(stats) = &replies[4] else {
-            panic!("stats failed: {:?}", replies[4])
-        };
+        let stats = ok_text(&replies[4]);
         assert!(stats.contains("cache_hits 1"), "{stats}");
         assert!(stats.contains("jobs_executed_total 1"), "{stats}");
         assert!(stats.contains("jobs_cached_total 1"), "{stats}");
-        assert_eq!(replies[5], WireReply::Bye);
+        assert!(stats.contains("eval_latency_count 1"), "{stats}");
+        assert!(stats.contains("cache_hit_latency_count 1"), "{stats}");
+        assert_eq!(replies[5], WireFrame::Final(WireReply::Bye));
     }
 
     #[test]
     fn batch_errors_are_replies_not_aborts() {
         let replies = batch("mu Nope\nhelp\n");
-        assert!(matches!(&replies[0], WireReply::Err(e) if e.contains("Nope")));
-        assert!(matches!(&replies[1], WireReply::Ok(t) if t.contains("commands")));
+        assert!(matches!(&replies[0], WireFrame::Final(WireReply::Err(e)) if e.contains("Nope")));
+        assert!(ok_text(&replies[1]).contains("commands"));
     }
 
     #[test]
     fn batch_stops_at_shutdown() {
         let replies = batch("shutdown\nhelp\n");
-        assert_eq!(replies, vec![WireReply::Bye]);
+        assert_eq!(replies, vec![WireFrame::Final(WireReply::Bye)]);
+    }
+
+    #[test]
+    fn batch_invalid_utf8_line_is_an_error_reply_not_an_abort() {
+        // Three lines; the middle one is invalid UTF-8. The batch must
+        // answer all three (bugfix: it used to abort, discarding every
+        // buffered reply).
+        let mut input = Vec::new();
+        input.extend_from_slice(b"help\n");
+        input.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        input.extend_from_slice(b"help\n");
+        let replies = batch_bytes(&input);
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert!(ok_text(&replies[0]).contains("commands"));
+        assert!(
+            matches!(&replies[1], WireFrame::Final(WireReply::Err(e)) if e.contains("UTF-8")),
+            "{replies:?}"
+        );
+        assert!(ok_text(&replies[2]).contains("commands"));
+    }
+
+    /// A reader that yields some good lines and then a hard I/O error.
+    struct FailingReader {
+        data: &'static [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::other("disk on fire"));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn batch_flushes_buffered_replies_before_propagating_io_errors() {
+        // The bugfix under test: replies produced before a mid-batch
+        // I/O error must reach the output writer, not be discarded.
+        let reader = std::io::BufReader::new(FailingReader {
+            data: b"help\nhelp\n",
+            pos: 0,
+        });
+        // A writer that only forwards on flush, so we can tell whether
+        // run_batch flushed before erroring out.
+        struct FlushTracking {
+            buffered: Vec<u8>,
+            flushed: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+        }
+        impl Write for FlushTracking {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.buffered.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushed.borrow_mut().extend_from_slice(&self.buffered);
+                self.buffered.clear();
+                Ok(())
+            }
+        }
+        let flushed = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut out = FlushTracking { buffered: Vec::new(), flushed: Rc::clone(&flushed) };
+        use std::rc::Rc;
+        let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+        let err = run_batch(reader, &mut out, &cfg).unwrap_err();
+        assert_eq!(err.to_string(), "disk on fire");
+        let text = String::from_utf8(flushed.borrow().clone()).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "both replies must be flushed before the error: {text:?}"
+        );
+        assert!(text.contains("commands"));
+    }
+
+    #[test]
+    fn batch_eval_star_fans_out_with_tagged_chunks() {
+        let line = format!(
+            "eval* {}",
+            join_jobs(["mu Q", "mu Nope", "certain Q", "fact R(b)."])
+        );
+        let replies = batch(&format!(
+            "fact R(a, _x).\nquery Q := exists u, v. R(u, v)\n{line}\n"
+        ));
+        // 2 setup replies + 4 chunks + 1 done.
+        assert_eq!(replies.len(), 7, "{replies:?}");
+        let chunk = |tag: &str| {
+            replies[2..6]
+                .iter()
+                .find(|f| matches!(f, WireFrame::Chunk { tag: t, .. } | WireFrame::ChunkErr { tag: t, .. } if t == tag))
+                .unwrap_or_else(|| panic!("no chunk tagged {tag}: {replies:?}"))
+        };
+        assert!(
+            matches!(chunk("0"), WireFrame::Chunk { payload, .. } if payload == "μ(Q, D) = 1")
+        );
+        assert!(matches!(chunk("1"), WireFrame::ChunkErr { payload, .. } if payload.contains("Nope")));
+        assert!(matches!(chunk("2"), WireFrame::Chunk { .. }));
+        assert!(
+            matches!(chunk("3"), WireFrame::ChunkErr { payload, .. } if payload.contains("read-only"))
+        );
+        assert_eq!(replies[6], done_frame(4));
+    }
+
+    #[test]
+    fn batch_series_uses_chunked_frames() {
+        let replies = batch(
+            "fact R(c1, _x). R(c2, _y).\n\
+             query Col := exists p. R(c1, p) & R(c2, p)\n\
+             series Col 3\n\
+             series Col 3\n",
+        );
+        // 2 setup + (3 chunks + done) × 2 — the second one from cache.
+        assert_eq!(replies.len(), 10, "{replies:?}");
+        for (i, frame) in replies[2..5].iter().enumerate() {
+            let WireFrame::Chunk { tag, payload } = frame else {
+                panic!("expected chunk: {frame:?}")
+            };
+            assert_eq!(tag, &(i + 1).to_string());
+            assert!(payload.starts_with(&format!("k=  {}", i + 1)), "{payload}");
+        }
+        assert_eq!(replies[5], done_frame(3));
+        assert_eq!(replies[2..6], replies[6..10], "cache hit replays the same chunks");
     }
 }

@@ -11,7 +11,8 @@
 use caz_compare::{best_answers, dominated};
 use caz_constraints::{parse_constraints, ConstraintSet};
 use caz_core::{
-    certain_answers, mu_k_series, BoolQueryEvent, ConstraintEvent, SuppEvent, TupleAnswerEvent,
+    certain_answers, mu_k, mu_k_series, BoolQueryEvent, ConstraintEvent, Series, SuppEvent,
+    TupleAnswerEvent,
 };
 use caz_datalog::{certain_datalog_answers, naive_eval_datalog, parse_program, DatalogEvent};
 use crate::cache::CacheKey;
@@ -105,6 +106,33 @@ pub enum Request {
     AddConstraint(String),
     /// A read-only evaluation (pool-schedulable under a server).
     Eval(EvalRequest),
+    /// `eval* <job>TAB<job>…` — a vectorized batch of read-only
+    /// evaluations, each job a full eval command line (escaped per
+    /// [`crate::proto::escape`]). A server fans these out across its
+    /// worker pool and replies one index-tagged chunk per job. The jobs
+    /// stay raw strings here: each is parsed (and rejected)
+    /// individually via [`parse_eval_job`], so one malformed job yields
+    /// one `err*` chunk instead of failing the whole line.
+    EvalMulti(Vec<String>),
+}
+
+/// Parse one `eval*` job line into its [`EvalRequest`]. Only read-only
+/// evaluation commands qualify — jobs run concurrently against a
+/// snapshot of the session, so state mutations are excluded by
+/// construction — and `series` is excluded because its chunked reply
+/// cannot nest inside the vectorized reply group.
+pub fn parse_eval_job(line: &str) -> Result<EvalRequest, String> {
+    match Request::parse(line)? {
+        Some(Request::Eval(ev)) if ev.kind == EvalKind::Series => {
+            Err("series streams its own chunked reply and cannot appear in eval*".into())
+        }
+        Some(Request::Eval(ev)) => Ok(ev),
+        Some(_) => Err(format!(
+            "eval* jobs must be read-only evaluations \
+             (naive/certain/best/mu/cond/compare), got {line:?}"
+        )),
+        None => Err("empty eval* job".into()),
+    }
 }
 
 const HELP: &str = "\
@@ -122,7 +150,11 @@ commands:
   best <name>                best answers (⊴-maximal)
   mu <name> [tuple]          exact measure μ(Q, D[, ā]), e.g.  mu Q (a, _x)
   cond <name> [tuple]        conditional measure μ(Q | Σ, D[, ā]) (alias: mucond)
-  series <name> <k>          the finite sequence μ¹..μᵏ
+  series <name> <k>          the finite sequence μ¹..μᵏ (a server streams one
+                             reply chunk per k)
+  eval* <job>TAB<job>…       vectorized evaluation: many read-only jobs on one
+                             line, TAB-separated; a server fans them out and
+                             replies index-tagged chunks
   compare <name> <t1> <t2>   the orders between two answers
   stats                      server statistics (serve/batch mode)
   help                       this text
@@ -156,6 +188,12 @@ impl Request {
             "query" => Ok(Some(Request::DefineQuery(rest.to_string()))),
             "datalog" => Ok(Some(Request::DefineProgram(rest.to_string()))),
             "constraint" => Ok(Some(Request::AddConstraint(rest.to_string()))),
+            "eval*" => {
+                if rest.is_empty() {
+                    return Err("eval* needs at least one job".into());
+                }
+                Ok(Some(Request::EvalMulti(crate::proto::split_jobs(rest))))
+            }
             "naive" => eval(EvalKind::Naive),
             "certain" => eval(EvalKind::Certain),
             "best" => eval(EvalKind::Best),
@@ -199,6 +237,23 @@ impl Session {
             Request::DefineProgram(src) => self.add_program(src),
             Request::AddConstraint(src) => self.add_constraint(src),
             Request::Eval(ev) => self.eval(ev).map(Reply::Text),
+            // Outside a server there is no pool to fan out over: run the
+            // jobs sequentially and tag each output line with its index,
+            // mirroring the wire format's tagged chunks.
+            Request::EvalMulti(jobs) => {
+                let mut out = String::new();
+                for (i, job) in jobs.iter().enumerate() {
+                    let result = parse_eval_job(job).and_then(|ev| self.eval(&ev));
+                    if i > 0 {
+                        out.push('\n');
+                    }
+                    match result {
+                        Ok(text) => write!(out, "[{i}] {text}").unwrap(),
+                        Err(e) => write!(out, "[{i}] error: {e}").unwrap(),
+                    }
+                }
+                Ok(Reply::Text(out))
+            }
         }
     }
 
@@ -425,7 +480,8 @@ impl Session {
         Ok(format!("{label} = {value}"))
     }
 
-    fn series(&self, rest: &str) -> Result<String, String> {
+    /// Parse and validate `series` arguments: the event plus `k_max`.
+    fn series_args(&self, rest: &str) -> Result<(Box<dyn SuppEvent>, usize), String> {
         let (head, k_src) = rest
             .rsplit_once(char::is_whitespace)
             .ok_or("usage: series <name> <k>")?;
@@ -435,10 +491,41 @@ impl Session {
         }
         let (name, tuple_src) = self.split_name_tuple(head);
         let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
-        let ev = self.event_for(name, tuple)?;
+        Ok((self.event_for(name, tuple)?, k))
+    }
+
+    fn series(&self, rest: &str) -> Result<String, String> {
+        let (ev, k) = self.series_args(rest)?;
         let s = mu_k_series(ev.as_ref(), &self.db, k);
         let mut out = String::new();
         write!(out, "{s}").unwrap();
+        Ok(out)
+    }
+
+    /// Evaluate a `series` request incrementally: `emit(k, row)` fires
+    /// with one rendered table row as soon as that μᵏ is computed
+    /// (ascending `k`) — the server streams each row as a reply chunk
+    /// while later, more expensive `k` are still being enumerated.
+    /// Returns the aggregated text, byte-identical to what
+    /// [`Session::eval`] produces for the same request; the server
+    /// caches that aggregate so cache hits replay the same chunks.
+    pub fn eval_series_chunks(
+        &self,
+        rest: &str,
+        emit: &mut dyn FnMut(usize, &str),
+    ) -> Result<String, String> {
+        let (ev, k_max) = self.series_args(rest)?;
+        let mut out = String::new();
+        for k in 1..=k_max {
+            let v = mu_k(ev.as_ref(), &self.db, k);
+            // Render through the same Display impl as the aggregate
+            // path so the chunk rows concatenate byte-for-byte.
+            let row_block = Series { ks: vec![k], values: vec![v] }.to_string();
+            let row = row_block.trim_end_matches('\n');
+            emit(k, row);
+            out.push_str(row);
+            out.push('\n');
+        }
         Ok(out)
     }
 
@@ -613,5 +700,62 @@ mod tests {
             Ok(Some(Request::Eval(EvalRequest { kind: EvalKind::Cond, .. })))));
         assert!(matches!(Request::parse("fact R(a)."), Ok(Some(Request::AddFacts(_)))));
         assert!(Request::parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn parse_eval_star_and_jobs() {
+        let line = format!("eval* {}", crate::proto::join_jobs(["mu Q", "certain Q"]));
+        let Ok(Some(Request::EvalMulti(jobs))) = Request::parse(&line) else {
+            panic!("eval* must parse to EvalMulti")
+        };
+        assert_eq!(jobs, vec!["mu Q".to_string(), "certain Q".to_string()]);
+        assert!(Request::parse("eval*").is_err(), "empty job list");
+
+        assert_eq!(parse_eval_job("mu Q (a)").unwrap().kind, EvalKind::Mu);
+        assert_eq!(parse_eval_job("naive Q").unwrap().kind, EvalKind::Naive);
+        let e = parse_eval_job("series Q 4").unwrap_err();
+        assert!(e.contains("series"), "{e}");
+        let e = parse_eval_job("fact R(a).").unwrap_err();
+        assert!(e.contains("read-only"), "{e}");
+        assert!(parse_eval_job("").is_err());
+    }
+
+    #[test]
+    fn eval_multi_runs_sequentially_in_a_plain_session() {
+        let mut s = Session::new();
+        run(&mut s, "fact R(a, _x).");
+        run(&mut s, "query Q := exists u, v. R(u, v)");
+        let line = format!("eval* {}", crate::proto::join_jobs(["mu Q", "mu Nope", "mu Q"]));
+        let out = run(&mut s, &line);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "[0] μ(Q, D) = 1");
+        assert!(lines[1].starts_with("[1] error:"), "{out}");
+        assert_eq!(lines[2], "[2] μ(Q, D) = 1");
+    }
+
+    #[test]
+    fn series_chunks_concatenate_to_the_aggregate_reply() {
+        let mut s = Session::new();
+        run(&mut s, "fact R(c1, _x). R(c2, _y).");
+        run(&mut s, "query Col := exists p. R(c1, p) & R(c2, p)");
+        let mut chunks = Vec::new();
+        let aggregate = s
+            .eval_series_chunks("Col 4", &mut |k, row| chunks.push((k, row.to_string())))
+            .unwrap();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        // Chunks must rebuild the exact non-streamed reply — the server
+        // caches the aggregate and replays it chunk-by-chunk on a hit.
+        let direct = s
+            .eval(&EvalRequest { kind: EvalKind::Series, args: "Col 4".into() })
+            .unwrap();
+        let rebuilt: String = chunks.iter().map(|(_, row)| format!("{row}\n")).collect();
+        assert_eq!(rebuilt, direct);
+        assert_eq!(aggregate, direct, "returned aggregate matches the eval path");
+        // Errors surface before any chunk is emitted.
+        let mut n = 0;
+        assert!(s.eval_series_chunks("Nope 4", &mut |_, _| n += 1).is_err());
+        assert!(s.eval_series_chunks("Col 0", &mut |_, _| n += 1).is_err());
+        assert_eq!(n, 0);
     }
 }

@@ -102,6 +102,68 @@ fn eight_thread_mixed_traffic_keeps_shard_accounting_exact() {
 }
 
 #[test]
+fn capacity_below_shard_count_still_caches_one_entry_per_shard() {
+    // Regression coverage for the zero-capacity-shard rounding trap: a
+    // requested capacity smaller than the shard count must clamp to one
+    // entry per shard (effective total `max(1, ceil(c/n)) * n`), not
+    // round down to zero and silently disable caching.
+    for requested in [0usize, 1, 2, 7] {
+        let cache = ShardedCache::new(requested, SHARDS);
+        assert_eq!(
+            cache.capacity(),
+            SHARDS,
+            "requested {requested} over {SHARDS} shards clamps to 1 each"
+        );
+        // One key per shard: all of them must be cacheable at once.
+        for i in 0..SHARDS {
+            cache.insert(&key(i), format!("value-{i}"));
+        }
+        for i in 0..SHARDS {
+            assert_eq!(
+                cache.get(&key(i)).as_deref(),
+                Some(format!("value-{i}").as_str()),
+                "requested capacity {requested}: shard {i} dropped its only entry"
+            );
+        }
+    }
+
+    // And under concurrent churn (every shard sees 8 competing keys,
+    // each shard holds 1) the accounting invariants still hold exactly.
+    let cache = Arc::new(ShardedCache::new(1, SHARDS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for op in 0..500 {
+                    let i = (t * 13 + op * 7) % KEYS;
+                    let k = key(i);
+                    if let Some(v) = cache.get(&k) {
+                        assert_eq!(v, format!("value-{i}"), "foreign value for {}", k.text);
+                    } else {
+                        cache.insert(&k, format!("value-{i}"));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("churn thread panicked");
+    }
+    let global = cache.counters();
+    let mut sums = (0u64, 0u64, 0u64, 0u64);
+    for s in 0..cache.shard_count() {
+        let (h, m, e, i) = cache.shard_counters(s);
+        sums = (sums.0 + h, sums.1 + m, sums.2 + e, sums.3 + i);
+    }
+    assert_eq!(global, sums, "global counters must be exact shard sums");
+    assert!(cache.len() <= cache.capacity(), "capacity respected under churn");
+    assert!(global.3 > 0, "insertions happened");
+    // Competing keys per shard force evictions — the clamp kept the
+    // cache alive but bounded.
+    assert!(global.2 > 0, "churn over 1-entry shards must evict");
+}
+
+#[test]
 fn shard_selection_is_deterministic_and_high_bit_driven() {
     let cache = ShardedCache::new(64, SHARDS);
     for i in 0..KEYS {

@@ -1,0 +1,356 @@
+//! Integration tests of the evented reactor: many simultaneous
+//! connections on one serving thread, vectorized `eval*` fan-out,
+//! incremental `series` streaming, slow readers, and abrupt
+//! mid-stream disconnects.
+
+use caz_service::proto::{decode_frame, decode_reply, join_jobs, WireFrame, WireReply};
+use caz_service::{Server, ServerConfig, ShutdownHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+fn spawn_server(workers: usize) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Write a command line without waiting for the reply (pipelining).
+    fn push(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn read_frame(&mut self) -> WireFrame {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        decode_frame(reply.trim_end_matches('\n'))
+            .unwrap_or_else(|| panic!("malformed frame {reply:?}"))
+    }
+
+    /// Read frames until (and including) the group's terminal line.
+    fn read_group(&mut self) -> (Vec<WireFrame>, WireReply) {
+        let mut chunks = Vec::new();
+        loop {
+            match self.read_frame() {
+                WireFrame::Final(terminal) => return (chunks, terminal),
+                chunk => chunks.push(chunk),
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) -> WireReply {
+        self.push(line);
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        decode_reply(reply.trim_end_matches('\n')).expect("well-formed wire reply")
+    }
+
+    fn send_ok(&mut self, line: &str) -> String {
+        match self.send(line) {
+            WireReply::Ok(t) => t,
+            other => panic!("expected ok for {line:?}, got {other:?}"),
+        }
+    }
+}
+
+/// This process's live thread count, from `/proc/self/status`. The
+/// server runs inside the test process, so this bounds how many
+/// serving threads the reactor architecture uses.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+fn stats_field(stats: &str, name: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(name).map(|v| v.trim().parse().unwrap()))
+        .unwrap_or_else(|| panic!("missing {name} in:\n{stats}"))
+}
+
+#[test]
+fn one_reactor_thread_serves_64_concurrent_connections() {
+    const CONNS: usize = 64;
+    let (addr, handle, join) = spawn_server(4);
+
+    // 64 simultaneous connections, each with its own session state.
+    let mut clients: Vec<Client> = (0..CONNS).map(|_| Client::connect(addr)).collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.send_ok(&format!("fact R(a{i}, _x). R(b{i}, _x)."));
+        client.send_ok("query Q := exists u, v. R(u, v)");
+        client.send_ok(&format!("query Col := exists p. R(a{i}, p) & R(b{i}, p)"));
+    }
+
+    // Pipeline work onto every connection without reading replies, so
+    // the server holds 64 active connections with in-flight jobs at
+    // once: a vectorized eval* everywhere, plus a streamed series on
+    // every eighth connection.
+    let eval_star = format!("eval* {}", join_jobs(["mu Q", "mu Nope", "mu Col"]));
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.push(&eval_star);
+        if i % 8 == 0 {
+            client.push("series Col 3");
+        }
+    }
+
+    // The core claim of the reactor architecture: with 64 connections
+    // mid-request, this whole process — test harness, reactor, and the
+    // 4 workers — runs far fewer threads than one-thread-per-connection
+    // would need.
+    let threads = thread_count();
+    assert!(
+        threads < CONNS,
+        "expected a thread count well below {CONNS} while {CONNS} connections are active, got {threads}"
+    );
+
+    // Every connection gets correct, index-tagged group replies.
+    for (i, client) in clients.iter_mut().enumerate() {
+        let (chunks, terminal) = client.read_group();
+        assert_eq!(terminal, WireReply::Ok("done 3".into()), "conn {i}");
+        assert_eq!(chunks.len(), 3, "conn {i}: {chunks:?}");
+        let by_tag = |tag: &str| {
+            chunks
+                .iter()
+                .find(|c| {
+                    matches!(c,
+                        WireFrame::Chunk { tag: t, .. } | WireFrame::ChunkErr { tag: t, .. }
+                        if t == tag)
+                })
+                .unwrap_or_else(|| panic!("conn {i}: no chunk {tag}: {chunks:?}"))
+        };
+        assert!(
+            matches!(by_tag("0"), WireFrame::Chunk { payload, .. } if payload == "μ(Q, D) = 1"),
+            "conn {i}: {chunks:?}"
+        );
+        assert!(
+            matches!(by_tag("1"), WireFrame::ChunkErr { payload, .. } if payload.contains("Nope")),
+            "conn {i}: {chunks:?}"
+        );
+        assert!(matches!(by_tag("2"), WireFrame::Chunk { .. }), "conn {i}: {chunks:?}");
+        if i % 8 == 0 {
+            let (rows, terminal) = client.read_group();
+            assert_eq!(terminal, WireReply::Ok("done 3".into()), "conn {i} series");
+            for (r, row) in rows.iter().enumerate() {
+                assert!(
+                    matches!(row, WireFrame::Chunk { tag, payload }
+                        if tag == &(r + 1).to_string() && payload.starts_with("k=")),
+                    "conn {i} series row {r}: {row:?}"
+                );
+            }
+        }
+    }
+
+    let mut probe = Client::connect(addr);
+    let stats = probe.send_ok("stats");
+    assert!(
+        stats_field(&stats, "connections_total") > CONNS as u64,
+        "{stats}"
+    );
+    assert_eq!(probe.send("quit"), WireReply::Bye);
+    for mut client in clients {
+        assert_eq!(client.send("quit"), WireReply::Bye);
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn series_streams_chunks_before_the_last_k_is_computed() {
+    let (addr, handle, join) = spawn_server(2);
+    let mut client = Client::connect(addr);
+
+    // Five nulls make μᵏ cost grow steeply with k: the last few k of
+    // `series Q 8` dominate the total by a wide margin, while k=1 is
+    // nearly instant.
+    let facts: Vec<String> = (0..5).map(|i| format!("R(c{i}, _x{i}).")).collect();
+    client.send_ok(&format!("fact {}", facts.join(" ")));
+    client.send_ok("query Q := exists u, v. R(u, v)");
+
+    let sent = Instant::now();
+    client.push("series Q 8");
+    let first = client.read_frame();
+    let first_at = sent.elapsed();
+    assert!(
+        matches!(&first, WireFrame::Chunk { tag, .. } if tag == "1"),
+        "{first:?}"
+    );
+    let (rest, terminal) = client.read_group();
+    let done_at = sent.elapsed();
+    assert_eq!(terminal, WireReply::Ok("done 8".into()));
+    assert_eq!(rest.len(), 7, "{rest:?}");
+
+    // Streaming means the first row left the server while later, more
+    // expensive rows were still being computed — so it must arrive in
+    // a small fraction of the total time. A buffered (non-streaming)
+    // implementation delivers everything at once: first ≈ done.
+    assert!(
+        first_at < done_at / 2,
+        "first chunk after {first_at:?}, group done after {done_at:?}: series reply was not streamed"
+    );
+
+    assert_eq!(client.send("quit"), WireReply::Bye);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Resize a socket's receive buffer: tiny to simulate a slow reader
+/// (the peer's writes hit flow control almost immediately), large to
+/// let the backlog drain at full speed afterwards.
+fn set_rcvbuf(stream: &TcpStream, bytes: i32) {
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&bytes as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+}
+
+#[test]
+fn slow_reader_stalls_only_its_own_connection() {
+    const PIPELINED: usize = 4000;
+    let (addr, handle, join) = spawn_server(2);
+
+    // The slow reader: a tiny receive buffer, thousands of pipelined
+    // commands, and no reading for a while. The replies (hundreds of
+    // bytes each) vastly exceed the socket buffers, so the reactor's
+    // write path must hit WouldBlock and park the backlog under
+    // EPOLLOUT instead of blocking the serving thread.
+    let mut slow = Client::connect(addr);
+    set_rcvbuf(&slow.writer, 4096);
+    for _ in 0..PIPELINED {
+        slow.push("help");
+    }
+
+    // While the slow connection is saturated, other clients must be
+    // served promptly by the same reactor thread.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut other = Client::connect(addr);
+    other
+        .writer
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    other.send_ok("fact R(a, _x).");
+    other.send_ok("query Q := exists u, v. R(u, v)");
+    assert_eq!(other.send_ok("mu Q"), "μ(Q, D) = 1");
+    assert_eq!(other.send("quit"), WireReply::Bye);
+
+    // Now drain the slow connection: every reply must arrive, intact
+    // and in order. (Re-grow the receive buffer first — the tiny
+    // window was for stalling the server, not for making this test
+    // crawl through zero-window probes.)
+    set_rcvbuf(&slow.writer, 1 << 20);
+    let reference = {
+        let mut c = Client::connect(addr);
+        let text = c.send_ok("help");
+        assert_eq!(c.send("quit"), WireReply::Bye);
+        text
+    };
+    for i in 0..PIPELINED {
+        let mut reply = String::new();
+        slow.reader.read_line(&mut reply).expect("read pipelined reply");
+        match decode_reply(reply.trim_end_matches('\n')) {
+            Some(WireReply::Ok(text)) => {
+                assert_eq!(text, reference, "reply {i} corrupted under backpressure")
+            }
+            other => panic!("reply {i}: {other:?}"),
+        }
+    }
+    assert_eq!(slow.send("quit"), WireReply::Bye);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn abrupt_disconnect_mid_stream_leaves_the_server_healthy() {
+    let (addr, handle, join) = spawn_server(2);
+    let facts = {
+        let rows: Vec<String> = (0..5).map(|i| format!("R(c{i}, _x{i}).")).collect();
+        format!("fact {}", rows.join(" "))
+    };
+
+    // Start a streamed series, read exactly one chunk, then vanish:
+    // the server's later writes for this connection must fail without
+    // harming the reactor or the worker pool.
+    {
+        let mut doomed = Client::connect(addr);
+        doomed.send_ok(&facts);
+        doomed.send_ok("query Q := exists u, v. R(u, v)");
+        doomed.push("series Q 8");
+        let first = doomed.read_frame();
+        assert!(matches!(&first, WireFrame::Chunk { tag, .. } if tag == "1"), "{first:?}");
+        // Drop both socket halves mid-stream.
+    }
+
+    // The in-flight series job still runs to completion server-side
+    // and caches its aggregate even though nobody is listening. Wait
+    // for it, then assert the server is fully functional.
+    let mut probe = Client::connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = probe.send_ok("stats");
+        if stats_field(&stats, "jobs_executed_total") >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "series job never finished:\n{stats}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    probe.send_ok(&facts);
+    probe.send_ok("query Q := exists u, v. R(u, v)");
+    assert_eq!(probe.send_ok("mu Q"), "μ(Q, D) = 1");
+
+    // The identical series request now hits the cache (the aggregate
+    // was inserted when the orphaned job finished) and replays the
+    // full chunk group.
+    let (chunks, terminal) = {
+        probe.push("series Q 8");
+        probe.read_group()
+    };
+    assert_eq!(terminal, WireReply::Ok("done 8".into()));
+    assert_eq!(chunks.len(), 8, "{chunks:?}");
+    let stats = probe.send_ok("stats");
+    assert!(stats_field(&stats, "jobs_cached_total") >= 1, "{stats}");
+
+    assert_eq!(probe.send("quit"), WireReply::Bye);
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -2,11 +2,12 @@
 //! reply fidelity against direct [`Session`] evaluation, the
 //! isomorphism-invariant cache, panic isolation, and graceful shutdown.
 
-use caz_service::proto::{decode_reply, WireReply};
+use caz_service::proto::{decode_frame, decode_reply, WireFrame, WireReply};
 use caz_service::session::{Reply, Session};
 use caz_service::{Server, ServerConfig, ShutdownHandle};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 /// Bind on an ephemeral port, run the server on its own thread, and
 /// hand back the address plus a shutdown handle. The join handle lets
@@ -56,6 +57,31 @@ impl Client {
             other => panic!("expected ok for {line:?}, got {other:?}"),
         }
     }
+
+    /// Send a command and read its whole reply group: the chunk frames
+    /// (if any) plus the terminal reply that ends the group.
+    fn send_group(&mut self, line: &str) -> (Vec<WireFrame>, WireReply) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut chunks = Vec::new();
+        loop {
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).expect("read reply");
+            match decode_frame(reply.trim_end_matches('\n')).expect("well-formed frame") {
+                WireFrame::Final(terminal) => return (chunks, terminal),
+                chunk => chunks.push(chunk),
+            }
+        }
+    }
+}
+
+/// Pull one numeric field out of a `stats` reply.
+fn stats_field(stats: &str, name: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(name).map(|v| v.trim().parse().unwrap()))
+        .unwrap_or_else(|| panic!("missing {name} in:\n{stats}"))
 }
 
 /// What a local, in-process session says about one command — the ground
@@ -90,11 +116,27 @@ fn concurrent_clients_match_direct_evaluation() {
                     "mucond Meet".to_string(),
                     format!("mu Q (d{i}, _y)"),
                     "mu Nope".to_string(), // error must round-trip too
-                    "series Meet 3".to_string(),
                 ];
                 for line in &script {
                     assert_eq!(client.send(line), direct(&mut local, line), "{line:?}");
                 }
+                // `series` now streams: its chunk payloads joined with
+                // newlines must reconstruct the direct reply exactly.
+                let (chunks, terminal) = client.send_group("series Meet 3");
+                let WireReply::Ok(expected) = direct(&mut local, "series Meet 3") else {
+                    panic!("direct series evaluation failed");
+                };
+                let mut joined = String::new();
+                for (row, chunk) in chunks.iter().enumerate() {
+                    let WireFrame::Chunk { tag, payload } = chunk else {
+                        panic!("unexpected frame {chunk:?}");
+                    };
+                    assert_eq!(tag, &(row + 1).to_string(), "k tags ascend");
+                    joined.push_str(payload);
+                    joined.push('\n');
+                }
+                assert_eq!(joined, expected, "chunks reconstruct the series table");
+                assert_eq!(terminal, WireReply::Ok(format!("done {}", chunks.len())));
                 assert_eq!(client.send("quit"), WireReply::Bye);
             })
         })
@@ -184,6 +226,127 @@ fn panicking_job_is_isolated_to_an_error_reply() {
     assert_eq!(second.send("quit"), WireReply::Bye);
     handle.shutdown();
     join.join().unwrap();
+}
+
+/// Join a thread, panicking if it does not finish within `timeout` —
+/// the failure mode of the lost-shutdown bug is a server loop that
+/// never exits, which a plain `join()` would turn into a test hang.
+fn join_within(join: std::thread::JoinHandle<()>, timeout: Duration, what: &str) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let watcher = std::thread::spawn(move || {
+        let result = join.join();
+        let _ = tx.send(());
+        result.unwrap();
+    });
+    rx.recv_timeout(timeout)
+        .unwrap_or_else(|_| panic!("{what} did not finish within {timeout:?}"));
+    watcher.join().unwrap();
+}
+
+/// Configure the abrupt-disconnect client: a minimal receive buffer
+/// (so the server's replies hit flow control) and a TCP RST on drop
+/// (`SO_LINGER` with a zero timeout — the close is immediate and any
+/// in-flight server write fails instead of lingering).
+fn slow_then_rst(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    const SO_LINGER: i32 = 13;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    let rcvbuf: i32 = 4096;
+    let linger = Linger { l_onoff: 1, l_linger: 0 };
+    unsafe {
+        let rc = setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&rcvbuf as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        );
+        assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+        let rc = setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&linger as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        );
+        assert_eq!(rc, 0, "setsockopt(SO_LINGER)");
+    }
+}
+
+#[test]
+fn shutdown_from_vanishing_client_still_stops_the_server() {
+    // Regression test for the lost-shutdown bug: the old
+    // thread-per-connection handler wrote every reply *before* acting
+    // on the command's control flow, so a client whose socket could no
+    // longer take replies (here: a tiny receive buffer it never reads
+    // from, closed abruptly without reading) stalled the handler in
+    // `write` before the `shutdown` line was even processed — or, once
+    // the close arrived, failed the `bye` write and bailed out of the
+    // handler before the stop flag was ever set. Either way the server
+    // ran forever. The fix commits the stop before attempting `bye`.
+    let (addr, _handle, join) = spawn_server(1);
+
+    // A second connection that watches progress through `stats` without
+    // ever touching the victim's reply stream.
+    let mut observer = Client::connect(addr);
+
+    const BURST: u64 = 8000;
+    let stream = TcpStream::connect(addr).expect("connect");
+    slow_then_rst(&stream);
+    // Enough pipelined replies to exhaust the socket buffers many times
+    // over, then the shutdown — all without reading a byte.
+    let mut burst = String::new();
+    for _ in 0..BURST {
+        burst.push_str("help\n");
+    }
+    burst.push_str("shutdown\n");
+    (&stream).write_all(burst.as_bytes()).unwrap();
+    (&stream).flush().unwrap();
+
+    // Wait until the server has processed every pipelined command
+    // including the final `shutdown`. `requests_total` counts the
+    // victim's commands plus our own `stats` polls, so subtract the
+    // polls we have made. A server whose handler stalls writing replies
+    // the client never reads can never get there.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut polls = 0u64;
+    loop {
+        polls += 1;
+        let stats = observer.send_ok("stats");
+        if stats_field(&stats, "requests_total") >= BURST + 1 + polls {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never reached the pipelined shutdown command:\n{stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(observer);
+
+    // Vanish without reading a byte: the abrupt close means the `bye`
+    // (and megabytes of queued replies) can never be delivered.
+    drop(stream);
+
+    join_within(join, Duration::from_secs(10), "server shutdown");
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            let mut c = Client::connect(addr);
+            c.writer.write_all(b"help\n").ok();
+            let mut buf = String::new();
+            c.reader.read_line(&mut buf).map(|n| n == 0).unwrap_or(true)
+        },
+        "server must stop accepting after a vanished client's shutdown"
+    );
 }
 
 #[test]

@@ -17,6 +17,13 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# The evaluation server's reactor and concurrency tests exercise
+# timing-sensitive paths (streamed series chunks, 64-connection
+# multiplexing, backpressure); run them under --release as well so the
+# optimized build the server actually ships as is what gets tested.
+echo "==> cargo test -q -p caz-service --release"
+cargo test -q -p caz-service --release
+
 # Seeded differential property stage: the refinement canonicalizer vs.
 # the in-tree factorial oracles. CAZ_TEST_SEED picks the PRNG seed so a
 # counterexample found anywhere (CI, fuzzing, a user report) reproduces
