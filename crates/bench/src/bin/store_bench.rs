@@ -1,0 +1,30 @@
+//! `store_bench` — the `persistence` workload runner.
+//!
+//! Measures a cold batch run (empty persistent store) against a warm
+//! one (recovered store) and writes `BENCH_store.json` in the current
+//! directory. `CAZ_TEST_SEED` selects the workload seed (default 3707),
+//! `CAZ_BENCH_JOBS` the number of evaluation jobs (default 30).
+
+use caz_bench::persistence::run_store_bench;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = env_u64("CAZ_TEST_SEED", 3707);
+    let jobs = env_u64("CAZ_BENCH_JOBS", 30) as usize;
+    let dir = std::env::temp_dir().join(format!("caz-store-bench-{}", std::process::id()));
+
+    let report = run_store_bench(seed, jobs, &dir);
+    let json = report.to_json();
+    std::fs::write("BENCH_store.json", format!("{json}\n")).expect("write BENCH_store.json");
+    eprintln!(
+        "persistence workload: {} jobs, cold {:.1} ms, warm {:.1} ms ({:.1}x), wrote BENCH_store.json",
+        report.jobs, report.cold_ms, report.warm_ms, report.speedup
+    );
+    println!("{json}");
+}

@@ -7,4 +7,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod persistence;
 pub mod workloads;

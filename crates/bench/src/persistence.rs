@@ -1,0 +1,173 @@
+//! The `persistence` workload: cold vs. warm-start timing of the
+//! evaluation server's persistent result store.
+//!
+//! One seeded batch script (facts + distinct `mu`/`cond`/`series` jobs)
+//! is run twice through [`caz_service::run_batch`] against the same
+//! `--cache-path` directory. The cold run executes every job and
+//! write-behinds each result into the store; the warm run recovers the
+//! store at startup and must answer everything from it. The report
+//! captures wall-clock for both runs plus the executed/cached counters
+//! from each run's trailing `stats` frame — the warm run's
+//! `jobs_executed` is asserted to be zero, so the benchmark doubles as
+//! an end-to-end warm-start check.
+
+use caz_service::proto::{decode_frame, WireFrame, WireReply};
+use caz_service::{run_batch, FsyncPolicy, ServerConfig};
+use caz_testutil::rngs::StdRng;
+use caz_testutil::{RngExt, SeedableRng};
+use std::path::Path;
+use std::time::Instant;
+
+/// What one cold/warm pair measured.
+#[derive(Clone, Debug)]
+pub struct StoreBenchReport {
+    /// PRNG seed that generated the workload.
+    pub seed: u64,
+    /// Evaluation jobs in the script.
+    pub jobs: usize,
+    /// Wall-clock of the cold run (empty store) in milliseconds.
+    pub cold_ms: f64,
+    /// Wall-clock of the warm run (recovered store) in milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// `jobs_executed_total` of the cold run (must equal `jobs`).
+    pub cold_executed: u64,
+    /// `jobs_executed_total` of the warm run (must be 0).
+    pub warm_executed: u64,
+    /// `jobs_cached_total` of the warm run (must equal `jobs`).
+    pub warm_cached: u64,
+    /// `store_loaded_entries` the warm run recovered.
+    pub loaded_entries: u64,
+}
+
+impl StoreBenchReport {
+    /// Render as a small JSON object (the workspace is std-only, so the
+    /// encoder is by hand; every field is a number).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"persistence\",\n  \"seed\": {},\n  \"jobs\": {},\n  \
+             \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \"speedup\": {:.2},\n  \
+             \"cold_executed\": {},\n  \"warm_executed\": {},\n  \"warm_cached\": {},\n  \
+             \"loaded_entries\": {}\n}}",
+            self.seed,
+            self.jobs,
+            self.cold_ms,
+            self.warm_ms,
+            self.speedup,
+            self.cold_executed,
+            self.warm_executed,
+            self.warm_cached,
+            self.loaded_entries
+        )
+    }
+}
+
+/// Generate the seeded batch script: a small incomplete database (3
+/// nulls — well under the engine's null cap) and `jobs` evaluation
+/// lines with pairwise-distinct query definitions, so the cold run can
+/// share nothing and must execute every job.
+fn script(seed: u64, jobs: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("fact R(c0, _a). R(c1, _a). R(c2, _b). R(c3, _c).\n");
+    let mut order: Vec<usize> = (0..jobs).collect();
+    // Seeded shuffle so the store's append order varies with the seed.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    for i in order {
+        // The definition embeds `i`, making every cache key distinct.
+        out.push_str(&format!(
+            "query Q{i} := exists p. R(c{i}, p) & R(c{}, p)\n",
+            rng.random_range(0..4u32)
+        ));
+        match i % 3 {
+            0 => out.push_str(&format!("mu Q{i}\n")),
+            1 => out.push_str(&format!("cond Q{i}\n")),
+            _ => out.push_str(&format!("series Q{i} 2\n")),
+        }
+    }
+    out.push_str("stats\n");
+    out
+}
+
+fn stats_value(frames: &[WireFrame], key: &str) -> u64 {
+    let Some(WireFrame::Final(WireReply::Ok(stats))) = frames.last() else {
+        panic!("batch did not end in an ok stats frame");
+    };
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("missing {key} in stats"))
+        .parse()
+        .unwrap()
+}
+
+fn run_once(input: &str, cfg: &ServerConfig) -> (f64, Vec<WireFrame>) {
+    let mut out = Vec::new();
+    let start = Instant::now();
+    run_batch(input.as_bytes(), &mut out, cfg).expect("batch run");
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let frames = String::from_utf8(out)
+        .expect("utf-8 output")
+        .lines()
+        .map(|l| decode_frame(l).expect("well-formed frame"))
+        .collect();
+    (elapsed, frames)
+}
+
+/// Run the workload: cold then warm against `dir` (which is recreated
+/// empty), asserting the warm run executes nothing.
+pub fn run_store_bench(seed: u64, jobs: usize, dir: &Path) -> StoreBenchReport {
+    let _ = std::fs::remove_dir_all(dir);
+    let input = script(seed, jobs);
+    let cfg = ServerConfig {
+        workers: 2,
+        cache_path: Some(dir.to_path_buf()),
+        fsync: FsyncPolicy::Never,
+        ..ServerConfig::default()
+    };
+
+    let (cold_ms, cold) = run_once(&input, &cfg);
+    let (warm_ms, warm) = run_once(&input, &cfg);
+    let _ = std::fs::remove_dir_all(dir);
+
+    let report = StoreBenchReport {
+        seed,
+        jobs,
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-9),
+        cold_executed: stats_value(&cold, "jobs_executed_total"),
+        warm_executed: stats_value(&warm, "jobs_executed_total"),
+        warm_cached: stats_value(&warm, "jobs_cached_total"),
+        loaded_entries: stats_value(&warm, "store_loaded_entries"),
+    };
+    assert_eq!(
+        report.cold_executed, jobs as u64,
+        "cold run must execute every job (seed {seed})"
+    );
+    assert_eq!(
+        report.warm_executed, 0,
+        "warm run must execute nothing (seed {seed})"
+    );
+    assert_eq!(
+        report.warm_cached, jobs as u64,
+        "warm run must answer every job from the store (seed {seed})"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_bench_round_trips_and_warm_run_is_all_hits() {
+        let dir = std::env::temp_dir().join(format!("caz-store-bench-test-{}", std::process::id()));
+        let report = run_store_bench(3707, 9, &dir);
+        assert_eq!(report.loaded_entries, 9);
+        let json = report.to_json();
+        assert!(json.contains("\"warm_executed\": 0"), "{json}");
+    }
+}

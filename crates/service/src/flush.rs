@@ -1,0 +1,151 @@
+//! The write-behind flusher: the single thread that owns the
+//! persistent [`Store`] and feeds it cache insertions.
+//!
+//! Workers finishing a cache miss call [`Flusher::append`], which sends
+//! the entry over a **bounded** channel — persistence never adds disk
+//! latency to the evaluation path, and a disk slower than the workers
+//! exerts backpressure instead of growing an unbounded queue. The
+//! flusher thread coalesces whatever has accumulated into one WAL write
+//! (one `fdatasync` under `--fsync always`), then compacts the WAL into
+//! a fresh snapshot when it outgrows the configured ratio.
+//!
+//! Shutdown ([`Flusher::shutdown`], also run on drop) closes the
+//! channel, lets the thread drain every queued entry, and force-syncs
+//! the WAL regardless of the append-time fsync policy — a clean exit is
+//! always durable; only a crash can lose unsynced appends.
+
+use crate::cache::CacheKey;
+use crate::metrics::Metrics;
+use caz_store::{Entry, Store};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Entries buffered between the workers and the flusher thread before
+/// `append` blocks (write-behind backpressure bound).
+const FLUSH_QUEUE_CAP: usize = 1024;
+/// Most entries coalesced into one WAL write.
+const MAX_COALESCE: usize = 256;
+
+/// Handle to the background flusher thread. Owned by
+/// [`crate::server::Shared`]; cloneable access comes from sharing that
+/// struct, not from cloning this one.
+pub(crate) struct Flusher {
+    tx: Mutex<Option<SyncSender<Entry>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Flusher {
+    /// Take ownership of an opened store and start the flusher thread.
+    pub(crate) fn spawn(mut store: Store, metrics: Arc<Metrics>) -> Flusher {
+        let (tx, rx) = sync_channel::<Entry>(FLUSH_QUEUE_CAP);
+        let handle = std::thread::Builder::new()
+            .name("caz-flush".into())
+            .spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    let mut batch = vec![first];
+                    while batch.len() < MAX_COALESCE {
+                        match rx.try_recv() {
+                            Ok(entry) => batch.push(entry),
+                            Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    let start = Instant::now();
+                    match store.append_batch(&batch) {
+                        Ok(()) => {
+                            metrics
+                                .store_appends
+                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            metrics.store_flush_latency.record(start.elapsed());
+                        }
+                        // Persistence is best-effort relative to serving:
+                        // a failing disk degrades the next start to a
+                        // cold one, it does not take the server down.
+                        Err(e) => eprintln!("caz-store: WAL append failed: {e}"),
+                    }
+                    if store.should_compact() {
+                        match store.compact() {
+                            Ok(_) => {
+                                metrics.store_compactions.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => eprintln!("caz-store: compaction failed: {e}"),
+                        }
+                    }
+                }
+                // Channel closed: everything queued has been appended.
+                // Sync unconditionally so a clean shutdown is durable
+                // even under the no-fsync append policy.
+                if let Err(e) = store.sync() {
+                    eprintln!("caz-store: final sync failed: {e}");
+                }
+            })
+            .expect("spawn caz-flush thread");
+        Flusher {
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Queue one freshly computed result for persistence. Called from
+    /// worker threads; blocks only when the flusher is
+    /// `FLUSH_QUEUE_CAP` entries behind.
+    pub(crate) fn append(&self, key: &CacheKey, value: &str) {
+        let entry = Entry {
+            key: key.text.clone(),
+            shard_hash: key.shard_hash,
+            value: value.to_string(),
+        };
+        if let Some(tx) = self.tx.lock().unwrap().as_ref() {
+            // A send error means the thread already exited (disk
+            // failure); serving continues without persistence.
+            let _ = tx.send(entry);
+        }
+    }
+
+    /// Close the channel, drain the queue, sync, and join the thread.
+    /// Idempotent.
+    pub(crate) fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take());
+        if let Some(handle) = self.handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_store::FsyncPolicy;
+
+    #[test]
+    fn flusher_persists_appends_across_shutdown() {
+        let dir = std::env::temp_dir().join(format!("caz-flush-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics = Arc::new(Metrics::new());
+        let (store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        let flusher = Flusher::spawn(store, Arc::clone(&metrics));
+        for i in 0..50u32 {
+            let key = CacheKey {
+                text: format!("k{i}"),
+                shard_hash: i as u128,
+            };
+            flusher.append(&key, "value");
+        }
+        flusher.shutdown();
+        assert_eq!(metrics.store_appends.load(Ordering::Relaxed), 50);
+        assert!(metrics.store_flush_latency.count() >= 1);
+
+        let (_, entries, report) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(report.truncated_events, 0);
+        assert_eq!(entries.len(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -19,7 +19,11 @@
 //!   epoll-based reactor thread (`reactor`, private) multiplexing every
 //!   connection over `std::net::TcpListener`, plus an offline batch
 //!   driver, with a [`metrics`] registry exposed through the `stats`
-//!   command.
+//!   command;
+//! * `flush` (private) — a write-behind thread feeding fresh cache
+//!   entries to a crash-safe persistent [`caz_store::Store`]
+//!   (snapshot + checksummed WAL) when the server is configured with a
+//!   cache path, so a restart warm-starts instead of recomputing.
 //!
 //! `unsafe` is denied crate-wide and allowed only in the reactor's
 //! syscall-binding submodule (raw `epoll`/`pipe2` FFI — the workspace
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod flush;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
@@ -37,6 +42,7 @@ pub mod server;
 pub mod session;
 
 pub use cache::{CacheKey, ResultCache, ShardedCache};
+pub use caz_store::FsyncPolicy;
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
 pub use server::{run_batch, Server, ServerConfig, ShutdownHandle};

@@ -79,6 +79,16 @@ pub struct Metrics {
     pub jobs_cached: AtomicU64,
     /// Connections accepted (1 for a batch run).
     pub connections: AtomicU64,
+    /// Entries recovered from the persistent store at startup (0 when
+    /// the server runs without `--cache-path`).
+    pub store_loaded_entries: AtomicU64,
+    /// Entries appended to the persistent store's WAL by the flusher.
+    pub store_appends: AtomicU64,
+    /// WAL-into-snapshot compactions performed by the flusher.
+    pub store_compactions: AtomicU64,
+    /// Recovery events at startup that discarded a corrupt suffix
+    /// (torn WAL tail, flipped bytes, stale version header).
+    pub store_recovered_truncated: AtomicU64,
     /// End-to-end latency of *executed* evaluation jobs (key
     /// computation + queue wait + compute). Cache hits are excluded —
     /// they go to [`Metrics::cache_hit_latency`] — so this histogram
@@ -87,6 +97,9 @@ pub struct Metrics {
     /// Latency of evaluation requests answered from the cache
     /// (canonicalization + shard lookup, no pool round-trip).
     pub cache_hit_latency: Histogram,
+    /// Latency of one coalesced WAL append batch on the flusher thread
+    /// (encode + write, plus fsync under `--fsync always`).
+    pub store_flush_latency: Histogram,
 }
 
 impl Default for Metrics {
@@ -99,8 +112,13 @@ impl Default for Metrics {
             jobs_executed: AtomicU64::new(0),
             jobs_cached: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            store_loaded_entries: AtomicU64::new(0),
+            store_appends: AtomicU64::new(0),
+            store_compactions: AtomicU64::new(0),
+            store_recovered_truncated: AtomicU64::new(0),
             eval_latency: Histogram::default(),
             cache_hit_latency: Histogram::default(),
+            store_flush_latency: Histogram::default(),
         }
     }
 }
@@ -131,6 +149,16 @@ impl Metrics {
         line("connections_total", self.connections.load(Ordering::Relaxed));
         line("jobs_executed_total", self.jobs_executed.load(Ordering::Relaxed));
         line("jobs_cached_total", self.jobs_cached.load(Ordering::Relaxed));
+        line(
+            "store_loaded_entries",
+            self.store_loaded_entries.load(Ordering::Relaxed),
+        );
+        line("store_appends", self.store_appends.load(Ordering::Relaxed));
+        line("store_compactions", self.store_compactions.load(Ordering::Relaxed));
+        line(
+            "store_recovered_truncated",
+            self.store_recovered_truncated.load(Ordering::Relaxed),
+        );
         line("cache_hits", hits);
         line("cache_misses", misses);
         line("cache_evictions", evictions);
@@ -148,6 +176,7 @@ impl Metrics {
         for (prefix, lat) in [
             ("eval_latency", &self.eval_latency),
             ("cache_hit_latency", &self.cache_hit_latency),
+            ("store_flush_latency", &self.store_flush_latency),
         ] {
             line(&format!("{prefix}_count"), lat.count());
             line(&format!("{prefix}_mean_micros"), lat.mean_micros());

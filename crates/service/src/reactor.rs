@@ -9,9 +9,11 @@
 //! * readable sockets are drained into per-connection buffers and
 //!   split into command lines;
 //! * complete lines are classified ([`crate::server::classify`]) —
-//!   cheap state mutations and cache hits are answered inline,
-//!   evaluation misses become [`DetachedJob`]s on the shared
-//!   [`WorkerPool`](crate::pool::WorkerPool);
+//!   cheap state mutations are answered inline, every evaluation
+//!   becomes a [`DetachedJob`] on the shared
+//!   [`WorkerPool`](crate::pool::WorkerPool), where the worker
+//!   canonicalizes the cache key and resolves hits (canonicalization
+//!   is a whole-database refinement pass, too heavy for this thread);
 //! * a worker finishing a job pushes a [`Completion`] onto a shared
 //!   queue and writes one byte to a wakeup pipe registered in the same
 //!   epoll set, so replies complete asynchronously without the reactor
@@ -33,11 +35,11 @@
 //! — the workspace is std-only by charter, so no crate dependency; all
 //! `unsafe` in this crate is confined to those few wrappers.
 
-use crate::cache::CacheKey;
 use crate::pool::{DetachedJob, JobResult, Outcome, TrySubmitError};
 use crate::proto::{encode_frame, WireFrame, WireReply};
 use crate::server::{
-    classify, done_frame, finish_eval, multi_frame, single_frame, Control, MultiJob, Shared, Step,
+    classify, done_frame, eval_on_worker, eval_series_on_worker, multi_frame, new_hit_flag,
+    series_frames, settle_eval, single_frame, Control, HitFlag, MultiJob, Shared, Step,
 };
 use crate::session::Session;
 use std::collections::{HashMap, VecDeque};
@@ -67,7 +69,7 @@ enum Done {
     SeriesRow { k: usize, row: String },
     /// A single `eval`/`mu`/`certain` job finished.
     Single {
-        key: Option<CacheKey>,
+        hit: HitFlag,
         start: Instant,
         result: JobResult,
         outcome: Outcome,
@@ -75,14 +77,15 @@ enum Done {
     /// One member job of an `eval*` group finished.
     Sub {
         index: usize,
-        key: Option<CacheKey>,
+        hit: HitFlag,
         start: Instant,
         result: JobResult,
         outcome: Outcome,
     },
-    /// The `series` job returned its aggregate (all rows emitted).
+    /// The `series` job returned its aggregate (all rows already
+    /// emitted on a miss; none emitted on a cache hit).
     SeriesEnd {
-        key: Option<CacheKey>,
+        hit: HitFlag,
         start: Instant,
         result: JobResult,
         outcome: Outcome,
@@ -403,19 +406,24 @@ impl Reactor {
                 }
                 self.queue_frames(id, &frames);
             }
-            Step::Single { ev, key, start } => {
+            Step::Single { ev, start } => {
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = Some(Inflight::Single);
                 let job_session = conn.session.clone();
+                let job_shared = Arc::clone(&self.shared);
+                let hit = new_hit_flag();
+                let job_hit = Arc::clone(&hit);
                 let notifier = Arc::clone(&self.notifier);
                 self.submit_or_park(
                     id,
                     DetachedJob {
-                        work: Box::new(move || job_session.eval(&ev)),
+                        work: Box::new(move || {
+                            eval_on_worker(&job_shared, &job_session, &ev, &job_hit, start)
+                        }),
                         on_done: Box::new(move |result, outcome| {
                             notifier.push(Completion {
                                 conn: id,
-                                done: Done::Single { key, start, result, outcome },
+                                done: Done::Single { hit, start, result, outcome },
                             });
                         }),
                     },
@@ -426,44 +434,59 @@ impl Reactor {
                 conn.inflight = Some(Inflight::Multi { remaining: jobs.len(), total });
                 let session_snapshot = conn.session.clone();
                 self.queue_frames(id, &ready);
-                for MultiJob { index, ev, key, start } in jobs {
+                for MultiJob { index, ev, start } in jobs {
                     let job_session = session_snapshot.clone();
+                    let job_shared = Arc::clone(&self.shared);
+                    let hit = new_hit_flag();
+                    let job_hit = Arc::clone(&hit);
                     let notifier = Arc::clone(&self.notifier);
                     self.submit_or_park(
                         id,
                         DetachedJob {
-                            work: Box::new(move || job_session.eval(&ev)),
+                            work: Box::new(move || {
+                                eval_on_worker(&job_shared, &job_session, &ev, &job_hit, start)
+                            }),
                             on_done: Box::new(move |result, outcome| {
                                 notifier.push(Completion {
                                     conn: id,
-                                    done: Done::Sub { index, key, start, result, outcome },
+                                    done: Done::Sub { index, hit, start, result, outcome },
                                 });
                             }),
                         },
                     );
                 }
             }
-            Step::Series { rest, key, start } => {
+            Step::Series { ev, start } => {
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = Some(Inflight::Series);
                 let job_session = conn.session.clone();
+                let job_shared = Arc::clone(&self.shared);
+                let hit = new_hit_flag();
+                let job_hit = Arc::clone(&hit);
                 let row_notifier = Arc::clone(&self.notifier);
                 let end_notifier = Arc::clone(&self.notifier);
                 self.submit_or_park(
                     id,
                     DetachedJob {
                         work: Box::new(move || {
-                            job_session.eval_series_chunks(&rest, &mut |k, row| {
-                                row_notifier.push(Completion {
-                                    conn: id,
-                                    done: Done::SeriesRow { k, row: row.to_string() },
-                                });
-                            })
+                            eval_series_on_worker(
+                                &job_shared,
+                                &job_session,
+                                &ev,
+                                &job_hit,
+                                start,
+                                &mut |k, row| {
+                                    row_notifier.push(Completion {
+                                        conn: id,
+                                        done: Done::SeriesRow { k, row: row.to_string() },
+                                    });
+                                },
+                            )
                         }),
                         on_done: Box::new(move |result, outcome| {
                             end_notifier.push(Completion {
                                 conn: id,
-                                done: Done::SeriesEnd { key, start, result, outcome },
+                                done: Done::SeriesEnd { hit, start, result, outcome },
                             });
                         }),
                     },
@@ -530,15 +553,15 @@ impl Reactor {
                     );
                 }
             }
-            Done::Single { key, start, result, outcome } => {
-                let result = finish_eval(&self.shared, key.as_ref(), start, result, outcome);
+            Done::Single { hit, start, result, outcome } => {
+                let result = settle_eval(&self.shared, &hit, start, result, outcome);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = None;
                 self.queue_frames(id, &[single_frame(result)]);
                 self.pump(id);
             }
-            Done::Sub { index, key, start, result, outcome } => {
-                let result = finish_eval(&self.shared, key.as_ref(), start, result, outcome);
+            Done::Sub { index, hit, start, result, outcome } => {
+                let result = settle_eval(&self.shared, &hit, start, result, outcome);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 let mut frames = vec![multi_frame(index, result)];
                 if let Some(Inflight::Multi { remaining, total }) = &mut conn.inflight {
@@ -554,14 +577,17 @@ impl Reactor {
                     self.pump(id);
                 }
             }
-            Done::SeriesEnd { key, start, result, outcome } => {
-                let result = finish_eval(&self.shared, key.as_ref(), start, result, outcome);
+            Done::SeriesEnd { hit, start, result, outcome } => {
+                let was_hit = hit.load(Ordering::Acquire);
+                let result = settle_eval(&self.shared, &hit, start, result, outcome);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = None;
                 let frames = match result {
-                    // The rows already went out as chunks; close the
-                    // group. (A cache hit replays the same chunks via
-                    // `classify` without touching this path.)
+                    // A cache hit emitted no rows: replay the cached
+                    // aggregate as the full chunked group. On a miss
+                    // the rows already went out as chunks; close the
+                    // group.
+                    Ok(aggregate) if was_hit => series_frames(&aggregate),
                     Ok(aggregate) => vec![done_frame(aggregate.lines().count())],
                     Err(e) => vec![WireFrame::Final(WireReply::Err(e))],
                 };

@@ -15,9 +15,18 @@
 //!
 //! This module holds everything the reactor and the offline batch
 //! driver share: [`classify`] turns one command line into either
-//! immediate reply frames or pool work (resolving cache hits on the
-//! way), and [`finish_eval`] applies the global effects of a finished
-//! job (metrics, cache insertion) symmetrically in both drivers.
+//! immediate reply frames or pool work; [`eval_on_worker`] runs on a
+//! pool thread and does the whole evaluation pipeline there — cache-key
+//! canonicalization (itself a color-refinement pass, so it must not run
+//! on the reactor thread), cache lookup, evaluation on a miss, and
+//! cache + persistent-store insertion; [`settle_eval`] applies the
+//! finished job's metrics symmetrically in both drivers.
+//!
+//! With `--cache-path` set, [`Shared::new`] opens a [`caz_store::Store`]
+//! and warm-starts the cache from it before the first request is
+//! accepted; worker threads then feed fresh results to a write-behind
+//! [`Flusher`] thread, so persistence costs the evaluation path one
+//! bounded-channel send.
 //!
 //! Shutdown: `quit` ends one connection after its in-flight work
 //! completes; a vanished client ends only that connection; the admin
@@ -27,13 +36,16 @@
 //! drained before the pool threads exit.
 
 use crate::cache::{CacheKey, ShardedCache};
+use crate::flush::Flusher;
 use crate::metrics::Metrics;
 use crate::pool::{JobResult, Outcome, WorkerPool};
 use crate::proto::{encode_frame, WireFrame, WireReply};
 use crate::reactor::Reactor;
 use crate::session::{parse_eval_job, EvalKind, EvalRequest, Reply, Request, Session};
+use caz_store::{FsyncPolicy, Store};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,6 +64,12 @@ pub struct ServerConfig {
     /// Number of independently locked cache shards (rounded up to a
     /// power of two).
     pub cache_shards: usize,
+    /// Directory for the persistent result store (snapshot + WAL).
+    /// `None` (the default) keeps the cache purely in-memory.
+    pub cache_path: Option<PathBuf>,
+    /// Whether the flusher fsyncs every WAL append batch. Compaction
+    /// and clean shutdown sync regardless.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +82,8 @@ impl Default for ServerConfig {
             queue_cap: 64,
             cache_capacity: 1024,
             cache_shards: 8,
+            cache_path: None,
+            fsync: FsyncPolicy::Never,
         }
     }
 }
@@ -73,18 +93,47 @@ impl Default for ServerConfig {
 pub(crate) struct Shared {
     pub(crate) pool: WorkerPool,
     pub(crate) cache: ShardedCache,
-    pub(crate) metrics: Metrics,
+    pub(crate) metrics: Arc<Metrics>,
+    /// The write-behind persistence flusher (`--cache-path` only).
+    pub(crate) store: Option<Flusher>,
     pub(crate) stop: AtomicBool,
 }
 
 impl Shared {
-    fn new(cfg: &ServerConfig) -> Shared {
-        Shared {
+    /// Build the shared state; with a `cache_path` configured this
+    /// opens (and, if needed, recovers) the persistent store and
+    /// warm-starts the cache from it **before** any request is served,
+    /// so the first client already sees every surviving entry.
+    fn new(cfg: &ServerConfig) -> std::io::Result<Shared> {
+        let cache = ShardedCache::new(cfg.cache_capacity, cfg.cache_shards);
+        let metrics = Arc::new(Metrics::new());
+        let store = match &cfg.cache_path {
+            Some(dir) => {
+                let (store, entries, report) = Store::open(dir, cfg.fsync)?;
+                for entry in entries {
+                    let key = CacheKey {
+                        text: entry.key,
+                        shard_hash: entry.shard_hash,
+                    };
+                    cache.insert(&key, entry.value);
+                }
+                metrics
+                    .store_loaded_entries
+                    .store(report.loaded_entries as u64, Ordering::Relaxed);
+                metrics
+                    .store_recovered_truncated
+                    .store(report.truncated_events, Ordering::Relaxed);
+                Some(Flusher::spawn(store, Arc::clone(&metrics)))
+            }
+            None => None,
+        };
+        Ok(Shared {
             pool: WorkerPool::new(cfg.workers, cfg.queue_cap),
-            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
-            metrics: Metrics::new(),
+            cache,
+            metrics,
+            store,
             stop: AtomicBool::new(false),
-        }
+        })
     }
 }
 
@@ -98,41 +147,37 @@ pub(crate) enum Control {
     ShutdownServer,
 }
 
-/// One `eval*` job that missed the cache and needs a worker.
+/// One parsed `eval*` member job bound for a worker.
 pub(crate) struct MultiJob {
     /// 0-based index in the request line; tags the reply chunk.
     pub(crate) index: usize,
     pub(crate) ev: EvalRequest,
-    pub(crate) key: Option<CacheKey>,
     pub(crate) start: Instant,
 }
 
 /// The classification of one request line: either finished frames, or
-/// work for the pool (cache hits and parse errors already resolved).
+/// work for the pool. Cache-key canonicalization (a color-refinement
+/// pass over the whole database — linear-ish but far from free) happens
+/// on the worker, not here, so classification stays cheap enough for
+/// the reactor thread; consequently cache *hits* are also resolved on
+/// the worker ([`eval_on_worker`]).
 pub(crate) enum Step {
     /// Reply frames ready to write, plus what to do with the connection.
     Done(Vec<WireFrame>, Control),
-    /// One evaluation job (cache missed).
-    Single {
-        ev: EvalRequest,
-        key: Option<CacheKey>,
-        start: Instant,
-    },
-    /// A vectorized `eval*` line: `ready` holds chunks resolved without
-    /// a worker (per-job parse errors and cache hits), `jobs` the
-    /// misses. `total` counts every job for the terminal `done` line.
+    /// One evaluation job.
+    Single { ev: EvalRequest, start: Instant },
+    /// A vectorized `eval*` line: `ready` holds the per-job parse
+    /// errors (resolved without a worker), `jobs` everything else.
+    /// `total` counts every job for the terminal `done` line.
     Multi {
         total: usize,
         ready: Vec<WireFrame>,
         jobs: Vec<MultiJob>,
     },
-    /// A `series` line that missed the cache: stream row chunks from a
-    /// worker via [`Session::eval_series_chunks`].
-    Series {
-        rest: String,
-        key: Option<CacheKey>,
-        start: Instant,
-    },
+    /// A `series` line: stream row chunks from a worker via
+    /// [`Session::eval_series_chunks`] (no rows when the worker finds
+    /// the aggregate in the cache — the driver replays them instead).
+    Series { ev: EvalRequest, start: Instant },
 }
 
 /// Terminal line of a chunked reply group covering `n` elements.
@@ -141,10 +186,9 @@ pub(crate) fn done_frame(n: usize) -> WireFrame {
 }
 
 /// Classify one protocol line against a session + shared server state:
-/// run cheap state mutations inline, resolve cache hits (recording
-/// them into `cache_hit_latency`), and hand evaluation misses back as
-/// pool work. Used identically by the evented reactor and the batch
-/// driver.
+/// run cheap state mutations inline and hand every evaluation back as
+/// pool work (the worker resolves cache hits and misses). Used
+/// identically by the evented reactor and the batch driver.
 pub(crate) fn classify(session: &mut Session, shared: &Shared, line: &str) -> Step {
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
@@ -169,46 +213,19 @@ pub(crate) fn classify(session: &mut Session, shared: &Shared, line: &str) -> St
             WireReply::Ok(shared.metrics.snapshot(&shared.cache)),
             Control::Continue,
         ),
-        Request::Eval(ev) if ev.kind == EvalKind::Series => {
-            let key = session.cache_key(&ev);
-            if let Some(hit) = key.as_ref().and_then(|k| shared.cache.get(k)) {
-                shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.cache_hit_latency.record(start.elapsed());
-                return Step::Done(series_frames(&hit), Control::Continue);
-            }
-            Step::Series { rest: ev.args, key, start }
-        }
-        Request::Eval(ev) => {
-            let key = session.cache_key(&ev);
-            if let Some(hit) = key.as_ref().and_then(|k| shared.cache.get(k)) {
-                shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.cache_hit_latency.record(start.elapsed());
-                return finish(WireReply::Ok(hit), Control::Continue);
-            }
-            Step::Single { ev, key, start }
-        }
+        Request::Eval(ev) if ev.kind == EvalKind::Series => Step::Series { ev, start },
+        Request::Eval(ev) => Step::Single { ev, start },
         Request::EvalMulti(raw_jobs) => {
             let total = raw_jobs.len();
             let mut ready = Vec::new();
             let mut jobs = Vec::new();
             for (index, raw) in raw_jobs.iter().enumerate() {
-                let tag = index.to_string();
                 match parse_eval_job(raw) {
                     Err(e) => {
                         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        ready.push(WireFrame::ChunkErr { tag, payload: e });
+                        ready.push(WireFrame::ChunkErr { tag: index.to_string(), payload: e });
                     }
-                    Ok(ev) => {
-                        let key = session.cache_key(&ev);
-                        match key.as_ref().and_then(|k| shared.cache.get(k)) {
-                            Some(hit) => {
-                                shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
-                                shared.metrics.cache_hit_latency.record(start.elapsed());
-                                ready.push(WireFrame::Chunk { tag, payload: hit });
-                            }
-                            None => jobs.push(MultiJob { index, ev, key, start }),
-                        }
-                    }
+                    Ok(ev) => jobs.push(MultiJob { index, ev, start }),
                 }
             }
             if jobs.is_empty() {
@@ -243,35 +260,108 @@ pub(crate) fn series_frames(aggregate: &str) -> Vec<WireFrame> {
     frames
 }
 
-/// Apply the global effects of one finished evaluation job — executed
-/// and panic counters, the executed-job latency histogram, cache
-/// insertion on success, the error counter on failure — and hand the
-/// result back for framing. Shared by the reactor's completion path
-/// and the batch driver, so the accounting cannot drift between them.
-pub(crate) fn finish_eval(
+/// Set by the worker when it answered from the cache, read by the
+/// driver when the completion lands: the two halves of one job share
+/// it, and it decides whether the job counts as executed or cached.
+pub(crate) type HitFlag = Arc<std::sync::atomic::AtomicBool>;
+
+/// A fresh, unset [`HitFlag`].
+pub(crate) fn new_hit_flag() -> HitFlag {
+    Arc::new(AtomicBool::new(false))
+}
+
+/// Record a cache hit resolved on a worker: flag the job as a hit and
+/// account it (`jobs_cached`, `cache_hit_latency`).
+fn record_hit(shared: &Shared, hit: &HitFlag, start: Instant) {
+    hit.store(true, Ordering::Release);
+    shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.cache_hit_latency.record(start.elapsed());
+}
+
+/// Publish one freshly computed result: into the in-memory cache, and
+/// (when persistence is on) onto the flusher's write-behind queue.
+/// Runs in the worker closure, *not* in the completion handler — a job
+/// whose connection vanished mid-flight still caches and persists its
+/// result.
+fn store_result(shared: &Shared, key: Option<&CacheKey>, text: &str) {
+    if let Some(k) = key {
+        shared.cache.insert(k, text.to_string());
+        if let Some(store) = &shared.store {
+            store.append(k, text);
+        }
+    }
+}
+
+/// The whole evaluation pipeline for one `eval`/`mu`/`certain` job,
+/// run on a worker thread: canonicalize the cache key, resolve a hit,
+/// or evaluate and publish the result.
+pub(crate) fn eval_on_worker(
     shared: &Shared,
-    key: Option<&CacheKey>,
+    session: &Session,
+    ev: &EvalRequest,
+    hit: &HitFlag,
+    start: Instant,
+) -> JobResult {
+    let key = session.cache_key(ev);
+    if let Some(text) = key.as_ref().and_then(|k| shared.cache.get(k)) {
+        record_hit(shared, hit, start);
+        return Ok(text);
+    }
+    let result = session.eval(ev);
+    if let Ok(text) = &result {
+        store_result(shared, key.as_ref(), text);
+    }
+    result
+}
+
+/// [`eval_on_worker`] for a `series` job: on a miss the rows stream
+/// through `emit` while later rows are still being computed; on a hit
+/// nothing is emitted and the driver replays the cached aggregate.
+pub(crate) fn eval_series_on_worker(
+    shared: &Shared,
+    session: &Session,
+    ev: &EvalRequest,
+    hit: &HitFlag,
+    start: Instant,
+    emit: &mut dyn FnMut(usize, &str),
+) -> JobResult {
+    let key = session.cache_key(ev);
+    if let Some(text) = key.as_ref().and_then(|k| shared.cache.get(k)) {
+        record_hit(shared, hit, start);
+        return Ok(text);
+    }
+    let result = session.eval_series_chunks(&ev.args, emit);
+    if let Ok(text) = &result {
+        store_result(shared, key.as_ref(), text);
+    }
+    result
+}
+
+/// Apply the driver-side effects of one finished evaluation job and
+/// hand the result back for framing. A job the worker flagged as a
+/// cache hit was already accounted there; everything else counts as
+/// executed (`jobs_executed`, `eval_latency`, panic and error
+/// counters). Shared by the reactor's completion path and the batch
+/// driver, so the accounting cannot drift between them.
+pub(crate) fn settle_eval(
+    shared: &Shared,
+    hit: &HitFlag,
     start: Instant,
     result: JobResult,
     outcome: Outcome,
 ) -> JobResult {
+    if hit.load(Ordering::Acquire) {
+        return result;
+    }
     shared.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
     if outcome == Outcome::Panicked {
         shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
     }
     shared.metrics.eval_latency.record(start.elapsed());
-    match result {
-        Ok(text) => {
-            if let Some(k) = key {
-                shared.cache.insert(k, text.clone());
-            }
-            Ok(text)
-        }
-        Err(e) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            Err(e)
-        }
+    if result.is_err() {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
+    result
 }
 
 /// Frame a finished single evaluation as its terminal reply line.
@@ -315,12 +405,15 @@ impl ShutdownHandle {
 }
 
 impl Server {
-    /// Bind the listener; call [`Server::run`] to start serving.
+    /// Bind the listener and (with `cache_path` set) open the
+    /// persistent store, recovering and warm-starting the cache before
+    /// any connection is accepted; call [`Server::run`] to start
+    /// serving.
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared::new(cfg)),
+            shared: Arc::new(Shared::new(cfg)?),
         })
     }
 
@@ -344,8 +437,12 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let result = Reactor::new(self.listener, Arc::clone(&self.shared))?.run();
         // Drain queued jobs even when the event loop errored out, so no
-        // accepted work is silently dropped.
+        // accepted work is silently dropped. Only then shut the flusher
+        // down: drained jobs may still queue store appends.
         self.shared.pool.shutdown();
+        if let Some(store) = &self.shared.store {
+            store.shutdown();
+        }
         result
     }
 }
@@ -367,7 +464,7 @@ pub fn run_batch<R: BufRead, W: Write>(
     output: &mut W,
     cfg: &ServerConfig,
 ) -> std::io::Result<()> {
-    let shared = Shared::new(cfg);
+    let shared = Arc::new(Shared::new(cfg)?);
     shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
     let mut session = Session::new();
     let write_frames = |output: &mut W, frames: &[WireFrame]| -> std::io::Result<()> {
@@ -402,11 +499,15 @@ pub fn run_batch<R: BufRead, W: Write>(
                 write_frames(output, &frames)?;
                 control
             }
-            Step::Single { ev, key, start } => {
+            Step::Single { ev, start } => {
                 let job_session = session.clone();
-                let (result, outcome) =
-                    shared.pool.run(Box::new(move || job_session.eval(&ev)));
-                let result = finish_eval(&shared, key.as_ref(), start, result, outcome);
+                let job_shared = Arc::clone(&shared);
+                let hit = new_hit_flag();
+                let job_hit = Arc::clone(&hit);
+                let (result, outcome) = shared.pool.run(Box::new(move || {
+                    eval_on_worker(&job_shared, &job_session, &ev, &job_hit, start)
+                }));
+                let result = settle_eval(&shared, &hit, start, result, outcome);
                 write_frames(output, &[single_frame(result)])?;
                 Control::Continue
             }
@@ -419,32 +520,48 @@ pub fn run_batch<R: BufRead, W: Write>(
                     .into_iter()
                     .map(|job| {
                         let job_session = session.clone();
+                        let job_shared = Arc::clone(&shared);
                         let ev = job.ev.clone();
-                        let rx = shared.pool.submit(Box::new(move || job_session.eval(&ev)));
-                        (job, rx)
+                        let job_start = job.start;
+                        let hit = new_hit_flag();
+                        let job_hit = Arc::clone(&hit);
+                        let rx = shared.pool.submit(Box::new(move || {
+                            eval_on_worker(&job_shared, &job_session, &ev, &job_hit, job_start)
+                        }));
+                        (job, hit, rx)
                     })
                     .collect();
-                for (job, rx) in submitted {
+                for (job, hit, rx) in submitted {
                     let (result, outcome) = match rx {
                         Ok(rx) => rx.recv().unwrap_or_else(|_| {
                             (Err("worker dropped the job".into()), Outcome::Completed)
                         }),
                         Err(e) => (Err(e.into()), Outcome::Completed),
                     };
-                    let result =
-                        finish_eval(&shared, job.key.as_ref(), job.start, result, outcome);
+                    let result = settle_eval(&shared, &hit, job.start, result, outcome);
                     write_frames(output, &[multi_frame(job.index, result)])?;
                 }
                 write_frames(output, &[done_frame(total)])?;
                 Control::Continue
             }
-            Step::Series { rest, key, start } => {
+            Step::Series { ev, start } => {
                 let job_session = session.clone();
-                let job_rest = rest.clone();
+                let job_shared = Arc::clone(&shared);
+                let hit = new_hit_flag();
+                let job_hit = Arc::clone(&hit);
+                // Rows are not streamed in batch mode: the aggregate is
+                // rendered as chunked frames below either way.
                 let (result, outcome) = shared.pool.run(Box::new(move || {
-                    job_session.eval_series_chunks(&job_rest, &mut |_, _| {})
+                    eval_series_on_worker(
+                        &job_shared,
+                        &job_session,
+                        &ev,
+                        &job_hit,
+                        start,
+                        &mut |_, _| {},
+                    )
                 }));
-                let result = finish_eval(&shared, key.as_ref(), start, result, outcome);
+                let result = settle_eval(&shared, &hit, start, result, outcome);
                 let frames = match result {
                     Ok(aggregate) => series_frames(&aggregate),
                     Err(e) => vec![WireFrame::Final(WireReply::Err(e))],
@@ -460,6 +577,9 @@ pub fn run_batch<R: BufRead, W: Write>(
     }
     output.flush()?;
     shared.pool.shutdown();
+    if let Some(store) = &shared.store {
+        store.shutdown();
+    }
     Ok(())
 }
 

@@ -1,0 +1,130 @@
+//! Warm-start integration: two batch runs against the same
+//! `cache_path` — the second run must answer every evaluation from the
+//! recovered persistent store, executing **zero** jobs.
+
+use caz_service::proto::{decode_frame, WireFrame, WireReply};
+use caz_service::{run_batch, FsyncPolicy, ServerConfig};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "caz-service-persistence-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Facts + queries exercising every cacheable kind (`mu`, `cond`,
+/// `series`), ending in `stats` so the run reports on itself.
+const SCRIPT: &str = "\
+fact R(c1, _x). R(c2, _x). R(c2, _y).\n\
+query Q := exists u, v. R(u, v)\n\
+query Col := exists p. R(c1, p) & R(c2, p)\n\
+mu Q\n\
+mu Col\n\
+cond Q\n\
+series Col 3\n\
+stats\n";
+
+fn run(cfg: &ServerConfig) -> Vec<WireFrame> {
+    let mut out = Vec::new();
+    run_batch(SCRIPT.as_bytes(), &mut out, cfg).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| decode_frame(l).expect("well-formed frame"))
+        .collect()
+}
+
+fn stats_value(frames: &[WireFrame], key: &str) -> u64 {
+    let WireFrame::Final(WireReply::Ok(stats)) = frames.last().expect("stats frame") else {
+        panic!("last frame is not an ok reply: {frames:?}");
+    };
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("missing {key} in {stats}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn second_run_against_the_same_store_executes_nothing() {
+    let dir = tmp_dir("warm");
+    let cfg = ServerConfig {
+        workers: 2,
+        cache_path: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    };
+
+    let cold = run(&cfg);
+    assert_eq!(stats_value(&cold, "store_loaded_entries"), 0);
+    assert_eq!(stats_value(&cold, "jobs_executed_total"), 4);
+    assert_eq!(stats_value(&cold, "eval_latency_count"), 4);
+    assert_eq!(stats_value(&cold, "jobs_cached_total"), 0);
+    // (`store_appends` is not asserted here: the write-behind flusher
+    // may still be draining when `stats` renders; the warm run's
+    // `store_loaded_entries` proves every append landed by shutdown.)
+
+    let warm = run(&cfg);
+    assert_eq!(
+        stats_value(&warm, "store_loaded_entries"),
+        4,
+        "all four results must survive the restart"
+    );
+    assert_eq!(
+        stats_value(&warm, "jobs_executed_total"),
+        0,
+        "the warm run must execute nothing"
+    );
+    assert_eq!(stats_value(&warm, "eval_latency_count"), 0);
+    assert_eq!(stats_value(&warm, "jobs_cached_total"), 4);
+    assert_eq!(stats_value(&warm, "cache_hit_latency_count"), 4);
+    assert_eq!(stats_value(&warm, "store_recovered_truncated"), 0);
+
+    // Byte-identical replies (the trailing stats frame differs by
+    // construction — uptime, counters — so compare everything else).
+    assert_eq!(
+        &cold[..cold.len() - 1],
+        &warm[..warm.len() - 1],
+        "warm-start replies must match the cold run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_wal_tail_still_warm_starts_the_surviving_prefix() {
+    let dir = tmp_dir("corrupt");
+    let cfg = ServerConfig {
+        workers: 2,
+        cache_path: Some(dir.clone()),
+        fsync: FsyncPolicy::Never,
+        ..ServerConfig::default()
+    };
+    let cold = run(&cfg);
+    assert_eq!(stats_value(&cold, "jobs_executed_total"), 4);
+
+    // Tear the WAL tail: the last record is discarded, the rest load.
+    let wal = dir.join("wal.caz");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    file.set_len(len - 5).unwrap();
+    drop(file);
+
+    let warm = run(&cfg);
+    assert_eq!(stats_value(&warm, "store_loaded_entries"), 3);
+    assert_eq!(stats_value(&warm, "store_recovered_truncated"), 1);
+    assert_eq!(stats_value(&warm, "jobs_cached_total"), 3);
+    assert_eq!(
+        stats_value(&warm, "jobs_executed_total"),
+        1,
+        "only the discarded entry is recomputed"
+    );
+    // The recomputed entry was re-appended; a third run is fully warm.
+    let warm2 = run(&cfg);
+    assert_eq!(stats_value(&warm2, "jobs_executed_total"), 0);
+    assert_eq!(stats_value(&warm2, "jobs_cached_total"), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,63 @@
+//! CRC32 (IEEE 802.3, the zlib/gzip polynomial) over byte slices.
+//!
+//! The workspace is offline and std-only, so the checksum is computed
+//! in-tree: a 256-entry table built at compile time, reflected
+//! polynomial `0xEDB88320`. Record payloads are small (a cache key plus
+//! a reply text), so the plain byte-at-a-time loop is more than fast
+//! enough for the flusher thread.
+
+/// The reflected CRC32 polynomial (IEEE).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { POLY ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let base = b"certain answers meet zero-one laws".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The on-disk record format shared by the snapshot and the WAL.
+//!
+//! Both files open with a 12-byte header — an 8-byte magic and a
+//! little-endian `u32` format version — followed by a flat sequence of
+//! records:
+//!
+//! ```text
+//! record  ::= payload_len:u32le  crc32(payload):u32le  payload
+//! payload ::= shard_hash:u128le  key_len:u32le  key:bytes  value:bytes
+//! ```
+//!
+//! `value_len` is implicit (`payload_len - 20 - key_len`). The CRC
+//! covers the payload only; the length prefix is validated by bounds
+//! (`MIN_PAYLOAD_BYTES ..= MAX_PAYLOAD_BYTES`) and by whether
+//! `payload_len` bytes actually exist before EOF. Decoding stops at the
+//! first record that fails any of these checks — everything after an
+//! invalid record is untrusted, so recovery keeps the longest valid
+//! prefix and reports the rest as truncated.
+
+use crate::crc32::crc32;
+use crate::store::Entry;
+
+/// Magic bytes opening a snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CAZSNAP\0";
+/// Magic bytes opening a WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"CAZWAL\0\0";
+/// The current format version, written after the magic.
+pub const VERSION: u32 = 1;
+/// Bytes of header (magic + version) before the first record.
+pub const HEADER_BYTES: u64 = 12;
+/// The smallest well-formed payload: shard hash + key length, no bytes.
+pub const MIN_PAYLOAD_BYTES: usize = 20;
+/// Reject payload lengths above this (a corrupted length prefix must
+/// not make recovery attempt a gigabyte allocation).
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 28;
+
+/// Serialize the 12-byte file header for `magic`.
+pub fn encode_header(magic: &[u8; 8]) -> [u8; 12] {
+    let mut header = [0u8; 12];
+    header[..8].copy_from_slice(magic);
+    header[8..].copy_from_slice(&VERSION.to_le_bytes());
+    header
+}
+
+/// Whether `bytes` starts with a valid current-version header for
+/// `magic`.
+pub fn header_is_current(bytes: &[u8], magic: &[u8; 8]) -> bool {
+    bytes.len() >= HEADER_BYTES as usize
+        && bytes[..8] == magic[..]
+        && bytes[8..12] == VERSION.to_le_bytes()
+}
+
+/// Append the encoded record for `entry` to `out`.
+pub fn encode_record(entry: &Entry, out: &mut Vec<u8>) {
+    let payload_len = MIN_PAYLOAD_BYTES + entry.key.len() + entry.value.len();
+    assert!(
+        payload_len <= MAX_PAYLOAD_BYTES,
+        "cache entry exceeds the record size cap"
+    );
+    let mut payload = Vec::with_capacity(payload_len);
+    payload.extend_from_slice(&entry.shard_hash.to_le_bytes());
+    payload.extend_from_slice(&(entry.key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(entry.key.as_bytes());
+    payload.extend_from_slice(entry.value.as_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// The result of scanning a record region: the decoded entries, how
+/// many bytes from the region's start were valid, and whether anything
+/// after the valid prefix had to be discarded.
+pub struct ParsedRecords {
+    /// Every record of the longest valid prefix, in file order.
+    pub entries: Vec<Entry>,
+    /// Bytes of valid records (an offset *within the record region*,
+    /// i.e. excluding the header).
+    pub valid_bytes: u64,
+    /// True iff trailing bytes failed validation (torn tail, flipped
+    /// byte, nonsense length) and were dropped.
+    pub truncated: bool,
+}
+
+/// Decode the record region `bytes` (everything after the header),
+/// stopping at the first invalid record.
+pub fn parse_records(bytes: &[u8]) -> ParsedRecords {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return ParsedRecords { entries, valid_bytes: pos as u64, truncated: false };
+        }
+        let Some(entry) = decode_one(rest) else {
+            return ParsedRecords { entries, valid_bytes: pos as u64, truncated: true };
+        };
+        pos += 8 + MIN_PAYLOAD_BYTES + entry.key.len() + entry.value.len();
+        entries.push(entry);
+    }
+}
+
+/// Decode the record at the start of `rest`, or `None` if it is torn,
+/// corrupt, or out of bounds.
+fn decode_one(rest: &[u8]) -> Option<Entry> {
+    if rest.len() < 8 {
+        return None; // torn length/CRC prefix
+    }
+    let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if !(MIN_PAYLOAD_BYTES..=MAX_PAYLOAD_BYTES).contains(&payload_len) {
+        return None; // nonsense length prefix
+    }
+    let payload = rest.get(8..8 + payload_len)?; // torn payload
+    if crc32(payload) != crc {
+        return None; // flipped byte anywhere in the payload
+    }
+    let shard_hash = u128::from_le_bytes(payload[..16].try_into().unwrap());
+    let key_len = u32::from_le_bytes(payload[16..20].try_into().unwrap()) as usize;
+    let rest_payload = payload.get(MIN_PAYLOAD_BYTES..)?;
+    if key_len > rest_payload.len() {
+        return None; // internally inconsistent lengths
+    }
+    let key = std::str::from_utf8(&rest_payload[..key_len]).ok()?;
+    let value = std::str::from_utf8(&rest_payload[key_len..]).ok()?;
+    Some(Entry {
+        key: key.to_string(),
+        shard_hash,
+        value: value.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, hash: u128, value: &str) -> Entry {
+        Entry { key: key.into(), shard_hash: hash, value: value.into() }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let mut buf = Vec::new();
+        let entries = [
+            entry("k1", 7, "v1"),
+            entry("", u128::MAX, ""),
+            entry("μ-key\u{1}with\tseps", 0, "μ(Q, D) = 1/2\nsecond line"),
+        ];
+        for e in &entries {
+            encode_record(e, &mut buf);
+        }
+        let parsed = parse_records(&buf);
+        assert!(!parsed.truncated);
+        assert_eq!(parsed.valid_bytes, buf.len() as u64);
+        assert_eq!(parsed.entries.len(), entries.len());
+        for (got, want) in parsed.entries.iter().zip(&entries) {
+            assert_eq!(got.key, want.key);
+            assert_eq!(got.shard_hash, want.shard_hash);
+            assert_eq!(got.value, want.value);
+        }
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_valid_prefix() {
+        let mut buf = Vec::new();
+        encode_record(&entry("a", 1, "1"), &mut buf);
+        let first_len = buf.len();
+        encode_record(&entry("b", 2, "2"), &mut buf);
+        for cut in first_len + 1..buf.len() {
+            let parsed = parse_records(&buf[..cut]);
+            assert!(parsed.truncated, "cut at {cut}");
+            assert_eq!(parsed.valid_bytes, first_len as u64, "cut at {cut}");
+            assert_eq!(parsed.entries.len(), 1, "cut at {cut}");
+            assert_eq!(parsed.entries[0].key, "a");
+        }
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_detected() {
+        let mut buf = Vec::new();
+        encode_record(&entry("key", 3, "value"), &mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            let parsed = parse_records(&bad);
+            // Either the record is rejected outright, or (for a flip in
+            // the length prefix that still passes bounds) it is torn.
+            assert!(
+                parsed.entries.is_empty() && parsed.truncated,
+                "flip at byte {i} must invalidate the record"
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `caz-store`: a crash-safe, zero-dependency persistence subsystem for
+//! the canonical result cache.
+//!
+//! Every μ(Q | Σ, D) the service computes is an exact rational derived
+//! from a #P-hard support-polynomial enumeration, keyed on the
+//! isomorphism-invariant canonical form of the database — so a persisted
+//! entry stays valid across restarts and even across databases that
+//! differ only by a renaming of nulls. This crate makes those entries
+//! durable:
+//!
+//! * a **versioned snapshot** file (`snapshot.caz`) holding a compacted
+//!   image of the store, rewritten atomically (tmp + rename);
+//! * a **checksummed append-only WAL** (`wal.caz`) of length-prefixed,
+//!   CRC32-per-record entries written between compactions, with an
+//!   [`FsyncPolicy`] deciding whether each append is synced;
+//! * **recovery** ([`Store::open`]) that tolerates torn tails, flipped
+//!   bytes, short files, and version mismatches by truncating to the
+//!   longest valid prefix instead of failing — a crash can lose the
+//!   unsynced suffix, never the store.
+//!
+//! The on-disk format is specified in `docs/PERSISTENCE.md`; the
+//! corruption-recovery behaviour is pinned down by
+//! `tests/recovery.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod format;
+mod store;
+
+pub use store::{Entry, FsyncPolicy, RecoveryReport, Store};

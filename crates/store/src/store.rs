@@ -1,0 +1,389 @@
+//! The [`Store`]: a directory holding one snapshot plus one WAL, with
+//! tolerant recovery and ratio-triggered compaction.
+
+use crate::format::{
+    encode_header, encode_record, header_is_current, parse_records, HEADER_BYTES, SNAPSHOT_MAGIC,
+    WAL_MAGIC,
+};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file name inside the store directory.
+const SNAPSHOT_FILE: &str = "snapshot.caz";
+/// WAL file name inside the store directory.
+const WAL_FILE: &str = "wal.caz";
+/// Scratch name the compactor writes before the atomic rename.
+const SNAPSHOT_TMP: &str = "snapshot.caz.tmp";
+
+/// Default compaction trigger: WAL body larger than this multiple of
+/// the snapshot body.
+const DEFAULT_COMPACT_RATIO: u64 = 4;
+/// Default floor below which the WAL is never compacted (rewriting a
+/// snapshot to fold in a few hundred bytes is pure churn).
+const DEFAULT_COMPACT_MIN_WAL: u64 = 64 * 1024;
+
+/// When each WAL append becomes durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every coalesced append batch: a crash loses at
+    /// most the batch being written.
+    Always,
+    /// Never sync on append; the OS flushes when it pleases. Compaction
+    /// and shutdown still sync, so only a *crash* (not a clean exit)
+    /// can lose appends. The right default for batch workloads.
+    Never,
+}
+
+/// One persisted cache entry: the full request key text, the 128-bit
+/// canonical shard hash (persisted so reload lands entries in the same
+/// shard without re-canonicalizing), and the cached reply text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// The isomorphism-invariant request key.
+    pub key: String,
+    /// FNV-1a 128 digest of the canonical database form.
+    pub shard_hash: u128,
+    /// The cached reply text.
+    pub value: String,
+}
+
+/// What [`Store::open`] found and repaired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entries decoded from the snapshot.
+    pub snapshot_entries: usize,
+    /// Records replayed from the WAL (including overwrites).
+    pub wal_records: usize,
+    /// Distinct entries handed back after merging WAL over snapshot.
+    pub loaded_entries: usize,
+    /// Recovery events that discarded a corrupt suffix: torn tails,
+    /// flipped bytes, and headers with a wrong magic or version (each
+    /// counted once per file).
+    pub truncated_events: u64,
+    /// Total bytes those events discarded.
+    pub truncated_bytes: u64,
+}
+
+/// A crash-safe persistent store for canonical cache entries.
+///
+/// Created by [`Store::open`], which performs recovery and returns the
+/// surviving entries; thereafter [`Store::append_batch`] extends the
+/// WAL and [`Store::compact`] folds the WAL into a fresh snapshot. The
+/// store is single-writer by design — the service owns it from one
+/// flusher thread.
+pub struct Store {
+    dir: PathBuf,
+    wal: File,
+    wal_len: u64,
+    snapshot_len: u64,
+    fsync: FsyncPolicy,
+    compact_ratio: u64,
+    compact_min_wal: u64,
+}
+
+/// One file's recovered state: entries, logical length, and whether a
+/// corrupt suffix (or unusable header) was discarded.
+struct LoadedFile {
+    entries: Vec<Entry>,
+    /// Length of the valid prefix (header + valid records); what the
+    /// file was (or should be) truncated to.
+    valid_len: u64,
+    truncated_events: u64,
+    truncated_bytes: u64,
+}
+
+impl Store {
+    /// Open (creating if needed) the store in `dir`, recovering the
+    /// persisted entries.
+    ///
+    /// Recovery never fails on *content*: torn tails, flipped bytes,
+    /// short files, and version-mismatched headers all truncate to the
+    /// longest valid prefix (possibly empty) and are tallied in the
+    /// [`RecoveryReport`]. Only real I/O errors (permissions, a path
+    /// that is not a directory) surface as `Err`.
+    pub fn open<P: AsRef<Path>>(
+        dir: P,
+        fsync: FsyncPolicy,
+    ) -> std::io::Result<(Store, Vec<Entry>, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let snapshot = load_file(&dir.join(SNAPSHOT_FILE), &SNAPSHOT_MAGIC, true)?;
+        let wal_loaded = load_file(&dir.join(WAL_FILE), &WAL_MAGIC, true)?;
+
+        let mut report = RecoveryReport {
+            snapshot_entries: snapshot.entries.len(),
+            wal_records: wal_loaded.entries.len(),
+            loaded_entries: 0,
+            truncated_events: snapshot.truncated_events + wal_loaded.truncated_events,
+            truncated_bytes: snapshot.truncated_bytes + wal_loaded.truncated_bytes,
+        };
+        let entries = merge(snapshot.entries, wal_loaded.entries);
+        report.loaded_entries = entries.len();
+
+        // Reopen the WAL for appending at the end of its valid prefix.
+        // (`load_file` already truncated away any corrupt suffix and
+        // wrote a fresh header into empty/unusable files.)
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join(WAL_FILE))?;
+        wal.seek(SeekFrom::Start(wal_loaded.valid_len))?;
+
+        let store = Store {
+            dir,
+            wal,
+            wal_len: wal_loaded.valid_len,
+            snapshot_len: snapshot.valid_len,
+            fsync,
+            compact_ratio: DEFAULT_COMPACT_RATIO,
+            compact_min_wal: DEFAULT_COMPACT_MIN_WAL,
+        };
+        Ok((store, entries, report))
+    }
+
+    /// Append `batch` to the WAL as one coalesced write (and, under
+    /// [`FsyncPolicy::Always`], one `fdatasync`).
+    pub fn append_batch(&mut self, batch: &[Entry]) -> std::io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        for entry in batch {
+            encode_record(entry, &mut buf);
+        }
+        self.wal.write_all(&buf)?;
+        self.wal_len += buf.len() as u64;
+        if self.fsync == FsyncPolicy::Always {
+            self.wal.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Force the WAL to disk regardless of policy — the shutdown path,
+    /// so a clean exit is durable even under [`FsyncPolicy::Never`].
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync_data()
+    }
+
+    /// Whether the WAL has outgrown the snapshot by the configured
+    /// ratio (and the absolute floor) — time to [`Store::compact`].
+    pub fn should_compact(&self) -> bool {
+        let wal_body = self.wal_len.saturating_sub(HEADER_BYTES);
+        let snapshot_body = self.snapshot_len.saturating_sub(HEADER_BYTES);
+        wal_body >= self.compact_min_wal && wal_body > self.compact_ratio * snapshot_body.max(1)
+    }
+
+    /// Override the compaction trigger (tests drive compaction with a
+    /// tiny floor; production keeps the defaults).
+    pub fn set_compaction_policy(&mut self, ratio: u64, min_wal_bytes: u64) {
+        self.compact_ratio = ratio.max(1);
+        self.compact_min_wal = min_wal_bytes;
+    }
+
+    /// Fold the WAL into a fresh snapshot: merge the on-disk state,
+    /// write it to a scratch file, fsync, atomically rename it over the
+    /// snapshot, fsync the directory, then truncate the WAL back to its
+    /// header. Crash-safe at every step — the sync points run
+    /// regardless of the append-time [`FsyncPolicy`], because
+    /// truncating the WAL before the snapshot is durable would lose
+    /// entries. Returns the number of live entries written.
+    pub fn compact(&mut self) -> std::io::Result<usize> {
+        // Re-read from disk rather than trusting any in-memory mirror:
+        // the files are the single source of truth, and the page cache
+        // makes this cheap.
+        let snapshot = load_file(&self.dir.join(SNAPSHOT_FILE), &SNAPSHOT_MAGIC, false)?;
+        let wal_loaded = load_file(&self.dir.join(WAL_FILE), &WAL_MAGIC, false)?;
+        let entries = merge(snapshot.entries, wal_loaded.entries);
+
+        let tmp_path = self.dir.join(SNAPSHOT_TMP);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_header(&SNAPSHOT_MAGIC));
+        for entry in &entries {
+            encode_record(entry, &mut buf);
+        }
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&buf)?;
+        tmp.sync_all()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, self.dir.join(SNAPSHOT_FILE))?;
+        // Make the rename itself durable before dropping WAL data.
+        File::open(&self.dir)?.sync_all()?;
+
+        self.wal.set_len(HEADER_BYTES)?;
+        self.wal.seek(SeekFrom::Start(HEADER_BYTES))?;
+        self.wal.sync_data()?;
+        self.wal_len = HEADER_BYTES;
+        self.snapshot_len = buf.len() as u64;
+        Ok(entries.len())
+    }
+
+    /// Current WAL length in bytes (header included).
+    pub fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Current snapshot length in bytes (header included; 0 when no
+    /// usable snapshot exists yet).
+    pub fn snapshot_len(&self) -> u64 {
+        self.snapshot_len
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Read one store file tolerantly. Returns the surviving entries and
+/// the valid prefix length. When `repair` is set (the open path), the
+/// file is physically truncated to the valid prefix, and a missing,
+/// empty, torn, or version-mismatched header is replaced by a fresh
+/// current-version header (discarding the unreadable content). The
+/// compaction path passes `repair = false` and just reads.
+fn load_file(path: &Path, magic: &[u8; 8], repair: bool) -> std::io::Result<LoadedFile> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+
+    let mut events = 0u64;
+    let mut dropped = 0u64;
+    let (entries, valid_len) = if header_is_current(&bytes, magic) {
+        let parsed = parse_records(&bytes[HEADER_BYTES as usize..]);
+        if parsed.truncated {
+            events += 1;
+            dropped += bytes.len() as u64 - HEADER_BYTES - parsed.valid_bytes;
+        }
+        (parsed.entries, HEADER_BYTES + parsed.valid_bytes)
+    } else {
+        // Missing, empty, torn-header, wrong-magic, or stale-version
+        // file: nothing in it can be trusted, so the valid prefix is
+        // just a fresh header. An entirely absent/empty file is the
+        // normal first boot, not a recovery event.
+        if !bytes.is_empty() {
+            events += 1;
+            dropped += bytes.len() as u64;
+        }
+        (Vec::new(), HEADER_BYTES)
+    };
+
+    if repair {
+        // Rewrite the header + truncate in one pass so the file on disk
+        // always equals the valid prefix we report.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.write_all(&encode_header(magic))?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+    }
+
+    Ok(LoadedFile {
+        entries,
+        valid_len,
+        truncated_events: events,
+        truncated_bytes: dropped,
+    })
+}
+
+/// Merge WAL entries over snapshot entries: later records win, first
+/// appearance fixes the order (deterministic reload order for tests).
+fn merge(snapshot: Vec<Entry>, wal: Vec<Entry>) -> Vec<Entry> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut merged: Vec<Entry> = Vec::new();
+    for entry in snapshot.into_iter().chain(wal) {
+        match index.get(&entry.key) {
+            Some(&i) => merged[i] = entry,
+            None => {
+                index.insert(entry.key.clone(), merged.len());
+                merged.push(entry);
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "caz-store-unit-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(key: &str, hash: u128, value: &str) -> Entry {
+        Entry { key: key.into(), shard_hash: hash, value: value.into() }
+    }
+
+    #[test]
+    fn empty_store_opens_and_round_trips() {
+        let dir = tmp_dir("round-trip");
+        let (mut store, loaded, report) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(report, RecoveryReport::default());
+
+        store
+            .append_batch(&[entry("a", 1, "va"), entry("b", 2, "vb")])
+            .unwrap();
+        store.append_batch(&[entry("a", 1, "va2")]).unwrap();
+        drop(store);
+
+        let (_, loaded, report) = Store::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(report.wal_records, 3);
+        assert_eq!(report.loaded_entries, 2);
+        assert_eq!(loaded, vec![entry("a", 1, "va2"), entry("b", 2, "vb")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let dir = tmp_dir("compact");
+        let (mut store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        store.set_compaction_policy(1, 1);
+        let batch: Vec<Entry> = (0..10).map(|i| entry(&format!("k{i}"), i, "v")).collect();
+        store.append_batch(&batch).unwrap();
+        assert!(store.should_compact());
+        assert_eq!(store.compact().unwrap(), 10);
+        assert_eq!(store.wal_len(), HEADER_BYTES);
+        assert!(store.snapshot_len() > HEADER_BYTES);
+        assert!(!store.should_compact());
+
+        // Appends after compaction extend the fresh WAL.
+        store.append_batch(&[entry("k3", 3, "v2")]).unwrap();
+        drop(store);
+        let (_, loaded, report) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(report.snapshot_entries, 10);
+        assert_eq!(report.wal_records, 1);
+        assert_eq!(loaded.len(), 10);
+        assert_eq!(
+            loaded.iter().find(|e| e.key == "k3").unwrap().value,
+            "v2",
+            "WAL overrides the snapshot"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn should_compact_honours_floor_and_ratio() {
+        let dir = tmp_dir("policy");
+        let (mut store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert!(!store.should_compact(), "fresh store never compacts");
+        store.append_batch(&[entry("k", 0, "v")]).unwrap();
+        assert!(!store.should_compact(), "default floor is 64 KiB");
+        store.set_compaction_policy(1, 1);
+        assert!(store.should_compact(), "tiny floor triggers immediately");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

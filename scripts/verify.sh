@@ -36,6 +36,41 @@ if ! cargo test -q -p caz-idb --test differential; then
     exit 1
 fi
 
+# Warm-start stage: batch-run a job file against a persistent store,
+# corrupt the WAL tail like a crash would, run the same file again, and
+# assert from the stats frame that the second run recovered the store
+# (one truncation event) and executed nothing — every job answered from
+# disk. Stats arrive as one escaped `ok` frame line, so the greps match
+# the literal two-character "\n" separators.
+echo "==> warm-start recovery (batch -> corrupt WAL tail -> batch)"
+STORE_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP"' EXIT
+cat > "$STORE_TMP/jobs.caz" <<'EOF'
+fact R(c1, _x). R(c2, _x). R(c2, _y).
+query Q := exists u, v. R(u, v)
+query Col := exists p. R(c1, p) & R(c2, p)
+mu Q
+cond Col
+series Col 2
+stats
+EOF
+./target/release/caz serve --batch "$STORE_TMP/jobs.caz" \
+    --cache-path "$STORE_TMP/store" --fsync always > "$STORE_TMP/cold.out"
+grep -qF 'jobs_executed_total 3\n' "$STORE_TMP/cold.out" \
+    || { echo "warm-start stage FAILED: cold run did not execute 3 jobs" >&2; exit 1; }
+printf 'GARBAGE-TORN-TAIL' >> "$STORE_TMP/store/wal.caz"
+./target/release/caz serve --batch "$STORE_TMP/jobs.caz" \
+    --cache-path "$STORE_TMP/store" --fsync always > "$STORE_TMP/warm.out"
+for want in 'store_recovered_truncated 1\n' 'store_loaded_entries 3\n' \
+            'jobs_executed_total 0\n' 'jobs_cached_total 3\n'; do
+    grep -qF "$want" "$STORE_TMP/warm.out" \
+        || { echo "warm-start stage FAILED: missing '$want' in warm stats" >&2; exit 1; }
+done
+echo "    warm start OK: 3 jobs recovered from a corrupted store, 0 re-executed"
+
+echo "==> cargo clippy -p caz-store --all-targets -- -D warnings"
+cargo clippy -p caz-store --all-targets -- -D warnings
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -15,7 +15,7 @@
 //! prompt only appear when stdin is a terminal.
 
 use certain_answers::repl::{Reply, Session};
-use certain_answers::service::{run_batch, Server, ServerConfig};
+use certain_answers::service::{run_batch, FsyncPolicy, Server, ServerConfig};
 use std::io::{BufRead, BufReader, BufWriter, IsTerminal, Write};
 use std::process::ExitCode;
 
@@ -30,7 +30,13 @@ options for serve:
   --queue <n>                 pending-job queue    (default 64)
   --cache <n>                 result-cache entries (default 1024)
   --cache-shards <n>          cache lock shards, rounded up to a power
-                              of two (default 8)";
+                              of two (default 8)
+  --cache-path <dir>          persist the result cache in <dir>
+                              (snapshot + WAL; the next run with the
+                              same path warm-starts from it)
+  --fsync <always|off>        fsync every WAL append batch (default
+                              off; compaction and clean shutdown sync
+                              regardless)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -102,6 +108,18 @@ fn serve(args: &[String]) -> ExitCode {
             "--queue" => parse_num(value("--queue"), &mut cfg.queue_cap),
             "--cache" => parse_num(value("--cache"), &mut cfg.cache_capacity),
             "--cache-shards" => parse_num(value("--cache-shards"), &mut cfg.cache_shards),
+            "--cache-path" => value("--cache-path").map(|v| cfg.cache_path = Some(v.into())),
+            "--fsync" => value("--fsync").and_then(|v| match v.as_str() {
+                "always" => {
+                    cfg.fsync = FsyncPolicy::Always;
+                    Ok(())
+                }
+                "off" | "never" => {
+                    cfg.fsync = FsyncPolicy::Never;
+                    Ok(())
+                }
+                other => Err(format!("--fsync expects 'always' or 'off', got {other:?}")),
+            }),
             other => Err(format!("unknown option {other:?}")),
         };
         if let Err(e) = parsed {
