@@ -1,0 +1,44 @@
+//! `planner_bench` — the `planner` workload runner.
+//!
+//! Times every theorem route against its forced-enumeration baseline
+//! (`--no-planner`) and writes `BENCH_planner.json` in the current
+//! directory. `CAZ_TEST_SEED` selects the job-order seed (default
+//! 3707), `CAZ_BENCH_NULLS` the database's null count (default 6 —
+//! the enumeration engines are exponential in this).
+//!
+//! Run in release mode: the ≥10× overall-speedup claim is asserted
+//! here, and debug-build timings drown the routed runs in overhead.
+
+use caz_bench::planner::run_planner_bench;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = env_u64("CAZ_TEST_SEED", 3707);
+    let nulls = env_u64("CAZ_BENCH_NULLS", 6) as usize;
+
+    let report = run_planner_bench(seed, nulls);
+    let json = report.to_json();
+    std::fs::write("BENCH_planner.json", format!("{json}\n")).expect("write BENCH_planner.json");
+    for p in &report.phases {
+        eprintln!(
+            "  {:<28} {} jobs  routed {:>8.1} ms  enumeration {:>9.1} ms  ({:.0}x)",
+            p.name, p.jobs, p.routed_ms, p.enumeration_ms, p.speedup
+        );
+    }
+    eprintln!(
+        "planner workload: routed {:.1} ms vs enumeration {:.1} ms ({:.0}x), wrote BENCH_planner.json",
+        report.routed_ms, report.enumeration_ms, report.overall_speedup
+    );
+    assert!(
+        report.overall_speedup >= 10.0,
+        "routed evaluation must beat forced enumeration by ≥10x, got {:.2}x",
+        report.overall_speedup
+    );
+    println!("{json}");
+}

@@ -8,4 +8,5 @@
 
 pub mod experiments;
 pub mod persistence;
+pub mod planner;
 pub mod workloads;

@@ -6,8 +6,11 @@
 //! `Sep(Q, D, ā, b̄)` holds iff there are
 //!
 //! * a sub-instance `D′ ⊆ D` with at most `p + k` tuples whose active
-//!   domain contains all components of `ā` (`p` = max atoms per
-//!   disjunct, `k` = arity), and
+//!   domain contains every *null* of `ā` (`p` = max atoms per
+//!   disjunct, `k` = arity) — nulls need witness facts so the
+//!   valuation is defined on them, while constants of `ā` are already
+//!   in the witness pool and need none (a null of `D′` may valuate to
+//!   a constant of `ā` that appears nowhere in `D`), and
 //! * a valuation `v′` on the nulls of `D′` with range in
 //!   `A = Const(D) ∪ C ∪ A_m`,
 //!
@@ -65,7 +68,17 @@ impl UcqComparator {
             })
             .collect();
 
-        let needed: BTreeSet<Value> = a.values().iter().copied().collect();
+        // Only the nulls of ā need covering facts: v′ is defined on
+        // nulls(D′), so every null of ā must be one of them. Requiring
+        // coverage of ā's *constants* too would wrongly reject
+        // witnesses where a null of D′ valuates to a constant of ā
+        // that never appears in D.
+        let needed: BTreeSet<Value> = a
+            .values()
+            .iter()
+            .copied()
+            .filter(|v| matches!(v, Value::Null(_)))
+            .collect();
         let mut chosen: Vec<usize> = Vec::new();
         self.search_subsets(db, &facts, &pool, &needed, a, b, 0, &mut chosen)
     }
@@ -252,6 +265,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn separation_with_out_of_domain_constants() {
+        // Caught by the planner differential suite: ā = (d, ⊥w) where
+        // the constant d appears nowhere in D. Sep((d,⊥w), (a,⊥z))
+        // holds via ⊥y↦d, ⊥w↦c, ⊥z↦b — the witness needs a null of D′
+        // to valuate *to* d — but the old coverage check demanded d in
+        // adom(D′), rejected every sub-instance, and wrongly reported
+        // domination.
+        let p = parse_database("R(_y, c). R(_w, _z). R(a, a). S(b). S(_y).").unwrap();
+        let q = parse_query("Q(u, v) := R(u, v)").unwrap();
+        let cmp = UcqComparator::new(&q).unwrap();
+        let a = Tuple::new(vec![cst("a"), Value::Null(p.nulls["z"])]);
+        let b = Tuple::new(vec![cst("d"), Value::Null(p.nulls["w"])]);
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            assert_eq!(
+                cmp.sep(&p.db, x, y),
+                brute_sep(&q, &p.db, x, y),
+                "Sep({x}, {y})"
+            );
+        }
+        assert!(cmp.sep(&p.db, &b, &a), "⊥y↦d puts (d, c) into v(D′)");
+        assert!(!cmp.dominated(&p.db, &b, &a), "the tuples are incomparable");
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use support::{
 };
 pub use theorems::{
     almost_certainly_false, almost_certainly_true, mu, mu_conditional, mu_conditional_fd,
-    mu_implication, mu_via_polynomials, sigma_almost_certainly_true,
+    mu_implication, mu_via_polynomials, sigma_almost_certainly_true, theorem5_applicability,
+    Theorem5Refusal,
 };
 pub use approx::{three_valued_quality, ApproxReport};
 pub use weighted::{

@@ -8,6 +8,7 @@ use caz_arith::Ratio;
 use caz_constraints::{chase, ConstraintSet, Fd};
 use caz_idb::{Database, Tuple};
 use caz_logic::{naive_contains, naive_eval_bool, Query};
+use std::fmt;
 
 fn event_for(q: &Query, tuple: Option<&Tuple>) -> Box<dyn SuppEvent> {
     match tuple {
@@ -101,23 +102,60 @@ pub fn mu_implication(sigma: &ConstraintSet, q: &Query, db: &Database) -> Ratio 
     mu_exact(&ev, db)
 }
 
+/// Why Theorem 5's chase-then-measure fast path does not apply to a
+/// request. Historically this was a bare `String`, which callers (and
+/// the query planner) could only display, never inspect; each variant
+/// now carries the offending piece of the request so "why not" is
+/// machine-checkable. The [`fmt::Display`] rendering is what user-facing
+/// layers (the planner's `explain`, error replies) surface verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Theorem5Refusal {
+    /// The answer tuple mentions nulls. The chase renames (merges)
+    /// nulls, so the theorem is stated for tuples of constants only.
+    TupleHasNulls {
+        /// The offending answer tuple.
+        tuple: Tuple,
+    },
+}
+
+impl fmt::Display for Theorem5Refusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Theorem5Refusal::TupleHasNulls { tuple } => write!(
+                f,
+                "Theorem 5 applies to constant tuples (the chase renames nulls); got {tuple}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Theorem5Refusal {}
+
+/// Check the side conditions of Theorem 5 / Corollary 4 for an answer
+/// tuple, returning the structured refusal when they fail. Exposed so
+/// a planner can test applicability *before* committing to the route
+/// (and surface the exact refusal in `explain` output).
+pub fn theorem5_applicability(tuple: Option<&Tuple>) -> Result<(), Theorem5Refusal> {
+    match tuple {
+        Some(t) if !t.is_complete() => {
+            Err(Theorem5Refusal::TupleHasNulls { tuple: t.clone() })
+        }
+        _ => Ok(()),
+    }
+}
+
 /// **Theorem 5 / Corollary 4.** For FDs, `μ(Q | Σ, D, ā)` (with `ā` a
 /// tuple of constants) equals `μ(Q, chase_Σ(D), ā)`: chase, then naïve
 /// evaluation — polynomial time, and the 0–1 law is recovered. Returns
-/// 0 when the chase fails (Σ unsatisfiable in `D`).
+/// 0 when the chase fails (Σ unsatisfiable in `D`), and a structured
+/// [`Theorem5Refusal`] when the theorem's side conditions do not hold.
 pub fn mu_conditional_fd(
     q: &Query,
     fds: &[Fd],
     db: &Database,
     tuple: Option<&Tuple>,
-) -> Result<Ratio, String> {
-    if let Some(t) = tuple {
-        if !t.is_complete() {
-            return Err(
-                "Theorem 5 applies to constant tuples (the chase renames nulls)".to_string(),
-            );
-        }
-    }
+) -> Result<Ratio, Theorem5Refusal> {
+    theorem5_applicability(tuple)?;
     match chase(db, fds) {
         Err(_) => Ok(Ratio::zero()),
         Ok(result) => Ok(mu(q, &result.db, tuple)),
@@ -214,11 +252,22 @@ mod tests {
     }
 
     #[test]
-    fn theorem_5_rejects_null_tuples() {
+    fn theorem_5_rejects_null_tuples_with_structured_refusal() {
         let p = parse_database("R(a, _x).").unwrap();
         let q = parse_query("Q(u, v) := R(u, v)").unwrap();
         let t = Tuple::new(vec![cst("a"), Value::Null(p.nulls["x"])]);
-        assert!(mu_conditional_fd(&q, &[], &p.db, Some(&t)).is_err());
+        let err = mu_conditional_fd(&q, &[], &p.db, Some(&t)).unwrap_err();
+        // The refusal is inspectable, not just printable…
+        assert_eq!(err, Theorem5Refusal::TupleHasNulls { tuple: t.clone() });
+        assert_eq!(theorem5_applicability(Some(&t)), Err(err.clone()));
+        // …and its rendering names both the rule and the offender.
+        let msg = err.to_string();
+        assert!(msg.contains("constant tuples"), "{msg}");
+        assert!(msg.contains(&t.to_string()), "{msg}");
+        // Constant tuples (and Boolean queries) pass the check.
+        assert_eq!(theorem5_applicability(None), Ok(()));
+        let ground = Tuple::new(vec![cst("a"), cst("b")]);
+        assert_eq!(theorem5_applicability(Some(&ground)), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Classification features: the three axes the planner reads off a job
+//! before routing — the syntactic fragment of `Q`, the shape of `Σ`,
+//! and the null structure of `D` — plus a couple of cheap scalars
+//! (null count, fact count, answer-tuple shape) that make `explain`
+//! output informative.
+//!
+//! Features are *descriptive*: routing decisions are made by the
+//! machine-checkable preconditions in [`crate::route`], not by pattern
+//! matching on these labels. The two must agree, of course, and the
+//! unit tests pin that agreement, but keeping them separate means a
+//! feature label can be refined for display without touching soundness.
+
+use crate::{Job, QueryRef};
+use caz_idb::is_codd;
+use caz_logic::{is_cq_shaped, is_pos_forall_guarded, is_positive, is_ucq_shaped};
+use std::fmt;
+
+/// The syntactic fragment of the query, most specific first
+/// (`CQ ⊂ UCQ ⊂ Pos ⊂ Pos∀G ⊂ FO`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fragment {
+    /// Conjunctive (`∃, ∧`).
+    Cq,
+    /// Union of conjunctive queries (`∃, ∧, ∨`) — Theorem 8 territory.
+    Ucq,
+    /// Negation-free with both quantifiers.
+    Positive,
+    /// Compton's `Pos∀G` (positive with universal guards, Corollary 3).
+    PosForallGuarded,
+    /// Anything else: full first-order.
+    FullFo,
+    /// A Datalog program (generic by fixed-point definability).
+    Datalog,
+}
+
+impl Fragment {
+    /// Stable kebab-case label used in wire output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fragment::Cq => "cq",
+            Fragment::Ucq => "ucq",
+            Fragment::Positive => "positive",
+            Fragment::PosForallGuarded => "pos-forall-guarded",
+            Fragment::FullFo => "full-fo",
+            Fragment::Datalog => "datalog",
+        }
+    }
+}
+
+/// The shape of the session's constraint set `Σ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigmaShape {
+    /// No constraints.
+    Empty,
+    /// Functional dependencies only.
+    FdsOnly,
+    /// Unary keys only (a special case of FDs — Theorem 5 still applies).
+    KeysOnly,
+    /// Inclusion dependencies / foreign keys only.
+    IndsOnly,
+    /// A mix of the above.
+    Mixed,
+}
+
+impl SigmaShape {
+    /// Stable kebab-case label used in wire output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SigmaShape::Empty => "empty",
+            SigmaShape::FdsOnly => "fds-only",
+            SigmaShape::KeysOnly => "keys-only",
+            SigmaShape::IndsOnly => "inds-only",
+            SigmaShape::Mixed => "mixed",
+        }
+    }
+}
+
+/// The null structure of the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NullStructure {
+    /// No nulls at all: every measure is trivially 0 or 1.
+    Ground,
+    /// Codd table: each null occurs exactly once.
+    Codd,
+    /// General naïve table: nulls may repeat across facts.
+    Naive,
+}
+
+impl NullStructure {
+    /// Stable kebab-case label used in wire output.
+    pub fn name(self) -> &'static str {
+        match self {
+            NullStructure::Ground => "ground",
+            NullStructure::Codd => "codd",
+            NullStructure::Naive => "naive",
+        }
+    }
+}
+
+/// The shape of the answer tuple(s) supplied with the job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TupleShape {
+    /// No tuple (a Boolean or set-valued job).
+    None,
+    /// All supplied tuples are constant — Theorem 5's side condition.
+    Ground,
+    /// Some supplied tuple mentions a null.
+    WithNulls,
+}
+
+impl TupleShape {
+    /// Stable kebab-case label used in wire output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TupleShape::None => "none",
+            TupleShape::Ground => "ground",
+            TupleShape::WithNulls => "with-nulls",
+        }
+    }
+}
+
+/// Everything the planner knows about a job before choosing a route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Features {
+    /// Syntactic fragment of the query.
+    pub fragment: Fragment,
+    /// Whether the query body mentions constants (always `false` for
+    /// Datalog; constants do not affect routing, only display).
+    pub constant_mentioning: bool,
+    /// Shape of the constraint set.
+    pub sigma_shape: SigmaShape,
+    /// Null structure of the database.
+    pub null_structure: NullStructure,
+    /// Number of distinct nulls in the database (the exponent of the
+    /// enumeration fallback's cost).
+    pub null_count: usize,
+    /// Number of facts in the database.
+    pub fact_count: usize,
+    /// Shape of the supplied answer tuple(s).
+    pub tuple_shape: TupleShape,
+}
+
+impl fmt::Display for Features {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fragment={} constants={} sigma={} db={} nulls={} facts={} tuple={}",
+            self.fragment.name(),
+            if self.constant_mentioning { "yes" } else { "no" },
+            self.sigma_shape.name(),
+            self.null_structure.name(),
+            self.null_count,
+            self.fact_count,
+            self.tuple_shape.name(),
+        )
+    }
+}
+
+/// Compute the features of a job. Every check here is polynomial in the
+/// size of the inputs (fragment tests are a single AST walk, the Codd
+/// test one pass over the facts).
+pub fn classify(job: &Job) -> Features {
+    let (fragment, constant_mentioning) = match job.query {
+        QueryRef::Fo(q) => (fragment_of(q), !q.body.consts().is_empty()),
+        QueryRef::Datalog(_) => (Fragment::Datalog, false),
+    };
+    Features {
+        fragment,
+        constant_mentioning,
+        sigma_shape: sigma_shape(job.sigma),
+        null_structure: null_structure(job.db),
+        null_count: job.db.nulls().len(),
+        fact_count: job.db.len(),
+        tuple_shape: tuple_shape(job),
+    }
+}
+
+fn fragment_of(q: &caz_logic::Query) -> Fragment {
+    let body = &q.body;
+    if is_cq_shaped(body) {
+        Fragment::Cq
+    } else if is_ucq_shaped(body) {
+        Fragment::Ucq
+    } else if is_positive(body) {
+        Fragment::Positive
+    } else if is_pos_forall_guarded(body) {
+        Fragment::PosForallGuarded
+    } else {
+        Fragment::FullFo
+    }
+}
+
+fn sigma_shape(sigma: &caz_constraints::ConstraintSet) -> SigmaShape {
+    use caz_constraints::Constraint;
+    if sigma.is_empty() {
+        return SigmaShape::Empty;
+    }
+    let (mut fds, mut keys, mut inds) = (false, false, false);
+    for c in sigma.iter() {
+        match c {
+            Constraint::Fd(_) => fds = true,
+            Constraint::Key(_) => keys = true,
+            Constraint::Ind(_) | Constraint::Fk(_) => inds = true,
+        }
+    }
+    match (fds, keys, inds) {
+        (true, false, false) => SigmaShape::FdsOnly,
+        (false, true, false) => SigmaShape::KeysOnly,
+        (false, false, true) => SigmaShape::IndsOnly,
+        _ => SigmaShape::Mixed,
+    }
+}
+
+fn null_structure(db: &caz_idb::Database) -> NullStructure {
+    if db.nulls().is_empty() {
+        NullStructure::Ground
+    } else if is_codd(db) {
+        NullStructure::Codd
+    } else {
+        NullStructure::Naive
+    }
+}
+
+fn tuple_shape(job: &Job) -> TupleShape {
+    let ts = [&job.tuple, &job.tuple2];
+    let mut ts = ts.into_iter().flatten().peekable();
+    if ts.peek().is_none() {
+        TupleShape::None
+    } else if ts.all(|t| t.is_complete()) {
+        TupleShape::Ground
+    } else {
+        TupleShape::WithNulls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanKind;
+    use caz_constraints::{parse_constraints, ConstraintSet};
+    use caz_idb::{cst, parse_database, Tuple, Value};
+    use caz_logic::parse_query;
+
+    #[test]
+    fn fragments_are_most_specific_first() {
+        for (src, want) in [
+            ("Q := exists x, y. R(x, y)", Fragment::Cq),
+            ("Q := exists x. R(x, x) | R(x, c)", Fragment::Ucq),
+            ("Q := forall x. exists y. R(x, y)", Fragment::Positive),
+            ("Q := forall x, y. R(x, y) -> exists z. R(y, z)", Fragment::PosForallGuarded),
+            ("Q := exists x. !R(x, x)", Fragment::FullFo),
+        ] {
+            let q = parse_query(src).unwrap();
+            assert_eq!(fragment_of(&q), want, "{src}");
+        }
+    }
+
+    #[test]
+    fn sigma_shapes_cover_the_grammar() {
+        for (src, want) in [
+            ("fd R: 1 -> 2", SigmaShape::FdsOnly),
+            ("key R[1]", SigmaShape::KeysOnly),
+            ("ind R[1] <= U[1]\nfk R[2] -> U[1]", SigmaShape::IndsOnly),
+            ("fd R: 1 -> 2\nind R[1] <= U[1]", SigmaShape::Mixed),
+            ("fd R: 1 -> 2\nkey R[1]", SigmaShape::Mixed),
+        ] {
+            let sigma = parse_constraints(src).unwrap();
+            assert_eq!(sigma_shape(&sigma), want, "{src}");
+        }
+        assert_eq!(sigma_shape(&ConstraintSet::new()), SigmaShape::Empty);
+    }
+
+    #[test]
+    fn null_structure_and_display() {
+        let ground = parse_database("R(a, b).").unwrap().db;
+        assert_eq!(null_structure(&ground), NullStructure::Ground);
+        let codd = parse_database("R(a, _x). R(b, _y).").unwrap().db;
+        assert_eq!(null_structure(&codd), NullStructure::Codd);
+        let parsed = parse_database("R(a, _x). R(b, _x).").unwrap();
+        assert_eq!(null_structure(&parsed.db), NullStructure::Naive);
+
+        let sigma = ConstraintSet::new();
+        let q = parse_query("Q(u) := exists v. R(u, v)").unwrap();
+        let job = Job {
+            kind: PlanKind::Mu,
+            query: crate::QueryRef::Fo(&q),
+            sigma: &sigma,
+            db: &parsed.db,
+            tuple: Some(Tuple::new(vec![Value::Null(parsed.nulls["x"])])),
+            tuple2: None,
+        };
+        let feats = classify(&job);
+        assert_eq!(feats.tuple_shape, TupleShape::WithNulls);
+        assert_eq!(
+            feats.to_string(),
+            "fragment=cq constants=no sigma=empty db=naive nulls=1 facts=2 tuple=with-nulls"
+        );
+
+        let job = Job { tuple: Some(Tuple::new(vec![cst("a")])), ..job };
+        assert_eq!(classify(&job).tuple_shape, TupleShape::Ground);
+    }
+}

@@ -1,0 +1,441 @@
+//! # caz-planner
+//!
+//! A complexity-aware query planner for the certain-answers engine.
+//!
+//! Every measure the paper defines is computable by the general
+//! support-polynomial enumeration in `caz-core` — and that enumeration
+//! is exponential in the number of nulls, #P-hard already for a single
+//! unary foreign key (Propositions 5/6). But the paper also hands us a
+//! ladder of *sound shortcuts*:
+//!
+//! * **Theorem 1** — for generic `Q` without constraints, `μ(Q, D, ā)`
+//!   is 0 or 1 and is decided by one naïve evaluation;
+//! * **Theorem 4** — when `Σ^naïve(D)` holds, the conditional measure
+//!   collapses to the unconditional one: `μ(Q | Σ, D, ā) = μ(Q, D, ā)`;
+//! * **Theorem 5 / Corollary 4** — for FDs and constant answer tuples,
+//!   `μ(Q | Σ, D, ā) = μ(Q, chase_Σ(D), ā)`: one polynomial chase, then
+//!   Theorem 1 again;
+//! * **Theorem 8** — for unions of conjunctive queries, the support
+//!   order `⊴` (hence `best` and `compare`) is decidable in PTIME via
+//!   small certificates.
+//!
+//! This crate classifies one evaluation [`Job`] — the fragment of the
+//! query, the shape of `Σ`, the null structure of `D` — into a
+//! [`Route`], each route carrying a machine-checkable soundness
+//! [`Route::precondition`]. [`plan`] picks the cheapest sound route and
+//! records every rejected candidate with its reason (so a server's
+//! `explain` command can show exactly why a job fell into the slow
+//! lane); [`execute`] runs the chosen route by delegating into the
+//! existing engines. The planner never invents semantics: a route whose
+//! precondition fails is *rejected*, and [`Route::EnumerationFallback`]
+//! hands the job back to the caller's enumeration path untouched.
+//!
+//! The crate is deliberately engine-shaped, not protocol-shaped: it
+//! knows nothing about sessions, caches, or wire framing. `caz-service`
+//! builds jobs out of parsed requests and formats outcomes; this crate
+//! only answers "which theorem applies, why, and what does it compute".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod route;
+
+pub use features::{Features, Fragment, NullStructure, SigmaShape, TupleShape};
+pub use route::{Route, ROUTES};
+
+use caz_arith::Ratio;
+use caz_constraints::ConstraintSet;
+use caz_core::mu_conditional_fd;
+use caz_datalog::{naive_contains_datalog, Program};
+use caz_idb::{Database, Tuple};
+use caz_logic::Query;
+use std::collections::BTreeSet;
+
+/// Which evaluation the job asks for. Mirrors the service's command
+/// vocabulary (`naive`, `certain`, `best`, `mu`, `cond`, `series`,
+/// `compare`) without depending on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Naïve evaluation (already the fast path by definition).
+    Naive,
+    /// Certain answers.
+    Certain,
+    /// `⊴`-maximal answers.
+    Best,
+    /// The exact measure `μ(Q, D[, ā])`.
+    Mu,
+    /// The conditional measure `μ(Q | Σ, D[, ā])`.
+    Cond,
+    /// The finite sequence `μ¹..μᵏ` (streamed; never routed).
+    Series,
+    /// The support order between two answers.
+    Compare,
+}
+
+/// The query under evaluation: first-order or a Datalog program.
+#[derive(Clone, Copy, Debug)]
+pub enum QueryRef<'a> {
+    /// A first-order query.
+    Fo(&'a Query),
+    /// A Datalog program (generic by least-fixed-point definability, so
+    /// Theorem 1 still applies — see `caz_datalog::incomplete`).
+    Datalog(&'a Program),
+}
+
+/// One fully resolved evaluation job: everything the planner needs to
+/// classify and route. Tuples are owned (they are tiny); the query,
+/// constraint set, and database are borrowed from the caller's session.
+#[derive(Clone, Debug)]
+pub struct Job<'a> {
+    /// Which evaluation is being asked for.
+    pub kind: PlanKind,
+    /// The resolved query or program.
+    pub query: QueryRef<'a>,
+    /// The session's constraint set `Σ` (ignored by unconditional kinds).
+    pub sigma: &'a ConstraintSet,
+    /// The incomplete database `D`.
+    pub db: &'a Database,
+    /// The answer tuple `ā`, when the command supplies one.
+    pub tuple: Option<Tuple>,
+    /// The second tuple of a `compare` job.
+    pub tuple2: Option<Tuple>,
+}
+
+/// A candidate route the planner considered and rejected, with the
+/// reason its precondition failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The rejected route.
+    pub route: Route,
+    /// Why its soundness precondition does not hold for this job.
+    pub reason: String,
+}
+
+/// The planner's decision for one job.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The classification features the decision was made from.
+    pub features: Features,
+    /// The chosen route (the first candidate whose precondition holds;
+    /// [`Route::EnumerationFallback`] when none does).
+    pub route: Route,
+    /// Candidates tried before `route`, in order, with reasons.
+    pub rejected: Vec<Rejection>,
+}
+
+/// Classify a job and pick the cheapest sound route. Candidates are
+/// tried in fixed cheapest-first order (see [`route::candidates`]); the
+/// first one whose [`Route::precondition`] holds wins, and every
+/// candidate rejected on the way is recorded verbatim.
+pub fn plan(job: &Job) -> Plan {
+    let features = features::classify(job);
+    let mut rejected = Vec::new();
+    for &candidate in route::candidates(job.kind) {
+        match candidate.precondition(job) {
+            Ok(()) => {
+                return Plan { features, route: candidate, rejected };
+            }
+            Err(reason) => rejected.push(Rejection { route: candidate, reason }),
+        }
+    }
+    Plan { features, route: Route::EnumerationFallback, rejected }
+}
+
+/// What executing a route produced. The caller (who owns request
+/// formatting) renders these; [`ExecOutcome::Fallback`] means "run your
+/// own enumeration path — this job is not routed".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// A measure value (`mu` / `cond` jobs).
+    Measure(Ratio),
+    /// An answer set (`best` jobs).
+    Tuples(BTreeSet<Tuple>),
+    /// Both directions of the support order `⊴` (`compare` jobs):
+    /// `d12` is `t1 ⊴ t2`, `d21` is `t2 ⊴ t1`.
+    Comparison {
+        /// Whether the first tuple is dominated by the second.
+        d12: bool,
+        /// Whether the second tuple is dominated by the first.
+        d21: bool,
+    },
+    /// The job is not routed; the caller must enumerate.
+    Fallback,
+}
+
+/// Execute a routed job. The route must come from [`plan`] on the same
+/// job — executing a route whose precondition does not hold is a logic
+/// error and yields `Err` rather than a wrong answer.
+pub fn execute(job: &Job, route: Route) -> Result<ExecOutcome, String> {
+    route.precondition(job).map_err(|reason| {
+        format!("route {} does not apply: {reason}", route.name())
+    })?;
+    match route {
+        // Theorem 4 *reduces* μ(Q | Σ) to μ(Q); the reduced measure is
+        // then computed exactly like Theorem 1's.
+        Route::Theorem1Direct | Route::Theorem4Unconditional => {
+            Ok(ExecOutcome::Measure(naive_measure(job)))
+        }
+        Route::Theorem5ChaseThenMeasure => {
+            let QueryRef::Fo(q) = job.query else {
+                return Err("Theorem 5 route is first-order only".into());
+            };
+            let schema = job.db.schema();
+            let fds = job
+                .sigma
+                .as_fds(&schema)
+                .ok_or("Σ is not expressible as functional dependencies")?;
+            mu_conditional_fd(q, &fds, job.db, job.tuple.as_ref())
+                .map(ExecOutcome::Measure)
+                .map_err(|refusal| refusal.to_string())
+        }
+        Route::Theorem8Ucq => {
+            let QueryRef::Fo(q) = job.query else {
+                return Err("Theorem 8 route is first-order only".into());
+            };
+            let cmp = caz_compare::UcqComparator::new(q)
+                .ok_or("query is not a union of conjunctive queries")?;
+            match job.kind {
+                PlanKind::Best => Ok(ExecOutcome::Tuples(cmp.best_answers(job.db))),
+                PlanKind::Compare => {
+                    let (Some(t1), Some(t2)) = (&job.tuple, &job.tuple2) else {
+                        return Err("compare needs two tuples".into());
+                    };
+                    Ok(ExecOutcome::Comparison {
+                        d12: cmp.dominated(job.db, t1, t2),
+                        d21: cmp.dominated(job.db, t2, t1),
+                    })
+                }
+                _ => Err("Theorem 8 routes only best/compare jobs".into()),
+            }
+        }
+        Route::EnumerationFallback => Ok(ExecOutcome::Fallback),
+    }
+}
+
+/// The Theorem-1 measure: one naïve evaluation decides `μ ∈ {0, 1}`.
+/// For Datalog the same theorem applies (genericity is all it needs);
+/// `naive_contains_datalog` maps the answer tuple's nulls through the
+/// same bijective valuation as the database's, so null-mentioning
+/// answers are decided consistently.
+fn naive_measure(job: &Job) -> Ratio {
+    let almost_true = match job.query {
+        QueryRef::Fo(q) => match &job.tuple {
+            None => caz_logic::naive_eval_bool(q, job.db),
+            Some(t) => caz_logic::naive_contains(q, job.db, t),
+        },
+        QueryRef::Datalog(p) => {
+            let t = job.tuple.clone().unwrap_or_else(Tuple::empty);
+            naive_contains_datalog(p, job.db, &t)
+        }
+    };
+    if almost_true {
+        Ratio::one()
+    } else {
+        Ratio::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caz_constraints::parse_constraints;
+    use caz_idb::{cst, parse_database, Value};
+    use caz_logic::parse_query;
+
+    fn job<'a>(
+        kind: PlanKind,
+        q: &'a Query,
+        sigma: &'a ConstraintSet,
+        db: &'a Database,
+        tuple: Option<Tuple>,
+    ) -> Job<'a> {
+        Job { kind, query: QueryRef::Fo(q), sigma, db, tuple, tuple2: None }
+    }
+
+    #[test]
+    fn mu_always_routes_to_theorem_1() {
+        let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+        let sigma = ConstraintSet::new();
+        // Even a full-FO query with negation and ∀ routes: Theorem 1
+        // needs only genericity, not a fragment.
+        let q = parse_query("Q := forall p. R(c1, p) -> !R(c2, p)").unwrap();
+        let j = job(PlanKind::Mu, &q, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::Theorem1Direct);
+        assert!(p.rejected.is_empty());
+        assert_eq!(
+            execute(&j, p.route).unwrap(),
+            ExecOutcome::Measure(Ratio::one())
+        );
+    }
+
+    #[test]
+    fn cond_with_empty_sigma_is_theorem_1() {
+        let db = parse_database("R(a, _x).").unwrap().db;
+        let sigma = ConstraintSet::new();
+        let q = parse_query("Q := exists u, v. R(u, v)").unwrap();
+        let j = job(PlanKind::Cond, &q, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::Theorem1Direct);
+    }
+
+    #[test]
+    fn cond_with_naively_true_sigma_is_theorem_4() {
+        // Σ: π₂(R) ⊆ U, naïvely true (second column is the constant 1).
+        let db = parse_database("R(_x, 1). U(1). U(2).").unwrap().db;
+        let sigma = parse_constraints("ind R[2] <= U[1]").unwrap();
+        let q = parse_query("Q := exists x. R(x, 1)").unwrap();
+        let j = job(PlanKind::Cond, &q, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::Theorem4Unconditional);
+        // Theorem 1 was tried first and rejected for the non-empty Σ.
+        assert_eq!(p.rejected[0].route, Route::Theorem1Direct);
+        assert!(p.rejected[0].reason.contains("Σ"), "{}", p.rejected[0].reason);
+        assert_eq!(
+            execute(&j, p.route).unwrap(),
+            ExecOutcome::Measure(Ratio::one())
+        );
+    }
+
+    #[test]
+    fn cond_with_naively_false_fds_is_theorem_5() {
+        // The FD fails naïvely (⊥x ≠ ⊥y syntactically ⇒ two rows with
+        // the same key), so Theorem 4 is out; Theorem 5 chases.
+        let db = parse_database("R(a, _x). R(a, _y).").unwrap().db;
+        let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
+        let q = parse_query("Q := exists u. R(u, u)").unwrap();
+        let j = job(PlanKind::Cond, &q, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::Theorem5ChaseThenMeasure);
+        let reasons: Vec<&Route> = p.rejected.iter().map(|r| &r.route).collect();
+        assert_eq!(
+            reasons,
+            [&Route::Theorem1Direct, &Route::Theorem4Unconditional]
+        );
+        assert!(
+            p.rejected[1].reason.contains("naïve"),
+            "{}",
+            p.rejected[1].reason
+        );
+    }
+
+    #[test]
+    fn theorem_5_counterexample_null_tuple_falls_back() {
+        // Hand-built counterexample: FDs only (failing naïvely, so
+        // Theorem 4 is out too), but the answer tuple mentions a null —
+        // Theorem 5's side condition fails and the structured refusal
+        // from caz-core is surfaced verbatim.
+        let parsed = parse_database("R(a, _x). R(a, _y).").unwrap();
+        let sigma = parse_constraints("fd R: 1 -> 2").unwrap();
+        let q = parse_query("Q(u, v) := R(u, v)").unwrap();
+        let t = Tuple::new(vec![cst("a"), Value::Null(parsed.nulls["x"])]);
+        let j = job(PlanKind::Cond, &q, &sigma, &parsed.db, Some(t.clone()));
+        let p = plan(&j);
+        assert_eq!(p.route, Route::EnumerationFallback);
+        let t5 = p
+            .rejected
+            .iter()
+            .find(|r| r.route == Route::Theorem5ChaseThenMeasure)
+            .expect("theorem 5 must have been tried");
+        let refusal = caz_core::theorem5_applicability(Some(&t)).unwrap_err();
+        assert_eq!(t5.reason, refusal.to_string(), "refusal surfaced verbatim");
+    }
+
+    #[test]
+    fn theorem_5_counterexample_ind_falls_back() {
+        // INDs are not FDs: neither Theorem 4 (Σ naïvely false — ⊥ is
+        // not syntactically in V) nor Theorem 5 applies.
+        let db = parse_database("R(_x). V(1).").unwrap().db;
+        let sigma = parse_constraints("ind R[1] <= V[1]").unwrap();
+        let q = parse_query("Q := R(1)").unwrap();
+        let j = job(PlanKind::Cond, &q, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::EnumerationFallback);
+        let t5 = p
+            .rejected
+            .iter()
+            .find(|r| r.route == Route::Theorem5ChaseThenMeasure)
+            .unwrap();
+        assert!(t5.reason.contains("functional dependencies"), "{}", t5.reason);
+    }
+
+    #[test]
+    fn best_routes_through_theorem_8_for_ucqs_only() {
+        let db = parse_database("R(c1, _x). R(c2, _x).").unwrap().db;
+        let sigma = ConstraintSet::new();
+        let ucq = parse_query("Q(u) := exists v. R(u, v) | R(v, u)").unwrap();
+        let j = job(PlanKind::Best, &ucq, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::Theorem8Ucq);
+        let ExecOutcome::Tuples(ts) = execute(&j, p.route).unwrap() else {
+            panic!("best must produce tuples")
+        };
+        assert!(!ts.is_empty());
+
+        // Counterexample: negation leaves the UCQ fragment.
+        let neg = parse_query("N(u) := exists v. R(u, v) & !R(v, u)").unwrap();
+        let j = job(PlanKind::Best, &neg, &sigma, &db, None);
+        let p = plan(&j);
+        assert_eq!(p.route, Route::EnumerationFallback);
+        assert!(
+            p.rejected[0].reason.contains("conjunctive"),
+            "{}",
+            p.rejected[0].reason
+        );
+    }
+
+    #[test]
+    fn compare_arity_mismatch_falls_back() {
+        let db = parse_database("R(c1, _x).").unwrap().db;
+        let sigma = ConstraintSet::new();
+        let q = parse_query("Q(u) := exists v. R(u, v)").unwrap();
+        let mut j = job(PlanKind::Compare, &q, &sigma, &db, Some(Tuple::new(vec![cst("c1")])));
+        j.tuple2 = Some(Tuple::new(vec![cst("c1"), cst("c2")]));
+        let p = plan(&j);
+        assert_eq!(p.route, Route::EnumerationFallback, "{:?}", p.rejected);
+        assert!(p.rejected[0].reason.contains("arity"), "{}", p.rejected[0].reason);
+    }
+
+    #[test]
+    fn unrouted_kinds_fall_back_without_candidates() {
+        let db = parse_database("R(a).").unwrap().db;
+        let sigma = ConstraintSet::new();
+        let q = parse_query("Q := exists x. R(x)").unwrap();
+        for kind in [PlanKind::Naive, PlanKind::Certain, PlanKind::Series] {
+            let j = job(kind, &q, &sigma, &db, None);
+            let p = plan(&j);
+            assert_eq!(p.route, Route::EnumerationFallback);
+            assert!(p.rejected.is_empty());
+            assert_eq!(execute(&j, p.route).unwrap(), ExecOutcome::Fallback);
+        }
+    }
+
+    #[test]
+    fn executing_an_inapplicable_route_is_an_error_not_a_wrong_answer() {
+        let db = parse_database("R(a, _x). R(a, _y).").unwrap().db;
+        let sigma = parse_constraints("ind R[1] <= R[2]").unwrap();
+        let q = parse_query("Q := exists u. R(u, u)").unwrap();
+        let j = job(PlanKind::Cond, &q, &sigma, &db, None);
+        let err = execute(&j, Route::Theorem5ChaseThenMeasure).unwrap_err();
+        assert!(err.contains("does not apply"), "{err}");
+    }
+
+    #[test]
+    fn theorem_4_agrees_with_the_enumeration_engine() {
+        // Σ naïvely true ⇒ the routed value equals both μ(Q, D) and the
+        // engine's μ(Q | Σ, D) (Theorem 4 end-to-end).
+        let db = parse_database("R(_x, 1). U(1). U(2).").unwrap().db;
+        let sigma = parse_constraints("ind R[2] <= U[1]").unwrap();
+        for src in ["Q1 := R(1, 1)", "Q2 := exists x. R(x, 1)", "Q3 := U(9)"] {
+            let q = parse_query(src).unwrap();
+            let j = job(PlanKind::Cond, &q, &sigma, &db, None);
+            let p = plan(&j);
+            assert_eq!(p.route, Route::Theorem4Unconditional, "{src}");
+            let ExecOutcome::Measure(routed) = execute(&j, p.route).unwrap() else {
+                panic!("measure expected")
+            };
+            assert_eq!(routed, caz_core::mu_conditional(&q, &sigma, &db, None), "{src}");
+        }
+    }
+}

@@ -46,4 +46,4 @@ pub use caz_store::FsyncPolicy;
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
 pub use server::{run_batch, Server, ServerConfig, ShutdownHandle};
-pub use session::{EvalKind, EvalRequest, Reply, Request, Session};
+pub use session::{EvalKind, EvalRequest, PlanReport, Reply, Request, Session};

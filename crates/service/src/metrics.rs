@@ -79,6 +79,23 @@ pub struct Metrics {
     pub jobs_cached: AtomicU64,
     /// Connections accepted (1 for a batch run).
     pub connections: AtomicU64,
+    /// `plan`/`explain` requests settled (not counted as executed jobs:
+    /// planning a job is not running it).
+    pub plan_requests: AtomicU64,
+    /// Executed jobs routed through Theorem 1 (direct naïve measure).
+    pub route_theorem1: AtomicU64,
+    /// Executed jobs routed through Theorem 4 (Σ^naïve(D) held, so the
+    /// conditional measure collapsed to the unconditional one).
+    pub route_theorem4: AtomicU64,
+    /// Executed jobs routed through Theorem 5 (chase, then measure).
+    pub route_theorem5: AtomicU64,
+    /// Executed jobs routed through Theorem 8 (PTIME UCQ best/compare).
+    pub route_theorem8: AtomicU64,
+    /// Executed jobs that fell back to general enumeration (including
+    /// every job when the server runs with the planner disabled). The
+    /// five `planner_*` counters sum to `jobs_executed_total`: each
+    /// executed (non-cache-hit) job notes exactly one route.
+    pub route_fallback: AtomicU64,
     /// Entries recovered from the persistent store at startup (0 when
     /// the server runs without `--cache-path`).
     pub store_loaded_entries: AtomicU64,
@@ -112,6 +129,12 @@ impl Default for Metrics {
             jobs_executed: AtomicU64::new(0),
             jobs_cached: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            plan_requests: AtomicU64::new(0),
+            route_theorem1: AtomicU64::new(0),
+            route_theorem4: AtomicU64::new(0),
+            route_theorem5: AtomicU64::new(0),
+            route_theorem8: AtomicU64::new(0),
+            route_fallback: AtomicU64::new(0),
             store_loaded_entries: AtomicU64::new(0),
             store_appends: AtomicU64::new(0),
             store_compactions: AtomicU64::new(0),
@@ -127,6 +150,21 @@ impl Metrics {
     /// A fresh registry with the uptime clock starting now.
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    /// Count one executed evaluation job against the route the planner
+    /// chose for it. Called exactly once per non-cache-hit job, so the
+    /// per-route counters sum to `jobs_executed_total`.
+    pub fn note_route(&self, route: caz_planner::Route) {
+        use caz_planner::Route;
+        let counter = match route {
+            Route::Theorem1Direct => &self.route_theorem1,
+            Route::Theorem4Unconditional => &self.route_theorem4,
+            Route::Theorem5ChaseThenMeasure => &self.route_theorem5,
+            Route::Theorem8Ucq => &self.route_theorem8,
+            Route::EnumerationFallback => &self.route_fallback,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Render the registry (plus the cache counters) as stable
@@ -149,6 +187,24 @@ impl Metrics {
         line("connections_total", self.connections.load(Ordering::Relaxed));
         line("jobs_executed_total", self.jobs_executed.load(Ordering::Relaxed));
         line("jobs_cached_total", self.jobs_cached.load(Ordering::Relaxed));
+        line("plan_requests_total", self.plan_requests.load(Ordering::Relaxed));
+        line(
+            "planner_route_theorem1_direct_total",
+            self.route_theorem1.load(Ordering::Relaxed),
+        );
+        line(
+            "planner_route_theorem4_unconditional_total",
+            self.route_theorem4.load(Ordering::Relaxed),
+        );
+        line(
+            "planner_route_theorem5_chase_then_measure_total",
+            self.route_theorem5.load(Ordering::Relaxed),
+        );
+        line(
+            "planner_route_theorem8_ucq_total",
+            self.route_theorem8.load(Ordering::Relaxed),
+        );
+        line("planner_fallback_total", self.route_fallback.load(Ordering::Relaxed));
         line(
             "store_loaded_entries",
             self.store_loaded_entries.load(Ordering::Relaxed),

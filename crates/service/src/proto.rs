@@ -21,7 +21,7 @@
 //!
 //! Plain commands (`mu`, `fact`, `stats`, …) still reply with a single
 //! `final` line, so pre-chunking clients keep working unchanged. Chunked
-//! groups appear in exactly two places:
+//! groups appear in exactly three places:
 //!
 //! * **`eval*`** — many read-only evaluation jobs on one request line,
 //!   TAB-separated, each job [`escape`]d (so a job containing a literal
@@ -36,6 +36,16 @@
 //!   `ok done <k>`. Joining the chunk payloads with newlines (plus a
 //!   trailing newline) reconstructs byte-for-byte what the interactive
 //!   shell prints.
+//! * **`explain <eval command>`** — the planner's full report as word-
+//!   tagged chunks, then a terminal `ok done <n>`: one `route` chunk
+//!   (the chosen route's kebab-case name), one `features` chunk (the
+//!   classification line, `fragment=… constants=… sigma=… db=… nulls=…
+//!   facts=… tuple=…`), and one `reject` chunk per candidate route
+//!   whose precondition failed, payload `<route-name>: <reason>`, in
+//!   the order the candidates were tried. The sibling **`plan`**
+//!   command answers a single `final` line instead: `ok route <name>`,
+//!   with a `(rejected: …)` parenthetical when candidates were tried
+//!   and refused. Neither command evaluates anything.
 //!
 //! A reply group is terminated by its `final` line even when a mid-group
 //! element failed, so a client never needs lookahead: read lines until a

@@ -39,7 +39,8 @@ use crate::pool::{DetachedJob, JobResult, Outcome, TrySubmitError};
 use crate::proto::{encode_frame, WireFrame, WireReply};
 use crate::server::{
     classify, done_frame, eval_on_worker, eval_series_on_worker, multi_frame, new_hit_flag,
-    series_frames, settle_eval, single_frame, Control, HitFlag, MultiJob, Shared, Step,
+    plan_frames, plan_on_worker, series_frames, settle_eval, settle_plan, single_frame, Control,
+    HitFlag, MultiJob, Shared, Step,
 };
 use crate::session::Session;
 use std::collections::{HashMap, VecDeque};
@@ -87,6 +88,12 @@ enum Done {
     SeriesEnd {
         hit: HitFlag,
         start: Instant,
+        result: JobResult,
+        outcome: Outcome,
+    },
+    /// A `plan`/`explain` job returned its report text.
+    Plan {
+        explain: bool,
         result: JobResult,
         outcome: Outcome,
     },
@@ -456,6 +463,26 @@ impl Reactor {
                     );
                 }
             }
+            Step::Plan { explain, target } => {
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                // Plan jobs reuse the single-job in-flight slot: one
+                // command at a time per connection, reply on completion.
+                conn.inflight = Some(Inflight::Single);
+                let job_session = conn.session.clone();
+                let notifier = Arc::clone(&self.notifier);
+                self.submit_or_park(
+                    id,
+                    DetachedJob {
+                        work: Box::new(move || plan_on_worker(&job_session, &target, explain)),
+                        on_done: Box::new(move |result, outcome| {
+                            notifier.push(Completion {
+                                conn: id,
+                                done: Done::Plan { explain, result, outcome },
+                            });
+                        }),
+                    },
+                );
+            }
             Step::Series { ev, start } => {
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = Some(Inflight::Series);
@@ -576,6 +603,13 @@ impl Reactor {
                 if group_done {
                     self.pump(id);
                 }
+            }
+            Done::Plan { explain, result, outcome } => {
+                let result = settle_plan(&self.shared, result, outcome);
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.inflight = None;
+                self.queue_frames(id, &plan_frames(explain, result));
+                self.pump(id);
             }
             Done::SeriesEnd { hit, start, result, outcome } => {
                 let was_hit = hit.load(Ordering::Acquire);

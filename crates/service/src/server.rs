@@ -70,6 +70,12 @@ pub struct ServerConfig {
     /// Whether the flusher fsyncs every WAL append batch. Compaction
     /// and clean shutdown sync regardless.
     pub fsync: FsyncPolicy,
+    /// Route evaluations through the complexity-aware planner
+    /// (`caz-planner`), taking theorem-licensed fast paths where their
+    /// preconditions hold. Disabled (`--no-planner`), every job runs
+    /// the general enumeration engine and counts as
+    /// `planner_fallback_total`.
+    pub planner: bool,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_path: None,
             fsync: FsyncPolicy::Never,
+            planner: true,
         }
     }
 }
@@ -97,6 +104,8 @@ pub(crate) struct Shared {
     /// The write-behind persistence flusher (`--cache-path` only).
     pub(crate) store: Option<Flusher>,
     pub(crate) stop: AtomicBool,
+    /// Route evaluations through the planner (see [`ServerConfig::planner`]).
+    pub(crate) planner: bool,
 }
 
 impl Shared {
@@ -133,6 +142,7 @@ impl Shared {
             metrics,
             store,
             stop: AtomicBool::new(false),
+            planner: cfg.planner,
         })
     }
 }
@@ -178,6 +188,11 @@ pub(crate) enum Step {
     /// [`Session::eval_series_chunks`] (no rows when the worker finds
     /// the aggregate in the cache — the driver replays them instead).
     Series { ev: EvalRequest, start: Instant },
+    /// A `plan`/`explain` line: classification runs on a worker (the
+    /// Theorem-4 check naïvely evaluates Σ against the database — data-
+    /// dependent work that must not run on the reactor thread), but
+    /// nothing is evaluated, cached, or counted as an executed job.
+    Plan { explain: bool, target: String },
 }
 
 /// Terminal line of a chunked reply group covering `n` elements.
@@ -215,6 +230,7 @@ pub(crate) fn classify(session: &mut Session, shared: &Shared, line: &str) -> St
         ),
         Request::Eval(ev) if ev.kind == EvalKind::Series => Step::Series { ev, start },
         Request::Eval(ev) => Step::Single { ev, start },
+        Request::Plan { explain, target } => Step::Plan { explain, target },
         Request::EvalMulti(raw_jobs) => {
             let total = raw_jobs.len();
             let mut ready = Vec::new();
@@ -307,7 +323,30 @@ pub(crate) fn eval_on_worker(
         record_hit(shared, hit, start);
         return Ok(text);
     }
-    let result = session.eval(ev);
+    // Note the route exactly once per executed job, even when
+    // evaluation panics: the guard notes on drop, and unwinding runs
+    // drops before the pool converts the panic to an error reply (which
+    // [`settle_eval`] still counts as executed). This keeps the
+    // per-route counters summing to `jobs_executed_total`.
+    struct NoteOnDrop<'a> {
+        metrics: &'a Metrics,
+        route: caz_planner::Route,
+    }
+    impl Drop for NoteOnDrop<'_> {
+        fn drop(&mut self) {
+            self.metrics.note_route(self.route);
+        }
+    }
+    let mut note = NoteOnDrop {
+        metrics: &shared.metrics,
+        route: caz_planner::Route::EnumerationFallback,
+    };
+    let result = if shared.planner {
+        session.eval_planned(ev, &mut |route| note.route = route)
+    } else {
+        session.eval(ev)
+    };
+    drop(note);
     if let Ok(text) = &result {
         store_result(shared, key.as_ref(), text);
     }
@@ -330,11 +369,60 @@ pub(crate) fn eval_series_on_worker(
         record_hit(shared, hit, start);
         return Ok(text);
     }
+    // Series jobs always run the enumeration engine (no limit theorem
+    // shortcuts a finite μ¹..μᵏ prefix); note the route before the
+    // compute so a panicking job is still attributed.
+    shared.metrics.note_route(caz_planner::Route::EnumerationFallback);
     let result = session.eval_series_chunks(&ev.args, emit);
     if let Ok(text) = &result {
         store_result(shared, key.as_ref(), text);
     }
     result
+}
+
+/// Run a `plan`/`explain` request on a worker thread: classification
+/// includes the data-dependent Theorem-4 naïve check, so it rides the
+/// pool like an evaluation — but nothing is evaluated or cached.
+pub(crate) fn plan_on_worker(session: &Session, target: &str, explain: bool) -> JobResult {
+    session.plan_for(target).map(|report| report.text(explain))
+}
+
+/// Driver-side accounting for a finished `plan`/`explain` job: counts
+/// `plan_requests_total` (plus error/panic counters) but **not**
+/// `jobs_executed` or any per-route counter — planning a job is not
+/// executing it, so the route counters keep summing to
+/// `jobs_executed_total`.
+pub(crate) fn settle_plan(shared: &Shared, result: JobResult, outcome: Outcome) -> JobResult {
+    shared.metrics.plan_requests.fetch_add(1, Ordering::Relaxed);
+    if outcome == Outcome::Panicked {
+        shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+    }
+    if result.is_err() {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
+
+/// Frame a finished `plan`/`explain` job. `plan` answers one final ok
+/// line; `explain` answers a chunked reply group — one `tag payload`
+/// chunk per report line (`route`, `features`, `reject`) plus the
+/// terminal `done` line.
+pub(crate) fn plan_frames(explain: bool, result: JobResult) -> Vec<WireFrame> {
+    match result {
+        Err(e) => vec![WireFrame::Final(WireReply::Err(e))],
+        Ok(text) if !explain => vec![WireFrame::Final(WireReply::Ok(text))],
+        Ok(text) => {
+            let mut frames: Vec<WireFrame> = text
+                .lines()
+                .map(|line| {
+                    let (tag, payload) = line.split_once(' ').unwrap_or((line, ""));
+                    WireFrame::Chunk { tag: tag.to_string(), payload: payload.to_string() }
+                })
+                .collect();
+            frames.push(done_frame(frames.len()));
+            frames
+        }
+    }
 }
 
 /// Apply the driver-side effects of one finished evaluation job and
@@ -542,6 +630,15 @@ pub fn run_batch<R: BufRead, W: Write>(
                     write_frames(output, &[multi_frame(job.index, result)])?;
                 }
                 write_frames(output, &[done_frame(total)])?;
+                Control::Continue
+            }
+            Step::Plan { explain, target } => {
+                let job_session = session.clone();
+                let (result, outcome) = shared
+                    .pool
+                    .run(Box::new(move || plan_on_worker(&job_session, &target, explain)));
+                let result = settle_plan(&shared, result, outcome);
+                write_frames(output, &plan_frames(explain, result))?;
                 Control::Continue
             }
             Step::Series { ev, start } => {

@@ -21,6 +21,7 @@ use caz_idb::{
     Value,
 };
 use caz_logic::{naive_eval, parse_query, Query};
+use caz_planner::{ExecOutcome, Features, PlanKind, QueryRef, Rejection, Route};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -106,6 +107,17 @@ pub enum Request {
     AddConstraint(String),
     /// A read-only evaluation (pool-schedulable under a server).
     Eval(EvalRequest),
+    /// `plan <eval command>` / `explain <eval command>` — ask the
+    /// planner which route it would take for the given evaluation
+    /// without running it. `plan` answers one summary line; `explain`
+    /// additionally reports the classification features and every
+    /// rejected route with the reason its precondition failed.
+    Plan {
+        /// `explain` (full report) vs `plan` (summary line).
+        explain: bool,
+        /// The evaluation command line being planned.
+        target: String,
+    },
     /// `eval* <job>TAB<job>…` — a vectorized batch of read-only
     /// evaluations, each job a full eval command line (escaped per
     /// [`crate::proto::escape`]). A server fans these out across its
@@ -156,6 +168,8 @@ commands:
                              line, TAB-separated; a server fans them out and
                              replies index-tagged chunks
   compare <name> <t1> <t2>   the orders between two answers
+  plan <eval command>        which route the planner picks, e.g.  plan cond Q
+  explain <eval command>     the full plan: route, features, rejected routes
   stats                      server statistics (serve/batch mode)
   help                       this text
   quit                       exit";
@@ -194,6 +208,8 @@ impl Request {
                 }
                 Ok(Some(Request::EvalMulti(crate::proto::split_jobs(rest))))
             }
+            "plan" => Ok(Some(Request::Plan { explain: false, target: rest.to_string() })),
+            "explain" => Ok(Some(Request::Plan { explain: true, target: rest.to_string() })),
             "naive" => eval(EvalKind::Naive),
             "certain" => eval(EvalKind::Certain),
             "best" => eval(EvalKind::Best),
@@ -237,6 +253,9 @@ impl Session {
             Request::DefineProgram(src) => self.add_program(src),
             Request::AddConstraint(src) => self.add_constraint(src),
             Request::Eval(ev) => self.eval(ev).map(Reply::Text),
+            Request::Plan { explain, target } => {
+                self.plan_for(target).map(|r| Reply::Text(r.text(*explain)))
+            }
             // Outside a server there is no pool to fan out over: run the
             // jobs sequentially and tag each output line with its index,
             // mirroring the wire format's tagged chunks.
@@ -476,8 +495,7 @@ impl Session {
         } else {
             caz_core::mu_exact(ev.as_ref(), &self.db)
         };
-        let label = if conditional { "μ(Q | Σ, D)" } else { "μ(Q, D)" };
-        Ok(format!("{label} = {value}"))
+        Ok(mu_reply(conditional, &value))
     }
 
     /// Parse and validate `series` arguments: the event plus `k_max`.
@@ -539,13 +557,248 @@ impl Session {
         let q = self.query(name)?;
         let d12 = dominated(q, &self.db, &t1, &t2);
         let d21 = dominated(q, &self.db, &t2, &t1);
-        let verdict = match (d12, d21) {
-            (true, true) => "equivalent support".to_string(),
-            (true, false) => format!("{t1} ⊲ {t2} ({t2} is strictly better)"),
-            (false, true) => format!("{t2} ⊲ {t1} ({t1} is strictly better)"),
-            (false, false) => "incomparable".to_string(),
+        Ok(compare_verdict(&t1, &t2, d12, d21))
+    }
+
+    /// Resolve a name against the session's definitions with the same
+    /// shadowing the evaluators use: programs first, then queries.
+    fn query_ref(&self, name: &str) -> Result<QueryRef<'_>, String> {
+        if let Some(p) = self.programs.get(name) {
+            Ok(QueryRef::Datalog(p))
+        } else {
+            self.query(name).map(QueryRef::Fo)
+        }
+    }
+
+    /// The tuple/arity validation of [`Session::event_for`], without
+    /// building the event: [`Session::prepare_job`] must fail exactly
+    /// where the enumeration path would, so a routed job can never
+    /// succeed on inputs `eval` rejects.
+    fn check_job_tuple(
+        &self,
+        name: &str,
+        query: &QueryRef<'_>,
+        tuple: Option<&Tuple>,
+    ) -> Result<(), String> {
+        match query {
+            QueryRef::Datalog(p) => {
+                let arity = tuple.map_or(0, Tuple::arity);
+                if arity != p.output_arity {
+                    return Err(format!(
+                        "program {name} has output arity {}, tuple has {arity}",
+                        p.output_arity
+                    ));
+                }
+                Ok(())
+            }
+            QueryRef::Fo(q) => match tuple {
+                None if q.is_boolean() => Ok(()),
+                None => Err(format!("query {name} needs a tuple, e.g.  mu {name} (a, b)")),
+                Some(t) if t.arity() != q.arity() => Err(format!(
+                    "query {name} has arity {}, tuple has {}",
+                    q.arity(),
+                    t.arity()
+                )),
+                Some(_) => Ok(()),
+            },
+        }
+    }
+
+    /// Resolve one evaluation request into a planner [`caz_planner::Job`]:
+    /// the same name lookup, tuple parsing, and validation the
+    /// enumeration path performs, but stopping before any evaluation.
+    /// `Err` means the request is not routable (malformed arguments,
+    /// unknown name, arity mismatch) — [`Session::eval_planned`] then
+    /// delegates to [`Session::eval`], which owns the canonical error
+    /// text.
+    fn prepare_job(&self, req: &EvalRequest) -> Result<caz_planner::Job<'_>, String> {
+        let job = |kind, query, tuple, tuple2| caz_planner::Job {
+            kind,
+            query,
+            sigma: &self.sigma,
+            db: &self.db,
+            tuple,
+            tuple2,
         };
-        Ok(verdict)
+        match req.kind {
+            EvalKind::Naive => Ok(job(PlanKind::Naive, self.query_ref(&req.args)?, None, None)),
+            EvalKind::Certain => {
+                Ok(job(PlanKind::Certain, self.query_ref(&req.args)?, None, None))
+            }
+            // `best` resolves named queries only, like [`Session::best`].
+            EvalKind::Best => Ok(job(
+                PlanKind::Best,
+                QueryRef::Fo(self.query(&req.args)?),
+                None,
+                None,
+            )),
+            EvalKind::Mu | EvalKind::Cond => {
+                let (name, tuple_src) = self.split_name_tuple(&req.args);
+                let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
+                let query = self.query_ref(name)?;
+                self.check_job_tuple(name, &query, tuple.as_ref())?;
+                let kind = if req.kind == EvalKind::Cond { PlanKind::Cond } else { PlanKind::Mu };
+                Ok(job(kind, query, tuple, None))
+            }
+            EvalKind::Series => {
+                let (head, k_src) = req
+                    .args
+                    .rsplit_once(char::is_whitespace)
+                    .ok_or("usage: series <name> <k>")?;
+                let k: usize = k_src.trim().parse().map_err(|_| "k must be a number")?;
+                if k == 0 || k > 24 {
+                    return Err("k must be between 1 and 24".into());
+                }
+                let (name, tuple_src) = self.split_name_tuple(head);
+                let tuple = tuple_src.map(|s| self.tuple(s)).transpose()?;
+                let query = self.query_ref(name)?;
+                self.check_job_tuple(name, &query, tuple.as_ref())?;
+                Ok(job(PlanKind::Series, query, tuple, None))
+            }
+            EvalKind::Compare => {
+                let open = req.args.find('(').ok_or("usage: compare <name> (t1) (t2)")?;
+                let name = req.args[..open].trim();
+                let tuples = &req.args[open..];
+                let mid = tuples.find(')').ok_or("expected two tuples")? + 1;
+                let t1 = self.tuple(tuples[..mid].trim())?;
+                let t2 = self.tuple(tuples[mid..].trim())?;
+                let q = self.query(name)?;
+                Ok(job(PlanKind::Compare, QueryRef::Fo(q), Some(t1), Some(t2)))
+            }
+        }
+    }
+
+    /// Evaluate through the planner: classify the request, take the
+    /// cheapest theorem-licensed route, and fall back to the
+    /// enumeration path ([`Session::eval`]) when none applies. Replies
+    /// are byte-identical to the enumeration path's — both render
+    /// through the same formatting helpers, and the theorems guarantee
+    /// equal values.
+    ///
+    /// `note_route` fires exactly once per call, *before* any
+    /// evaluation work, so a server can attribute the job to its route
+    /// even if evaluation later panics.
+    pub fn eval_planned(
+        &self,
+        req: &EvalRequest,
+        note_route: &mut dyn FnMut(Route),
+    ) -> Result<String, String> {
+        let job = match self.prepare_job(req) {
+            Ok(job) => job,
+            Err(_) => {
+                // Unroutable request (unknown name, malformed args):
+                // the enumeration path owns the canonical error text.
+                note_route(Route::EnumerationFallback);
+                return self.eval(req);
+            }
+        };
+        let plan = caz_planner::plan(&job);
+        note_route(plan.route);
+        match caz_planner::execute(&job, plan.route) {
+            Ok(ExecOutcome::Measure(v)) => Ok(mu_reply(req.kind == EvalKind::Cond, &v)),
+            Ok(ExecOutcome::Tuples(ts)) => Ok(format_tuples(&ts)),
+            Ok(ExecOutcome::Comparison { d12, d21 }) => {
+                match (&job.tuple, &job.tuple2) {
+                    (Some(t1), Some(t2)) => Ok(compare_verdict(t1, t2, d12, d21)),
+                    _ => self.eval(req),
+                }
+            }
+            // Fallback, or a route/execute disagreement (unreachable by
+            // construction — execute re-checks the precondition): the
+            // enumeration engine is always correct.
+            Ok(ExecOutcome::Fallback) | Err(_) => self.eval(req),
+        }
+    }
+
+    /// Answer a `plan`/`explain` request: parse the target as an
+    /// evaluation command, resolve it into a job, and report the
+    /// planner's decision without executing anything.
+    pub fn plan_for(&self, target: &str) -> Result<PlanReport, String> {
+        let ev = match Request::parse(target)? {
+            Some(Request::Eval(ev)) => ev,
+            _ => {
+                return Err(
+                    "plan/explain take an evaluation command, e.g.  plan cond Q".into(),
+                )
+            }
+        };
+        let job = self.prepare_job(&ev)?;
+        let plan = caz_planner::plan(&job);
+        Ok(PlanReport {
+            route: plan.route,
+            features: plan.features,
+            rejected: plan.rejected,
+        })
+    }
+}
+
+/// The `μ… = value` reply line, shared by the enumeration and routed
+/// paths so the two are byte-identical on equal values.
+fn mu_reply(conditional: bool, value: &impl std::fmt::Display) -> String {
+    let label = if conditional { "μ(Q | Σ, D)" } else { "μ(Q, D)" };
+    format!("{label} = {value}")
+}
+
+/// The `compare` verdict line, shared by the enumeration and routed
+/// paths. `d12` is `t1 ⊴ t2`, `d21` is `t2 ⊴ t1`.
+fn compare_verdict(t1: &Tuple, t2: &Tuple, d12: bool, d21: bool) -> String {
+    match (d12, d21) {
+        (true, true) => "equivalent support".to_string(),
+        (true, false) => format!("{t1} ⊲ {t2} ({t2} is strictly better)"),
+        (false, true) => format!("{t2} ⊲ {t1} ({t1} is strictly better)"),
+        (false, false) => "incomparable".to_string(),
+    }
+}
+
+/// A planner decision rendered for the wire: the chosen route, the
+/// classification features, and every rejected candidate with its
+/// reason.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The route the planner chose.
+    pub route: Route,
+    /// The classification the decision was made from.
+    pub features: Features,
+    /// Candidates tried and rejected before `route`, in order.
+    pub rejected: Vec<Rejection>,
+}
+
+impl PlanReport {
+    /// The one-line `plan` summary: the chosen route, plus the rejected
+    /// candidates' names when any were tried.
+    pub fn summary(&self) -> String {
+        if self.rejected.is_empty() {
+            format!("route {}", self.route.name())
+        } else {
+            let names: Vec<&str> = self.rejected.iter().map(|r| r.route.name()).collect();
+            format!("route {} (rejected: {})", self.route.name(), names.join(", "))
+        }
+    }
+
+    /// The `explain` report as `(tag, payload)` lines: one `route`
+    /// line, one `features` line, and one `reject` line per rejected
+    /// candidate. A server frames each as a tagged reply chunk; the
+    /// plain REPL joins them as `tag payload` text lines.
+    pub fn lines(&self) -> Vec<(&'static str, String)> {
+        let mut out = vec![
+            ("route", self.route.name().to_string()),
+            ("features", self.features.to_string()),
+        ];
+        for r in &self.rejected {
+            out.push(("reject", format!("{}: {}", r.route.name(), r.reason)));
+        }
+        out
+    }
+
+    /// Plain-text rendering: the summary for `plan`, the full tagged
+    /// report for `explain`.
+    pub fn text(&self, explain: bool) -> String {
+        if !explain {
+            return self.summary();
+        }
+        let lines: Vec<String> =
+            self.lines().into_iter().map(|(tag, payload)| format!("{tag} {payload}")).collect();
+        lines.join("\n")
     }
 }
 

@@ -199,11 +199,15 @@ fn panicking_job_is_isolated_to_an_error_reply() {
     // MAX_NULLS = 10 assertion, so this evaluation panics inside the
     // worker. (The refinement canonicalizer handles 11 nulls fine, so
     // the request IS keyed — but error replies are never cached, so it
-    // must reach the pool and panic there.)
+    // must reach the pool and panic there.) The IND constraint keeps
+    // the planner from shortcutting the job: it is not FD-expressible
+    // (no Theorem 5) and references a relation absent from the
+    // database (no Theorem 4), so `cond` falls back to enumeration.
     let facts: Vec<String> = (0..11).map(|i| format!("N(_a{i}).")).collect();
     client.send_ok(&format!("fact {}", facts.join(" ")));
     client.send_ok("query P := exists x. N(x)");
-    match client.send("mu P") {
+    client.send_ok("constraint ind N[1] <= Z[1]");
+    match client.send("cond P") {
         WireReply::Err(e) => assert!(e.contains("panicked"), "{e}"),
         other => panic!("expected an error reply, got {other:?}"),
     }

@@ -36,6 +36,16 @@ if ! cargo test -q -p caz-idb --test differential; then
     exit 1
 fi
 
+# Planner differential stage: every evaluation answered through the
+# complexity-aware planner must be byte-identical to the forced
+# enumeration answer, across 1,000+ seeded sessions (same
+# CAZ_TEST_SEED convention as above).
+echo "==> planner differential suite (CAZ_TEST_SEED=${CAZ_TEST_SEED})"
+if ! cargo test -q -p caz-service --test planner_differential; then
+    echo "planner differential FAILED — reproduce with: CAZ_TEST_SEED=${CAZ_TEST_SEED} cargo test -p caz-service --test planner_differential" >&2
+    exit 1
+fi
+
 # Warm-start stage: batch-run a job file against a persistent store,
 # corrupt the WAL tail like a crash would, run the same file again, and
 # assert from the stats frame that the second run recovered the store
@@ -67,6 +77,46 @@ for want in 'store_recovered_truncated 1\n' 'store_loaded_entries 3\n' \
         || { echo "warm-start stage FAILED: missing '$want' in warm stats" >&2; exit 1; }
 done
 echo "    warm start OK: 3 jobs recovered from a corrupted store, 0 re-executed"
+
+# Planner bench stage: time every theorem route against its forced
+# enumeration baseline (--no-planner). The runner itself asserts the
+# ≥10x overall speedup and that every job took its fast path, so a
+# clean exit is the check; the greps pin the report shape. Run inside
+# the temp dir so the committed BENCH_planner.json isn't clobbered.
+echo "==> planner bench (routed vs forced enumeration)"
+REPO_ROOT="$(pwd)"
+( cd "$STORE_TMP" && "$REPO_ROOT/target/release/planner_bench" > planner.json )
+for want in '"workload": "planner"' '"theorem1-direct"' '"theorem4-unconditional"' \
+            '"theorem5-chase-then-measure"' '"theorem8-ucq"' '"overall_speedup"'; do
+    grep -qF "$want" "$STORE_TMP/planner.json" \
+        || { echo "planner bench FAILED: missing $want in report" >&2; exit 1; }
+done
+echo "    planner bench OK: every route beat forced enumeration"
+
+# plan/explain smoke over the batch wire: the planner's decision (and
+# its rejected candidates) must be visible without evaluating anything.
+echo "==> plan/explain wire smoke"
+cat > "$STORE_TMP/plan.caz" <<'EOF'
+fact R(a, _x). R(a, _y).
+constraint fd R: 1 -> 2
+query Q := exists u, v. R(u, v)
+plan cond Q
+explain cond Q
+stats
+EOF
+./target/release/caz serve --batch "$STORE_TMP/plan.caz" > "$STORE_TMP/plan.out"
+for want in 'ok route theorem5-chase-then-measure (rejected: ' \
+            'ok* route theorem5-chase-then-measure' \
+            'ok* features fragment=cq' \
+            'ok* reject theorem1-direct: ' \
+            'plan_requests_total 2\n' 'jobs_executed_total 0\n'; do
+    grep -qF "$want" "$STORE_TMP/plan.out" \
+        || { echo "plan/explain smoke FAILED: missing '$want'" >&2; exit 1; }
+done
+echo "    plan/explain OK: routes and rejections on the wire, nothing executed"
+
+echo "==> cargo clippy -p caz-planner --all-targets -- -D warnings"
+cargo clippy -p caz-planner --all-targets -- -D warnings
 
 echo "==> cargo clippy -p caz-store --all-targets -- -D warnings"
 cargo clippy -p caz-store --all-targets -- -D warnings

@@ -36,7 +36,11 @@ options for serve:
                               same path warm-starts from it)
   --fsync <always|off>        fsync every WAL append batch (default
                               off; compaction and clean shutdown sync
-                              regardless)";
+                              regardless)
+  --no-planner                disable the complexity-aware planner:
+                              every evaluation runs the general
+                              enumeration engine (escape hatch and
+                              benchmark baseline)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,6 +113,10 @@ fn serve(args: &[String]) -> ExitCode {
             "--cache" => parse_num(value("--cache"), &mut cfg.cache_capacity),
             "--cache-shards" => parse_num(value("--cache-shards"), &mut cfg.cache_shards),
             "--cache-path" => value("--cache-path").map(|v| cfg.cache_path = Some(v.into())),
+            "--no-planner" => {
+                cfg.planner = false;
+                Ok(())
+            }
             "--fsync" => value("--fsync").and_then(|v| match v.as_str() {
                 "always" => {
                     cfg.fsync = FsyncPolicy::Always;
