@@ -1,0 +1,85 @@
+//! `load_bench` — the `service` workload runner.
+//!
+//! Drives an in-process `caz-service` server with the open-loop load
+//! generator (`caz_bench::load`): seeded open-loop schedule, zipf job
+//! mix across the planner's route classes, connection churn, and a
+//! stepped offered-QPS sweep that ends well past the server's
+//! capacity. Writes `BENCH_service.json` in the current directory.
+//!
+//! `CAZ_TEST_SEED` selects the schedule seed (default 3707); pass
+//! `--smoke` for the ~4s CI-sized run (tiny server, two steps) instead
+//! of the full four-step sweep.
+//!
+//! The run asserts the admission-control story end to end: zero
+//! malformed reply lines, zero non-busy errors, sheds at the
+//! over-capacity step, and a bounded p99 for the jobs the server
+//! accepted while shedding.
+
+use caz_bench::load::{run_load, LoadConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = env_u64("CAZ_TEST_SEED", 3707);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        LoadConfig::smoke(seed)
+    } else {
+        LoadConfig::standard(seed)
+    };
+
+    let report = run_load(&cfg);
+    let json = report.to_json();
+    std::fs::write("BENCH_service.json", format!("{json}\n")).expect("write BENCH_service.json");
+
+    for s in &report.steps {
+        eprintln!(
+            "  offered {:>4} qps  achieved {:>6.1}  ok {:>4}  busy {:>4}  lost {:>3}  \
+             p50 {:>7}µs  p99 {:>8}µs  p999 {:>8}µs  shed {:>4}  expired {:>3}",
+            s.offered_qps,
+            s.achieved_qps,
+            s.ok,
+            s.busy,
+            s.lost,
+            s.p50_us,
+            s.p99_us,
+            s.p999_us,
+            s.jobs_shed,
+            s.deadline_expired
+        );
+    }
+
+    // Protocol health: every reply line parsed, and nothing but `ok`
+    // and well-framed `err busy` came back.
+    assert_eq!(report.malformed, 0, "malformed reply lines observed");
+    let errors: u64 = report.steps.iter().map(|s| s.errors).sum();
+    assert_eq!(errors, 0, "non-busy errors observed");
+
+    // Overload behavior: the final step offers far more than capacity,
+    // so the server must shed (or expire) rather than queue without
+    // bound — and the jobs it did accept must still finish promptly.
+    let last = report.steps.last().expect("at least one step");
+    let declined = last.jobs_shed + last.deadline_expired + last.conn_inflight_rejected;
+    assert!(
+        declined > 0,
+        "over-capacity step must shed: {last:?}"
+    );
+    assert!(
+        last.ok == 0 || last.p99_us < 5_000_000,
+        "accepted-job p99 unbounded under overload: {last:?}"
+    );
+
+    eprintln!(
+        "service workload: {} steps, busy {} / ok {} at the over-capacity step, \
+         wrote BENCH_service.json",
+        report.steps.len(),
+        last.busy,
+        last.ok
+    );
+    println!("{json}");
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod load;
 pub mod persistence;
 pub mod planner;
 pub mod workloads;

@@ -9,7 +9,8 @@
 //!
 //! `--workload <name>` runs a service workload instead of the
 //! experiment tables: `planner` (routed fast paths vs. forced
-//! enumeration) or `persistence` (cold vs. warm store start). Both use
+//! enumeration), `persistence` (cold vs. warm store start), or
+//! `service` (the open-loop overload harness, smoke-sized). All use
 //! fixed seeds (`CAZ_TEST_SEED`, default 3707) and print their JSON
 //! report, the same one their standalone `*_bench` binaries write to
 //! disk.
@@ -36,8 +37,13 @@ fn run_workload(name: &str) {
                 std::env::temp_dir().join(format!("caz-harness-store-{}", std::process::id()));
             println!("{}", caz_bench::persistence::run_store_bench(seed, jobs, &dir).to_json());
         }
+        "service" => {
+            // Smoke-sized here; the full sweep lives in `load_bench`.
+            let cfg = caz_bench::load::LoadConfig::smoke(seed);
+            println!("{}", caz_bench::load::run_load(&cfg).to_json());
+        }
         other => {
-            eprintln!("unknown workload {other:?}; known: planner, persistence");
+            eprintln!("unknown workload {other:?}; known: planner, persistence, service");
             std::process::exit(1);
         }
     }
@@ -49,7 +55,7 @@ fn main() {
         match args.get(i + 1) {
             Some(name) => return run_workload(name),
             None => {
-                eprintln!("--workload needs a name (planner, persistence)");
+                eprintln!("--workload needs a name (planner, persistence, service)");
                 std::process::exit(1);
             }
         }

@@ -82,6 +82,21 @@ pub struct Metrics {
     /// `plan`/`explain` requests settled (not counted as executed jobs:
     /// planning a job is not running it).
     pub plan_requests: AtomicU64,
+    /// Jobs shed with `err busy` because the pool queue was full while
+    /// a queue deadline was configured (admission control). Shed jobs
+    /// never reach a worker: no cache, route, latency, or error
+    /// accounting — `errors_total` excludes busy replies so the shed
+    /// counters reconcile exactly with client-observed `busy` frames.
+    pub jobs_shed: AtomicU64,
+    /// Jobs whose queue deadline lapsed before a worker dequeued them;
+    /// answered `err busy` without running (see [`crate::pool::Outcome::Expired`]).
+    pub deadline_expired: AtomicU64,
+    /// Protocol lines rejected with `err busy` because their connection
+    /// already had `--max-inflight-per-conn` commands admitted.
+    pub conn_inflight_rejected: AtomicU64,
+    /// Point-in-time pool queue depth, refreshed when a `stats`
+    /// snapshot is taken (a gauge, not a counter).
+    pub queue_depth: AtomicU64,
     /// Executed jobs routed through Theorem 1 (direct naïve measure).
     pub route_theorem1: AtomicU64,
     /// Executed jobs routed through Theorem 4 (Σ^naïve(D) held, so the
@@ -130,6 +145,10 @@ impl Default for Metrics {
             jobs_cached: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             plan_requests: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            conn_inflight_rejected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
             route_theorem1: AtomicU64::new(0),
             route_theorem4: AtomicU64::new(0),
             route_theorem5: AtomicU64::new(0),
@@ -188,6 +207,16 @@ impl Metrics {
         line("jobs_executed_total", self.jobs_executed.load(Ordering::Relaxed));
         line("jobs_cached_total", self.jobs_cached.load(Ordering::Relaxed));
         line("plan_requests_total", self.plan_requests.load(Ordering::Relaxed));
+        line("jobs_shed_total", self.jobs_shed.load(Ordering::Relaxed));
+        line(
+            "deadline_expired_total",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        line(
+            "conn_inflight_rejected_total",
+            self.conn_inflight_rejected.load(Ordering::Relaxed),
+        );
+        line("queue_depth", self.queue_depth.load(Ordering::Relaxed));
         line(
             "planner_route_theorem1_direct_total",
             self.route_theorem1.load(Ordering::Relaxed),
@@ -291,6 +320,15 @@ mod tests {
         assert_eq!(saw_hits, Some(1));
         assert!(snap.contains("requests_total 3"));
         assert!(snap.contains("cache_shards 2"), "{snap}");
+        // Admission-control keys are always present, zero when idle.
+        for key in [
+            "jobs_shed_total 0",
+            "deadline_expired_total 0",
+            "conn_inflight_rejected_total 0",
+            "queue_depth 0",
+        ] {
+            assert!(snap.contains(key), "missing {key} in {snap}");
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A bounded, std-only worker pool with per-job panic isolation.
+//! A bounded, std-only worker pool with per-job panic isolation and
+//! queue-deadline admission control.
 //!
 //! Jobs are closures returning `Result<String, String>`; each runs under
 //! `catch_unwind`, so one poisoned query (the measure engine asserts on
@@ -6,11 +7,21 @@
 //! that job's channel instead of killing a worker or the server. The
 //! queue is a `sync_channel`, so submission applies backpressure once
 //! `queue_cap` jobs are waiting.
+//!
+//! Detached jobs may carry a **deadline**: a worker that dequeues a job
+//! past its deadline does not run it — the callback fires immediately
+//! with [`Outcome::Expired`], so stale work never occupies a worker and
+//! the latency of jobs that *do* execute stays bounded by the deadline
+//! plus one job's compute. The pool also tracks its live queue depth
+//! (jobs submitted but not yet picked up), surfaced through the
+//! server's `stats` as `queue_depth`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The result a job's submitter receives.
 pub type JobResult = Result<String, String>;
@@ -22,12 +33,15 @@ pub enum Outcome {
     Completed,
     /// The job closure panicked and was converted to an error.
     Panicked,
+    /// The job's queue deadline passed before a worker picked it up;
+    /// the closure never ran (no cache, metrics, or store effects).
+    Expired,
 }
 
-/// Invoked by a worker once a detached job finishes (normally or by
-/// panic). Runs on the worker thread, so it must be cheap and must not
-/// panic — the reactor's callback just enqueues a completion and writes
-/// one byte to a wakeup pipe.
+/// Invoked by a worker once a detached job finishes (normally, by
+/// panic, or by deadline expiry). Runs on the worker thread, so it must
+/// be cheap and must not panic — the reactor's callback just enqueues a
+/// completion and writes one byte to a wakeup pipe.
 pub type DoneCallback = Box<dyn FnOnce(JobResult, Outcome) + Send>;
 
 /// How a finished job's result leaves the worker.
@@ -41,23 +55,29 @@ enum Delivery {
 struct Job {
     work: Box<dyn FnOnce() -> JobResult + Send>,
     delivery: Delivery,
+    /// Expiry instant for detached jobs under a queue deadline.
+    deadline: Option<Instant>,
 }
 
-/// A not-yet-submitted detached job: the work closure plus the
-/// completion callback. Returned intact by
+/// A not-yet-submitted detached job: the work closure, the completion
+/// callback, and an optional queue deadline. Returned intact by
 /// [`WorkerPool::try_submit_detached`] when the queue is full, so the
-/// caller can park it and retry without rebuilding the closures.
+/// caller can shed or park it without rebuilding the closures.
 pub struct DetachedJob {
     /// The evaluation to run on a worker.
     pub work: Box<dyn FnOnce() -> JobResult + Send>,
     /// Invoked with the result (on the worker thread) when done.
     pub on_done: DoneCallback,
+    /// If set, a worker that dequeues this job after the instant has
+    /// passed skips the work and completes it with [`Outcome::Expired`].
+    pub deadline: Option<Instant>,
 }
 
 /// Why [`WorkerPool::try_submit_detached`] declined a job. The job is
 /// handed back so no work is lost.
 pub enum TrySubmitError {
-    /// The bounded queue is full; retry after a completion frees a slot.
+    /// The bounded queue is full; shed the job or retry after a
+    /// completion frees a slot.
     Full(DetachedJob),
     /// The pool has shut down; the job will never run.
     ShutDown(DetachedJob),
@@ -70,6 +90,8 @@ pub enum TrySubmitError {
 pub struct WorkerPool {
     tx: Mutex<Option<SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Jobs submitted but not yet dequeued by a worker.
+    depth: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -78,19 +100,28 @@ impl WorkerPool {
     pub fn new(workers: usize, queue_cap: usize) -> WorkerPool {
         let (tx, rx) = sync_channel::<Job>(queue_cap.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicU64::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let depth = Arc::clone(&depth);
                 std::thread::Builder::new()
                     .name(format!("caz-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &depth))
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
+            depth,
         }
+    }
+
+    /// Jobs currently waiting in the queue (submitted, not yet picked
+    /// up by a worker). A point-in-time gauge for `stats`.
+    pub fn queue_depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Submit a job; its result arrives on the returned receiver. Blocks
@@ -101,12 +132,22 @@ impl WorkerPool {
         work: Box<dyn FnOnce() -> JobResult + Send>,
     ) -> Result<Receiver<(JobResult, Outcome)>, &'static str> {
         let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job { work, delivery: Delivery::Channel(reply_tx) };
+        let job = Job {
+            work,
+            delivery: Delivery::Channel(reply_tx),
+            deadline: None,
+        };
         // Clone the sender out of the lock so a full queue blocks only
         // this submitter, not everyone.
         let tx = self.tx.lock().unwrap().clone();
         match tx {
-            Some(tx) => tx.send(job).map_err(|_| "worker pool is shut down")?,
+            Some(tx) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                tx.send(job).map_err(|_| {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    "worker pool is shut down"
+                })?
+            }
             None => return Err("worker pool is shut down"),
         }
         Ok(reply_rx)
@@ -116,21 +157,26 @@ impl WorkerPool {
     /// channel, without ever blocking the caller: a full queue hands the
     /// job back as [`TrySubmitError::Full`]. This is the reactor's entry
     /// point — one readiness thread must never block on backpressure, so
-    /// it parks returned jobs and retries when a completion signals a
-    /// freed queue slot.
+    /// it sheds returned jobs (admission control) or parks them for a
+    /// retry when a completion signals a freed queue slot.
     pub fn try_submit_detached(&self, job: DetachedJob) -> Result<(), TrySubmitError> {
         let tx = self.tx.lock().unwrap().clone();
         let wrapped = Job {
             work: job.work,
             delivery: Delivery::Callback(job.on_done),
+            deadline: job.deadline,
         };
         let Some(tx) = tx else {
             return Err(TrySubmitError::ShutDown(unwrap_job(wrapped)));
         };
-        tx.try_send(wrapped).map_err(|e| match e {
-            std::sync::mpsc::TrySendError::Full(j) => TrySubmitError::Full(unwrap_job(j)),
-            std::sync::mpsc::TrySendError::Disconnected(j) => {
-                TrySubmitError::ShutDown(unwrap_job(j))
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        tx.try_send(wrapped).map_err(|e| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            match e {
+                std::sync::mpsc::TrySendError::Full(j) => TrySubmitError::Full(unwrap_job(j)),
+                std::sync::mpsc::TrySendError::Disconnected(j) => {
+                    TrySubmitError::ShutDown(unwrap_job(j))
+                }
             }
         })
     }
@@ -162,7 +208,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, depth: &AtomicU64) {
     loop {
         // Hold the lock only while *receiving*; jobs run unlocked so the
         // pool actually executes in parallel.
@@ -171,6 +217,24 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
             Err(_) => return, // a sibling worker panicked the mutex; bail
         };
         let Ok(job) = job else { return }; // channel closed and drained
+        depth.fetch_sub(1, Ordering::Relaxed);
+        // Queue-deadline admission control: work that waited past its
+        // deadline is already useless to the client — complete it as
+        // Expired without running it, so the worker immediately moves
+        // on to jobs that can still be answered in time. The closure
+        // never runs, so expired jobs have no cache/metrics/store
+        // side effects.
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                match job.delivery {
+                    Delivery::Channel(reply) => {
+                        let _ = reply.send((Err(String::new()), Outcome::Expired));
+                    }
+                    Delivery::Callback(on_done) => on_done(Err(String::new()), Outcome::Expired),
+                }
+                continue;
+            }
+        }
         let outcome = catch_unwind(AssertUnwindSafe(job.work));
         let (result, outcome) = match outcome {
             Ok(r) => (r, Outcome::Completed),
@@ -195,7 +259,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
 /// that `try_send` handed back.
 fn unwrap_job(job: Job) -> DetachedJob {
     match job.delivery {
-        Delivery::Callback(on_done) => DetachedJob { work: job.work, on_done },
+        Delivery::Callback(on_done) => DetachedJob {
+            work: job.work,
+            on_done,
+            deadline: job.deadline,
+        },
         Delivery::Channel(_) => unreachable!("detached submission uses callbacks"),
     }
 }
@@ -240,6 +308,7 @@ mod tests {
             assert_eq!(outcome, Outcome::Completed);
         }
         assert!(peak.load(Ordering::SeqCst) >= 2, "jobs overlapped");
+        assert_eq!(pool.queue_depth(), 0, "drained queue reads empty");
     }
 
     #[test]
@@ -266,12 +335,14 @@ mod tests {
         pool.try_submit_detached(DetachedJob {
             work: Box::new(|| Ok("fine".into())),
             on_done: Box::new(move |res, out| tx.send((res, out)).unwrap()),
+            deadline: None,
         })
         .map_err(|_| "rejected")
         .unwrap();
         pool.try_submit_detached(DetachedJob {
             work: Box::new(|| panic!("detached boom")),
             on_done: Box::new(move |res, out| tx2.send((res, out)).unwrap()),
+            deadline: None,
         })
         .map_err(|_| "rejected")
         .unwrap();
@@ -280,6 +351,85 @@ mod tests {
         assert_eq!(results[0].0.as_deref(), Ok("fine"));
         assert_eq!(results[1].1, Outcome::Panicked);
         assert!(results[1].0.as_ref().unwrap_err().contains("detached boom"));
+    }
+
+    #[test]
+    fn expired_job_never_runs_and_reports_expired() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::mpsc::channel;
+        use std::time::Duration;
+        let pool = WorkerPool::new(1, 4);
+        let (tx, rx) = channel();
+        // Occupy the single worker long enough for the second job's
+        // deadline to lapse while it waits in the queue.
+        let tx_slow = tx.clone();
+        pool.try_submit_detached(DetachedJob {
+            work: Box::new(|| {
+                std::thread::sleep(Duration::from_millis(120));
+                Ok("slow".into())
+            }),
+            on_done: Box::new(move |res, out| tx_slow.send((res, out)).unwrap()),
+            deadline: None,
+        })
+        .map_err(|_| "rejected")
+        .unwrap();
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran_flag = Arc::clone(&ran);
+        pool.try_submit_detached(DetachedJob {
+            work: Box::new(move || {
+                ran_flag.store(true, Ordering::SeqCst);
+                Ok("should not run".into())
+            }),
+            on_done: Box::new(move |res, out| tx.send((res, out)).unwrap()),
+            deadline: Some(Instant::now() + Duration::from_millis(10)),
+        })
+        .map_err(|_| "rejected")
+        .unwrap();
+        let first = rx.recv().unwrap();
+        assert_eq!(first.0.as_deref(), Ok("slow"));
+        let second = rx.recv().unwrap();
+        assert_eq!(second.1, Outcome::Expired);
+        assert!(!ran.load(Ordering::SeqCst), "expired work must never run");
+    }
+
+    #[test]
+    fn queue_depth_tracks_waiting_jobs() {
+        use std::sync::mpsc::channel;
+        use std::time::Duration;
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let (done_tx, done_rx) = channel();
+        let gate_done = done_tx.clone();
+        pool.try_submit_detached(DetachedJob {
+            work: Box::new(move || {
+                gate_rx.lock().unwrap().recv().ok();
+                Ok("gated".into())
+            }),
+            on_done: Box::new(move |res, _| gate_done.send(res).unwrap()),
+            deadline: None,
+        })
+        .map_err(|_| "rejected")
+        .unwrap();
+        // Give the worker a moment to dequeue the gated job, then pile
+        // three more behind it: depth must read exactly those three.
+        std::thread::sleep(Duration::from_millis(30));
+        for i in 0..3 {
+            let done_tx = done_tx.clone();
+            pool.try_submit_detached(DetachedJob {
+                work: Box::new(move || Ok(format!("j{i}"))),
+                on_done: Box::new(move |res, _| done_tx.send(res).unwrap()),
+                deadline: None,
+            })
+            .map_err(|_| "rejected")
+            .unwrap();
+        }
+        assert_eq!(pool.queue_depth(), 3);
+        gate_tx.send(()).unwrap();
+        for _ in 0..4 {
+            done_rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]
@@ -297,6 +447,7 @@ mod tests {
                 let done_tx = done_tx.clone();
                 Box::new(move |res, _| done_tx.send(res).unwrap())
             },
+            deadline: None,
         };
         pool.try_submit_detached(DetachedJob {
             work: Box::new(move || {
@@ -307,6 +458,7 @@ mod tests {
                 let done_tx = done_tx.clone();
                 Box::new(move |res, _| done_tx.send(res).unwrap())
             },
+            deadline: None,
         })
         .map_err(|_| "rejected")
         .unwrap();

@@ -50,6 +50,32 @@
 //! A reply group is terminated by its `final` line even when a mid-group
 //! element failed, so a client never needs lookahead: read lines until a
 //! non-`*` status.
+//!
+//! ## Overload replies
+//!
+//! Under admission control (`--queue-deadline-ms` and/or
+//! `--max-inflight-per-conn`) the server may decline work instead of
+//! queueing it. A declined request is answered with the ordinary error
+//! framing carrying the reserved payload [`BUSY`]:
+//!
+//! * a declined plain command (including `series` and `plan`/`explain`)
+//!   answers exactly `err busy` — in reply order, like any other reply;
+//! * a declined member of an `eval*` group answers an index-tagged
+//!   `err* <i> busy` chunk; its admitted siblings still run and the
+//!   terminal `ok done <n>` still arrives, so group framing is intact.
+//!
+//! `busy` is deliberately a well-formed `err` payload: clients that
+//! don't know about admission control see an ordinary error; clients
+//! that do can retry with backoff. Shed and expired work never executes
+//! (no cache, store, or route-counter effects), and busy replies are
+//! *excluded* from `errors_total` — the `jobs_shed_total`,
+//! `deadline_expired_total`, and `conn_inflight_rejected_total` stats
+//! counters reconcile exactly with the busy frames a client observes.
+
+/// The reserved error payload for declined (shed, expired, or
+/// over-cap) work: `err busy` / `err* <i> busy`. See the module docs'
+/// *Overload replies* section.
+pub const BUSY: &str = "busy";
 
 /// Escape a reply payload (or an `eval*` job) onto one line.
 pub fn escape(s: &str) -> String {

@@ -30,6 +30,24 @@
 //! when a completion signals a freed slot (a full queue implies jobs in
 //! flight, so a completion is guaranteed to arrive).
 //!
+//! **Admission control** (see the *Overload replies* section of
+//! [`crate::proto`]): with a queue deadline configured
+//! ([`ServerConfig::queue_deadline_ms`](crate::ServerConfig)), a full
+//! pool queue *sheds* the job — `err busy` for a plain command or
+//! `series`, an index-tagged `err* <i> busy` chunk for an `eval*`
+//! member — instead of parking it, so queue wait stays bounded; jobs
+//! that are admitted but overstay the deadline in the queue are expired
+//! by the worker without running. Independently,
+//! `max_inflight_per_conn` bounds how many commands one connection may
+//! have admitted at once: lines past the cap become in-order `err busy`
+//! replies ([`Pending::Shed`]) without ever being parsed, so one
+//! pipelining client cannot monopolize the pending queue.
+//!
+//! **Graceful drain**: shutdown stops the acceptor and stops *reading*
+//! every connection, but every line received before the stop is still
+//! served — in-flight and queued commands finish (nothing is shed
+//! during drain), replies flush, and each connection closes once idle.
+//!
 //! The syscall surface (`epoll_create1`/`epoll_ctl`/`epoll_wait`,
 //! `pipe2`) is declared directly against libc in the [`sys`] submodule
 //! — the workspace is std-only by charter, so no crate dependency; all
@@ -62,6 +80,11 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// a line break is broken or hostile, and the reactor must bound
 /// per-connection memory.
 const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The terminal `err busy` reply answering a shed or over-cap command.
+fn busy_final() -> WireFrame {
+    WireFrame::Final(WireReply::Err(crate::proto::BUSY.into()))
+}
 
 /// What one finished piece of pool work means for its connection.
 enum Done {
@@ -132,6 +155,16 @@ enum Inflight {
     Series,
 }
 
+/// One entry of a connection's pending-command queue.
+enum Pending {
+    /// A complete command line awaiting dispatch.
+    Line(Vec<u8>),
+    /// A line rejected at read time by the per-connection in-flight cap;
+    /// queued (instead of answered immediately) so its `err busy` reply
+    /// goes out in arrival order like every other reply.
+    Shed,
+}
+
 /// Per-connection state: socket, session, buffers, and the one
 /// in-flight command (if any).
 struct Conn {
@@ -141,7 +174,11 @@ struct Conn {
     rbuf: Vec<u8>,
     /// Complete command lines waiting their turn (one command in
     /// flight at a time keeps replies ordered).
-    pending: VecDeque<Vec<u8>>,
+    pending: VecDeque<Pending>,
+    /// Admitted commands not yet fully answered: queued [`Pending::Line`]s
+    /// plus the in-flight command. The per-connection cap compares
+    /// against this, and it never counts [`Pending::Shed`] markers.
+    backlog: usize,
     /// Encoded reply bytes not yet accepted by the socket.
     wbuf: Vec<u8>,
     /// How much of `wbuf` the socket has taken.
@@ -162,6 +199,7 @@ impl Conn {
             session: Session::new(),
             rbuf: Vec::new(),
             pending: VecDeque::new(),
+            backlog: 0,
             wbuf: Vec::new(),
             wpos: 0,
             inflight: None,
@@ -173,6 +211,14 @@ impl Conn {
 
     fn flushed(&self) -> bool {
         self.wpos >= self.wbuf.len()
+    }
+
+    /// Mark the in-flight command fully answered: clear the slot and
+    /// release its backlog count (the other half was taken when its
+    /// line was admitted in `extract_lines`).
+    fn finish_command(&mut self) {
+        self.inflight = None;
+        self.backlog = self.backlog.saturating_sub(1);
     }
 }
 
@@ -240,12 +286,32 @@ impl Reactor {
         }
     }
 
-    /// Stop accepting: deregister and close the listener. Connected
-    /// clients keep being served until they disconnect.
+    /// Begin the graceful drain: stop accepting (deregister and close
+    /// the listener), stop *reading* every connection, and serve out
+    /// what was already received — lines buffered before the stop are
+    /// extracted and dispatched, in-flight work finishes (nothing is
+    /// shed during drain: [`Reactor::admit`] parks on a full queue once
+    /// `stopping` is set), replies flush, and each connection closes as
+    /// soon as it goes idle.
     fn begin_stop(&mut self) {
+        if self.stopping {
+            return;
+        }
         self.stopping = true;
         if let Some(listener) = self.listener.take() {
             let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            // Serve lines that had already arrived, then read no more.
+            self.extract_lines(id);
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.read_eof = true;
+                conn.rbuf.clear(); // any partial line will never complete
+                let events = if conn.want_write { sys::EPOLLOUT } else { 0 };
+                let _ = self.epoll.modify(conn.stream.as_raw_fd(), events, id);
+            }
+            self.pump(id); // also closes the connection if already idle
         }
     }
 
@@ -297,6 +363,11 @@ impl Reactor {
     }
 
     fn read_ready(&mut self, id: u64) {
+        if self.stopping {
+            // Draining: begin_stop already served every line received
+            // before the stop; bytes arriving after it are not read.
+            return;
+        }
         let mut oversize = false;
         loop {
             let Some(conn) = self.conns.get_mut(&id) else { return };
@@ -327,6 +398,7 @@ impl Reactor {
             let conn = self.conns.get_mut(&id).expect("checked above");
             conn.rbuf.clear();
             conn.pending.clear();
+            conn.backlog = usize::from(conn.inflight.is_some());
             conn.read_eof = true;
             conn.closing = true;
             self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -341,16 +413,33 @@ impl Reactor {
     }
 
     /// Split complete `\n`-terminated lines (stripping a trailing `\r`)
-    /// out of the read buffer into the pending-command queue.
+    /// out of the read buffer into the pending-command queue. With a
+    /// per-connection in-flight cap configured, lines past the cap are
+    /// queued as [`Pending::Shed`] markers — they are never parsed, and
+    /// pump answers them `err busy` in arrival order.
     fn extract_lines(&mut self, id: u64) {
+        let cap = self.shared.max_inflight_per_conn;
         let Some(conn) = self.conns.get_mut(&id) else { return };
+        let mut rejected = 0u64;
         while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
             let mut line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
             line.pop(); // the newline
             if line.last() == Some(&b'\r') {
                 line.pop();
             }
-            conn.pending.push_back(line);
+            if cap > 0 && conn.backlog >= cap {
+                rejected += 1;
+                conn.pending.push_back(Pending::Shed);
+            } else {
+                conn.backlog += 1;
+                conn.pending.push_back(Pending::Line(line));
+            }
+        }
+        if rejected > 0 {
+            self.shared
+                .metrics
+                .conn_inflight_rejected
+                .fetch_add(rejected, Ordering::Relaxed);
         }
     }
 
@@ -362,7 +451,19 @@ impl Reactor {
             if conn.inflight.is_some() || conn.closing {
                 break;
             }
-            let Some(raw) = conn.pending.pop_front() else { break };
+            let Some(entry) = conn.pending.pop_front() else { break };
+            let raw = match entry {
+                Pending::Line(raw) => raw,
+                Pending::Shed => {
+                    // A line the in-flight cap rejected: it still counts
+                    // as a received request, but busy replies stay out
+                    // of errors_total so conn_inflight_rejected_total
+                    // reconciles with what the client observed.
+                    self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                    self.queue_frames(id, &[busy_final()]);
+                    continue;
+                }
+            };
             match String::from_utf8(raw) {
                 Ok(line) => self.dispatch(id, &line),
                 Err(_) => {
@@ -374,6 +475,14 @@ impl Reactor {
                             "input line is not valid UTF-8".into(),
                         ))],
                     );
+                }
+            }
+            // The command finished inline (inline reply, shed at
+            // submission, or invalid UTF-8): release its backlog slot.
+            // Commands that went in flight release it in `complete`.
+            if let Some(conn) = self.conns.get_mut(&id) {
+                if conn.inflight.is_none() {
+                    conn.backlog = conn.backlog.saturating_sub(1);
                 }
             }
         }
@@ -396,6 +505,7 @@ impl Reactor {
                         if let Some(conn) = self.conns.get_mut(&id) {
                             conn.closing = true;
                             conn.pending.clear();
+                            conn.backlog = 0;
                         }
                     }
                     Control::ShutdownServer => {
@@ -404,11 +514,17 @@ impl Reactor {
                         // client that disconnects without reading its
                         // reply can no longer cancel a server shutdown.
                         shared.stop.store(true, Ordering::SeqCst);
-                        self.begin_stop();
                         if let Some(conn) = self.conns.get_mut(&id) {
                             conn.closing = true;
                             conn.pending.clear();
+                            conn.backlog = 0;
                         }
+                        // Queue `bye` before begin_stop: the drain pass
+                        // closes idle connections, and this one is idle
+                        // the moment its bye is flushed.
+                        self.queue_frames(id, &frames);
+                        self.begin_stop();
+                        return;
                     }
                 }
                 self.queue_frames(id, &frames);
@@ -421,7 +537,7 @@ impl Reactor {
                 let hit = new_hit_flag();
                 let job_hit = Arc::clone(&hit);
                 let notifier = Arc::clone(&self.notifier);
-                self.submit_or_park(
+                let admitted = self.admit(
                     id,
                     DetachedJob {
                         work: Box::new(move || {
@@ -433,21 +549,26 @@ impl Reactor {
                                 done: Done::Single { hit, start, result, outcome },
                             });
                         }),
+                        deadline: self.shared.job_deadline(),
                     },
                 );
+                if !admitted {
+                    self.shed_inflight(id);
+                }
             }
             Step::Multi { total, ready, jobs } => {
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = Some(Inflight::Multi { remaining: jobs.len(), total });
                 let session_snapshot = conn.session.clone();
                 self.queue_frames(id, &ready);
+                let mut shed = Vec::new();
                 for MultiJob { index, ev, start } in jobs {
                     let job_session = session_snapshot.clone();
                     let job_shared = Arc::clone(&self.shared);
                     let hit = new_hit_flag();
                     let job_hit = Arc::clone(&hit);
                     let notifier = Arc::clone(&self.notifier);
-                    self.submit_or_park(
+                    let admitted = self.admit(
                         id,
                         DetachedJob {
                             work: Box::new(move || {
@@ -459,8 +580,30 @@ impl Reactor {
                                     done: Done::Sub { index, hit, start, result, outcome },
                                 });
                             }),
+                            deadline: self.shared.job_deadline(),
                         },
                     );
+                    if !admitted {
+                        shed.push(WireFrame::ChunkErr {
+                            tag: index.to_string(),
+                            payload: crate::proto::BUSY.into(),
+                        });
+                    }
+                }
+                if !shed.is_empty() {
+                    // Account the shed members against the group before
+                    // any admitted sibling's completion lands: reactor
+                    // and workers only meet at the completion queue,
+                    // which is drained after dispatch returns.
+                    let Some(conn) = self.conns.get_mut(&id) else { return };
+                    if let Some(Inflight::Multi { remaining, total }) = &mut conn.inflight {
+                        *remaining -= shed.len();
+                        if *remaining == 0 {
+                            shed.push(done_frame(*total));
+                            conn.inflight = None;
+                        }
+                    }
+                    self.queue_frames(id, &shed);
                 }
             }
             Step::Plan { explain, target } => {
@@ -470,7 +613,7 @@ impl Reactor {
                 conn.inflight = Some(Inflight::Single);
                 let job_session = conn.session.clone();
                 let notifier = Arc::clone(&self.notifier);
-                self.submit_or_park(
+                let admitted = self.admit(
                     id,
                     DetachedJob {
                         work: Box::new(move || plan_on_worker(&job_session, &target, explain)),
@@ -480,8 +623,12 @@ impl Reactor {
                                 done: Done::Plan { explain, result, outcome },
                             });
                         }),
+                        deadline: self.shared.job_deadline(),
                     },
                 );
+                if !admitted {
+                    self.shed_inflight(id);
+                }
             }
             Step::Series { ev, start } => {
                 let Some(conn) = self.conns.get_mut(&id) else { return };
@@ -492,7 +639,7 @@ impl Reactor {
                 let job_hit = Arc::clone(&hit);
                 let row_notifier = Arc::clone(&self.notifier);
                 let end_notifier = Arc::clone(&self.notifier);
-                self.submit_or_park(
+                let admitted = self.admit(
                     id,
                     DetachedJob {
                         work: Box::new(move || {
@@ -516,25 +663,56 @@ impl Reactor {
                                 done: Done::SeriesEnd { hit, start, result, outcome },
                             });
                         }),
+                        deadline: self.shared.job_deadline(),
                     },
                 );
+                if !admitted {
+                    // No row chunk was emitted (the job never ran), so
+                    // the group collapses to its terminal err line.
+                    self.shed_inflight(id);
+                }
             }
         }
     }
 
-    /// Submit to the pool without blocking; park the job on a full
-    /// queue ([`Reactor::retry_parked`] resubmits as completions free
-    /// slots).
-    fn submit_or_park(&mut self, id: u64, job: DetachedJob) {
+    /// Submit to the pool without blocking. A full queue either parks
+    /// the job ([`Reactor::retry_parked`] resubmits as completions free
+    /// slots) — the only behavior without admission control, and always
+    /// the behavior during the shutdown drain — or, with a queue
+    /// deadline configured, sheds it: the job is dropped, counted in
+    /// `jobs_shed_total`, and the caller (which still holds the
+    /// connection's in-flight slot) queues the `err busy` reply.
+    /// Returns whether the job will eventually complete.
+    fn admit(&mut self, id: u64, job: DetachedJob) -> bool {
         match self.shared.pool.try_submit_detached(job) {
-            Ok(()) => {}
-            Err(TrySubmitError::Full(job)) => self.parked.push_back((id, job)),
+            Ok(()) => true,
+            Err(TrySubmitError::Full(job)) => {
+                if self.shared.queue_deadline.is_none() || self.stopping {
+                    self.parked.push_back((id, job));
+                    true
+                } else {
+                    self.shared.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
             // Unreachable while the reactor runs (the pool shuts down
             // after it), but never drop a completion on the floor.
             Err(TrySubmitError::ShutDown(job)) => {
                 (job.on_done)(Err("worker pool is shut down".into()), Outcome::Completed);
+                true
             }
         }
+    }
+
+    /// Resolve a just-dispatched single-slot command (`eval`, `plan`,
+    /// `series`) whose job was shed: free the in-flight slot and answer
+    /// `err busy`. The backlog slot is released by `pump`'s
+    /// finished-inline check once dispatch returns.
+    fn shed_inflight(&mut self, id: u64) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.inflight = None;
+        }
+        self.queue_frames(id, &[busy_final()]);
     }
 
     fn retry_parked(&mut self) {
@@ -583,7 +761,7 @@ impl Reactor {
             Done::Single { hit, start, result, outcome } => {
                 let result = settle_eval(&self.shared, &hit, start, result, outcome);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
-                conn.inflight = None;
+                conn.finish_command();
                 self.queue_frames(id, &[single_frame(result)]);
                 self.pump(id);
             }
@@ -595,8 +773,10 @@ impl Reactor {
                     *remaining -= 1;
                     if *remaining == 0 {
                         frames.push(done_frame(*total));
-                        conn.inflight = None;
                     }
+                }
+                if matches!(conn.inflight, Some(Inflight::Multi { remaining: 0, .. })) {
+                    conn.finish_command();
                 }
                 let group_done = conn.inflight.is_none();
                 self.queue_frames(id, &frames);
@@ -607,7 +787,7 @@ impl Reactor {
             Done::Plan { explain, result, outcome } => {
                 let result = settle_plan(&self.shared, result, outcome);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
-                conn.inflight = None;
+                conn.finish_command();
                 self.queue_frames(id, &plan_frames(explain, result));
                 self.pump(id);
             }
@@ -615,7 +795,7 @@ impl Reactor {
                 let was_hit = hit.load(Ordering::Acquire);
                 let result = settle_eval(&self.shared, &hit, start, result, outcome);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
-                conn.inflight = None;
+                conn.finish_command();
                 let frames = match result {
                     // A cache hit emitted no rows: replay the cached
                     // aggregate as the full chunked group. On a miss

@@ -32,8 +32,18 @@
 //! completes; a vanished client ends only that connection; the admin
 //! `shutdown` command stops the acceptor **before** the `bye` reply is
 //! attempted — a client that disconnects without reading its `bye`
-//! cannot lose a server-wide shutdown — and then every queued job is
-//! drained before the pool threads exit.
+//! cannot lose a server-wide shutdown — and then the reactor drains
+//! gracefully: it stops reading from every connection, finishes each
+//! accepted (admitted) command — never shedding during drain — flushes
+//! the replies, and closes; only then are the pool's queued jobs
+//! drained and the persistent store synced.
+//!
+//! Overload: with a queue deadline configured
+//! ([`ServerConfig::queue_deadline_ms`]) the server answers `err busy`
+//! instead of queueing unboundedly — see the *Overload replies* section
+//! of [`crate::proto`] and the `jobs_shed_total` /
+//! `deadline_expired_total` / `conn_inflight_rejected_total` /
+//! `queue_depth` stats keys.
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::flush::Flusher;
@@ -76,6 +86,21 @@ pub struct ServerConfig {
     /// the general enumeration engine and counts as
     /// `planner_fallback_total`.
     pub planner: bool,
+    /// Admission control: the most commands one connection may have
+    /// admitted (in flight or queued behind its in-flight command) at
+    /// once. Lines past the cap are answered `err busy` — in reply
+    /// order — without ever being parsed. `0` (the default) means
+    /// unlimited, preserving deep-pipelining behavior.
+    pub max_inflight_per_conn: usize,
+    /// Admission control: how long a job may wait in the pool queue
+    /// before it is answered `err busy` instead of running
+    /// (`deadline_expired_total`). Setting this also switches the
+    /// reactor from *parking* jobs when the pool queue is full to
+    /// *shedding* them with `err busy` (`jobs_shed_total`), so queue
+    /// wait — and with it the latency of accepted jobs — stays bounded
+    /// under overload. `0` (the default) disables both: jobs wait
+    /// however long backpressure takes.
+    pub queue_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +116,8 @@ impl Default for ServerConfig {
             cache_path: None,
             fsync: FsyncPolicy::Never,
             planner: true,
+            max_inflight_per_conn: 0,
+            queue_deadline_ms: 0,
         }
     }
 }
@@ -106,6 +133,12 @@ pub(crate) struct Shared {
     pub(crate) stop: AtomicBool,
     /// Route evaluations through the planner (see [`ServerConfig::planner`]).
     pub(crate) planner: bool,
+    /// Per-connection admitted-command cap (see
+    /// [`ServerConfig::max_inflight_per_conn`]); `0` = unlimited.
+    pub(crate) max_inflight_per_conn: usize,
+    /// Queue deadline for pool jobs; `Some` also enables shed-on-full
+    /// (see [`ServerConfig::queue_deadline_ms`]).
+    pub(crate) queue_deadline: Option<std::time::Duration>,
 }
 
 impl Shared {
@@ -143,7 +176,16 @@ impl Shared {
             store,
             stop: AtomicBool::new(false),
             planner: cfg.planner,
+            max_inflight_per_conn: cfg.max_inflight_per_conn,
+            queue_deadline: (cfg.queue_deadline_ms > 0)
+                .then(|| std::time::Duration::from_millis(cfg.queue_deadline_ms)),
         })
+    }
+
+    /// The expiry instant new pool jobs should carry under the
+    /// configured queue deadline (`None` when admission control is off).
+    pub(crate) fn job_deadline(&self) -> Option<Instant> {
+        self.queue_deadline.map(|d| Instant::now() + d)
     }
 }
 
@@ -224,10 +266,18 @@ pub(crate) fn classify(session: &mut Session, shared: &Shared, line: &str) -> St
     };
     match request {
         Request::Quit => finish(WireReply::Bye, Control::QuitConnection),
-        Request::Stats => finish(
-            WireReply::Ok(shared.metrics.snapshot(&shared.cache)),
-            Control::Continue,
-        ),
+        Request::Stats => {
+            // Refresh the queue-depth gauge at snapshot time: it is a
+            // point-in-time reading of the pool, not a counter.
+            shared
+                .metrics
+                .queue_depth
+                .store(shared.pool.queue_depth(), Ordering::Relaxed);
+            finish(
+                WireReply::Ok(shared.metrics.snapshot(&shared.cache)),
+                Control::Continue,
+            )
+        }
         Request::Eval(ev) if ev.kind == EvalKind::Series => Step::Series { ev, start },
         Request::Eval(ev) => Step::Single { ev, start },
         Request::Plan { explain, target } => Step::Plan { explain, target },
@@ -393,6 +443,9 @@ pub(crate) fn plan_on_worker(session: &Session, target: &str, explain: bool) -> 
 /// executing it, so the route counters keep summing to
 /// `jobs_executed_total`.
 pub(crate) fn settle_plan(shared: &Shared, result: JobResult, outcome: Outcome) -> JobResult {
+    if outcome == Outcome::Expired {
+        return settle_expired(shared);
+    }
     shared.metrics.plan_requests.fetch_add(1, Ordering::Relaxed);
     if outcome == Outcome::Panicked {
         shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
@@ -401,6 +454,16 @@ pub(crate) fn settle_plan(shared: &Shared, result: JobResult, outcome: Outcome) 
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
     result
+}
+
+/// Account one queue-deadline expiry and produce its `err busy` reply.
+/// Expired jobs never ran ([`Outcome::Expired`] is decided before the
+/// work closure), so nothing else — executed/cached counts, route
+/// counters, latency histograms, `errors_total` — moves; the
+/// `deadline_expired_total` counter alone reconciles these replies.
+pub(crate) fn settle_expired(shared: &Shared) -> JobResult {
+    shared.metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    Err(crate::proto::BUSY.into())
 }
 
 /// Frame a finished `plan`/`explain` job. `plan` answers one final ok
@@ -438,6 +501,9 @@ pub(crate) fn settle_eval(
     result: JobResult,
     outcome: Outcome,
 ) -> JobResult {
+    if outcome == Outcome::Expired {
+        return settle_expired(shared);
+    }
     if hit.load(Ordering::Acquire) {
         return result;
     }

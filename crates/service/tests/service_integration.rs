@@ -320,12 +320,27 @@ fn shutdown_from_vanishing_client_still_stops_the_server() {
     // including the final `shutdown`. `requests_total` counts the
     // victim's commands plus our own `stats` polls, so subtract the
     // polls we have made. A server whose handler stalls writing replies
-    // the client never reads can never get there.
+    // the client never reads can never get there. Once the shutdown
+    // lands, the graceful drain stops reading this observer and closes
+    // it as soon as it goes idle — a failed poll is therefore *also*
+    // proof the shutdown was committed, not an error.
     let deadline = Instant::now() + Duration::from_secs(30);
     let mut polls = 0u64;
+    let try_stats = |observer: &mut Client| -> Option<String> {
+        observer.writer.write_all(b"stats\n").ok()?;
+        observer.writer.flush().ok()?;
+        let mut reply = String::new();
+        if observer.reader.read_line(&mut reply).ok()? == 0 {
+            return None; // EOF: drained and closed
+        }
+        match decode_reply(reply.trim_end_matches('\n')).expect("well-formed wire reply") {
+            WireReply::Ok(t) => Some(t),
+            other => panic!("expected ok for stats, got {other:?}"),
+        }
+    };
     loop {
         polls += 1;
-        let stats = observer.send_ok("stats");
+        let Some(stats) = try_stats(&mut observer) else { break };
         if stats_field(&stats, "requests_total") >= BURST + 1 + polls {
             break;
         }

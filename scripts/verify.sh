@@ -115,6 +115,26 @@ for want in 'ok route theorem5-chase-then-measure (rejected: ' \
 done
 echo "    plan/explain OK: routes and rejections on the wire, nothing executed"
 
+# Load smoke stage: the open-loop overload harness, smoke-sized (~5s).
+# One under-capacity step and one far past the tiny server's capacity.
+# The runner itself asserts zero malformed frames, zero non-busy
+# errors, sheds at the over-capacity step, and a bounded accepted-job
+# p99, so a clean exit is the check; the greps pin the report schema
+# that EXPERIMENTS.md E21 and future scaling PRs diff against. Fixed
+# seed: any curve movement is attributable to the server, not the
+# harness (the schedule-determinism unit test owns that claim).
+echo "==> load smoke (open-loop overload harness, CAZ_TEST_SEED=${CAZ_TEST_SEED})"
+( cd "$STORE_TMP" && "$REPO_ROOT/target/release/load_bench" --smoke > load.json )
+for want in '"workload": "service"' '"malformed": 0' '"offered_qps"' '"achieved_qps"' \
+            '"p50_us"' '"p99_us"' '"p999_us"' '"jobs_shed"' '"deadline_expired"'; do
+    grep -qF "$want" "$STORE_TMP/load.json" \
+        || { echo "load smoke FAILED: missing $want in report" >&2; exit 1; }
+done
+echo "    load smoke OK: overload shed cleanly, report schema intact"
+
+echo "==> cargo clippy -p caz-bench --all-targets -- -D warnings"
+cargo clippy -p caz-bench --all-targets -- -D warnings
+
 echo "==> cargo clippy -p caz-planner --all-targets -- -D warnings"
 cargo clippy -p caz-planner --all-targets -- -D warnings
 

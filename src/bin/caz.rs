@@ -40,7 +40,15 @@ options for serve:
   --no-planner                disable the complexity-aware planner:
                               every evaluation runs the general
                               enumeration engine (escape hatch and
-                              benchmark baseline)";
+                              benchmark baseline)
+  --max-inflight-per-conn <n> admission control: commands one connection
+                              may have admitted (queued + in flight) at
+                              once; lines past the cap answer 'err busy'
+                              in order (default 0 = unlimited)
+  --queue-deadline-ms <n>     admission control: shed instead of parking
+                              when the pool queue is full, and expire
+                              jobs that wait longer than <n> ms — both
+                              answer 'err busy' (default 0 = disabled)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +121,16 @@ fn serve(args: &[String]) -> ExitCode {
             "--cache" => parse_num(value("--cache"), &mut cfg.cache_capacity),
             "--cache-shards" => parse_num(value("--cache-shards"), &mut cfg.cache_shards),
             "--cache-path" => value("--cache-path").map(|v| cfg.cache_path = Some(v.into())),
+            // Admission-control knobs allow 0 = disabled, unlike the
+            // sizing knobs above where 0 would be nonsense.
+            "--max-inflight-per-conn" => {
+                parse_num_or_zero(value("--max-inflight-per-conn"), &mut cfg.max_inflight_per_conn)
+            }
+            "--queue-deadline-ms" => {
+                let mut ms = cfg.queue_deadline_ms as usize;
+                parse_num_or_zero(value("--queue-deadline-ms"), &mut ms)
+                    .map(|()| cfg.queue_deadline_ms = ms as u64)
+            }
             "--no-planner" => {
                 cfg.planner = false;
                 Ok(())
@@ -183,5 +201,16 @@ fn parse_num(value: Result<String, String>, slot: &mut usize) -> Result<(), Stri
             Ok(())
         }
         _ => Err(format!("expected a positive number, got {v:?}")),
+    }
+}
+
+fn parse_num_or_zero(value: Result<String, String>, slot: &mut usize) -> Result<(), String> {
+    let v = value?;
+    match v.parse::<usize>() {
+        Ok(n) => {
+            *slot = n;
+            Ok(())
+        }
+        _ => Err(format!("expected a number, got {v:?}")),
     }
 }
