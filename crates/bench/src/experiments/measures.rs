@@ -108,7 +108,7 @@ pub fn e02_zero_one(trials: usize) -> String {
             zeros += 1
         }
         let series = mu_k_series(&ev, &db, 8);
-        let est = estimate_mu_k(&mut rng, &ev, &db, 50, 1000);
+        let est = estimate_mu_k(&mut rng, &ev, &db, 50, 1000).expect("valid sampling parameters");
         writeln!(
             out,
             "{trial:>5} {:>7} {naive:>7} {:>9.4} {:>9.4} {:>9.3}",

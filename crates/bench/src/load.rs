@@ -21,7 +21,9 @@
 //!
 //! Each offered-QPS step reports client-observed counts (ok / busy /
 //! error / lost), HDR-style latency quantiles (p50/p90/p99/p999, ~3%
-//! relative error), achieved QPS, and the server's own stats deltas
+//! relative error), time-to-first-chunk quantiles for streamed replies
+//! (the cliff's `series` groups — the latency anytime serving attacks),
+//! achieved QPS, and the server's own stats deltas
 //! (`jobs_shed_total`, `deadline_expired_total`, …) so client and
 //! server accounts of the same overload can be reconciled.
 
@@ -391,6 +393,12 @@ struct StepAcc {
     errors: AtomicU64,
     lost: AtomicU64,
     hist: Mutex<Histogram>,
+    /// Time from scheduled send to the *first chunk* of a streamed
+    /// reply group — only chunked replies (the cliff catalog's `series`
+    /// jobs) land here. This is the latency the anytime path attacks:
+    /// an approx estimate streams within one sampling batch, where the
+    /// sequential path is silent until μ¹ completes.
+    ttfc: Mutex<Histogram>,
 }
 
 impl StepAcc {
@@ -402,6 +410,7 @@ impl StepAcc {
             errors: AtomicU64::new(0),
             lost: AtomicU64::new(0),
             hist: Mutex::new(Histogram::new()),
+            ttfc: Mutex::new(Histogram::new()),
         }
     }
 }
@@ -442,6 +451,18 @@ pub struct StepReport {
     pub p999_us: u64,
     /// Worst ok-reply latency, microseconds.
     pub max_us: u64,
+    /// Streamed reply groups that produced at least one chunk (the
+    /// population of the `ttfc_*` quantiles below).
+    pub ttfc_count: u64,
+    /// Median time from scheduled send to the first chunk of a
+    /// streamed reply, microseconds. With anytime serving on, an
+    /// `approx` estimate bounds this by one sampling batch; the
+    /// sequential path waits for the full μ¹ row.
+    pub ttfc_p50_us: u64,
+    /// 99th-percentile time to first chunk, microseconds.
+    pub ttfc_p99_us: u64,
+    /// Worst time to first chunk, microseconds.
+    pub ttfc_max_us: u64,
     /// Server `jobs_shed_total` delta across the step.
     pub jobs_shed: u64,
     /// Server `deadline_expired_total` delta across the step.
@@ -486,8 +507,10 @@ impl LoadReport {
                     "    {{ \"offered_qps\": {}, \"sent\": {}, \"churns\": {}, \"ok\": {}, \
                      \"busy\": {}, \"errors\": {}, \"lost\": {}, \"achieved_qps\": {:.1}, \
                      \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
-                     \"max_us\": {}, \"jobs_shed\": {}, \"deadline_expired\": {}, \
-                     \"conn_inflight_rejected\": {}, \"jobs_executed\": {}, \"jobs_cached\": {} }}",
+                     \"max_us\": {}, \"ttfc_count\": {}, \"ttfc_p50_us\": {}, \
+                     \"ttfc_p99_us\": {}, \"ttfc_max_us\": {}, \"jobs_shed\": {}, \
+                     \"deadline_expired\": {}, \"conn_inflight_rejected\": {}, \
+                     \"jobs_executed\": {}, \"jobs_cached\": {} }}",
                     s.offered_qps,
                     s.sent,
                     s.churns,
@@ -501,6 +524,10 @@ impl LoadReport {
                     s.p99_us,
                     s.p999_us,
                     s.max_us,
+                    s.ttfc_count,
+                    s.ttfc_p50_us,
+                    s.ttfc_p99_us,
+                    s.ttfc_max_us,
                     s.jobs_shed,
                     s.deadline_expired,
                     s.conn_inflight_rejected,
@@ -532,6 +559,9 @@ impl LoadReport {
 struct Entry {
     step: usize,
     scheduled: Instant,
+    /// A chunk of this entry's reply group has been seen (its
+    /// time-to-first-chunk is already recorded).
+    saw_chunk: bool,
 }
 
 enum Cmd {
@@ -575,8 +605,21 @@ fn spawn_reader(
                 None => {
                     acc.malformed.fetch_add(1, Ordering::Relaxed);
                 }
-                // Chunk lines (series rows) are not terminal replies.
-                Some(WireFrame::Chunk { .. } | WireFrame::ChunkErr { .. }) => {}
+                // Chunk lines (series rows, anytime approx estimates)
+                // are not terminal replies, but the first one closes
+                // the time-to-first-chunk window: replies arrive in
+                // command order, so a chunk belongs to the oldest
+                // outstanding entry.
+                Some(WireFrame::Chunk { .. } | WireFrame::ChunkErr { .. }) => {
+                    let mut outstanding = outstanding.lock().unwrap();
+                    if let Some(e) = outstanding.front_mut() {
+                        if !e.saw_chunk {
+                            e.saw_chunk = true;
+                            let us = e.scheduled.elapsed().as_micros() as u64;
+                            acc.steps[e.step].ttfc.lock().unwrap().record(us);
+                        }
+                    }
+                }
                 Some(WireFrame::Final(reply)) => {
                     let Some(e) = outstanding.lock().unwrap().pop_front() else {
                         acc.malformed.fetch_add(1, Ordering::Relaxed);
@@ -625,7 +668,7 @@ fn conn_writer(
                 outstanding
                     .lock()
                     .unwrap()
-                    .push_back(Entry { step, scheduled });
+                    .push_back(Entry { step, scheduled, saw_chunk: false });
                 acc.steps[step].sent.fetch_add(1, Ordering::Relaxed);
                 // A failed write means the server closed on us; the
                 // reader's EOF pass will account the entry as lost.
@@ -761,6 +804,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
 
         let sa = &acc.steps[si];
         let hist = sa.hist.lock().unwrap().clone();
+        let ttfc = sa.ttfc.lock().unwrap().clone();
         let delta = |key: &str| stats_field(&after, key) - stats_field(&before, key);
         steps.push(StepReport {
             offered_qps: step_plan.offered_qps,
@@ -776,6 +820,10 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             p99_us: hist.quantile(0.99),
             p999_us: hist.quantile(0.999),
             max_us: hist.max(),
+            ttfc_count: ttfc.count(),
+            ttfc_p50_us: ttfc.quantile(0.50),
+            ttfc_p99_us: ttfc.quantile(0.99),
+            ttfc_max_us: ttfc.max(),
             jobs_shed: delta("jobs_shed_total"),
             deadline_expired: delta("deadline_expired_total"),
             conn_inflight_rejected: delta("conn_inflight_rejected_total"),

@@ -44,8 +44,12 @@ pub struct ApproxReport {
     /// μ(Q, D, ā) — nonempty means the approximation is unsound on this
     /// input.
     pub unsound: Vec<(Tuple, Ratio)>,
-    /// Possible answers (nonempty support) not even in the Unknown set:
-    /// completeness gaps of the "maybe" side.
+    /// All possible answers (nonempty support) among tuples over
+    /// `adom(D)` — the "maybe" ground truth the Unknown side
+    /// approximates.
+    pub possible: BTreeSet<Tuple>,
+    /// Possible answers not claimed True *or* Unknown: completeness gaps
+    /// of the "maybe" side.
     pub missed_possible: BTreeSet<Tuple>,
 }
 
@@ -94,18 +98,19 @@ pub fn three_valued_quality(q: &Query, db: &Database, mode: NullMode) -> ApproxR
         .difference(&certain)
         .map(|t| (t.clone(), crate::theorems::mu(q, db, Some(t))))
         .collect();
-    // Possible answers are a superset of almost-certain ones; checking
-    // possibility for the union of claims and naïve answers bounds the
-    // work while catching the interesting gaps.
-    let mut missed_possible = BTreeSet::new();
-    for t in almost_certain.iter() {
-        if !claimed_true.contains(t)
-            && !claimed_unknown.contains(t)
-            && is_possible_answer(q, db, t)
-        {
-            missed_possible.insert(t.clone());
-        }
-    }
+    // The possible-answer ground truth must range over *all* tuples of
+    // adom(D), not just the naïve answers: a tuple the approximation
+    // never mentions is exactly the completeness gap we are auditing
+    // for, so restricting the sweep to its own claims would make the
+    // audit vacuous. Claimed tuples are checked too — 3VL Unknown/True
+    // claims are possible whenever the evaluator is sound, and the
+    // report must be able to show it when they are not.
+    let possible = possible_answers(q, db);
+    let missed_possible: BTreeSet<Tuple> = possible
+        .iter()
+        .filter(|t| !claimed_true.contains(*t) && !claimed_unknown.contains(*t))
+        .cloned()
+        .collect();
     ApproxReport {
         certain,
         almost_certain,
@@ -113,8 +118,33 @@ pub fn three_valued_quality(q: &Query, db: &Database, mode: NullMode) -> ApproxR
         claimed_unknown,
         missed_certain,
         unsound,
+        possible,
         missed_possible,
     }
+}
+
+/// All possible answers among tuples over `adom(D)` (exhaustive sweep —
+/// `|adom|^arity` possibility checks).
+fn possible_answers(q: &Query, db: &Database) -> BTreeSet<Tuple> {
+    let adom: Vec<_> = db.adom().into_iter().collect();
+    let arity = q.arity();
+    let mut out = BTreeSet::new();
+    let mut stack = vec![Vec::with_capacity(arity)];
+    while let Some(partial) = stack.pop() {
+        if partial.len() == arity {
+            let t = Tuple::new(partial);
+            if is_possible_answer(q, db, &t) {
+                out.insert(t);
+            }
+            continue;
+        }
+        for v in &adom {
+            let mut next = partial.clone();
+            next.push(*v);
+            stack.push(next);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -166,6 +196,39 @@ mod tests {
         let a = Tuple::new(vec![cst("c1"), Value::Null(p.nulls["p1"])]);
         assert!(rep.claimed_unknown.contains(&a));
         assert!(rep.missed_possible.is_empty());
+    }
+
+    #[test]
+    fn possible_sweep_covers_tuples_beyond_the_naive_answers() {
+        // adom = {a, b, ⊥x}. Naïve evaluation returns {a, ⊥x}; (b) is a
+        // possible answer only because v(⊥x) = b is allowed — a tuple the
+        // old audit (which only probed almost-certain answers) never
+        // examined, leaving Unknown-side completeness gaps invisible.
+        let p = parse_database("R(a). R(_x). S(b).").unwrap();
+        let q = parse_query("Q(u) := R(u)").unwrap();
+        let rep = three_valued_quality(&q, &p.db, NullMode::Marked);
+        let b = Tuple::new(vec![cst("b")]);
+        assert!(!rep.almost_certain.contains(&b));
+        assert!(rep.possible.contains(&b), "possible sweep must reach (b)");
+        assert!(
+            rep.possible.len() > rep.almost_certain.len(),
+            "possible ⊋ almost_certain here: {:?}",
+            rep.possible
+        );
+        // Almost-certain answers are possible (nonempty support).
+        assert!(rep.almost_certain.is_subset(&rep.possible));
+        // Kleene 3VL is False-sound, so every possible answer is claimed
+        // True or Unknown and the gap set stays empty.
+        assert!(rep.claimed_unknown.contains(&b));
+        assert!(rep.missed_possible.is_empty(), "gaps: {:?}", rep.missed_possible);
+        // The derivation the report promises: gaps = possible \ claims.
+        for t in &rep.possible {
+            assert!(
+                rep.claimed_true.contains(t)
+                    || rep.claimed_unknown.contains(t)
+                    || rep.missed_possible.contains(t)
+            );
+        }
     }
 
     #[test]

@@ -39,11 +39,11 @@ pub use proof_lemmas::{
     bijective_image_census, mu_k_bijective, non_bijective_exact, partition_of_valuations,
     BijectiveCounts,
 };
-pub use sampling::{estimate_mu_k, Estimate};
+pub use sampling::{estimate_mu_k, Estimate, MuSampler, SamplingError};
 pub use support::{
     certain_answers, certainly_true, is_certain_answer, is_possible_answer, supp_k_count,
-    support_is_full, support_is_nonempty, AndEvent, BoolQueryEvent, ConstraintEvent,
-    ImpliesEvent, NotEvent, SuppEvent, TupleAnswerEvent,
+    supp_k_count_slice, support_is_full, support_is_nonempty, AndEvent, BoolQueryEvent,
+    ConstraintEvent, ImpliesEvent, NotEvent, SuppEvent, TupleAnswerEvent,
 };
 pub use theorems::{
     almost_certainly_false, almost_certainly_true, mu, mu_conditional, mu_conditional_fd,

@@ -1,21 +1,27 @@
 //! Monte-Carlo estimation of `μᵏ`.
 //!
 //! Exhaustive enumeration of `Vᵏ(D)` costs `kᵐ`; the estimator samples
-//! valuations uniformly instead, giving an unbiased estimate with a
-//! standard error of `√(p(1−p)/n)`. The benchmarks compare the three
-//! routes to the measure: exhaustive, sampled, and the exact closed form
-//! from the polynomial engine.
+//! valuations uniformly instead, giving an unbiased estimate. The
+//! standard error uses the Agresti–Coull shrunk proportion
+//! `p̃ = (hits + 2)/(n + 4)` so the interval never degenerates to zero
+//! width at `p̂ ∈ {0, 1}` — at `p̂ = 1` the two-standard-error bound is
+//! roughly the classical rule of three `3/n`. The benchmarks compare the
+//! three routes to the measure: exhaustive, sampled, and the exact
+//! closed form from the polynomial engine.
 
 use crate::support::{enumeration_for, SuppEvent};
-use caz_idb::{Database, NullId, Valuation};
-use caz_testutil::{Rng, RngExt};
+use caz_idb::{Cst, Database, NullId, Valuation};
+use caz_testutil::rngs::StdRng;
+use caz_testutil::{Rng, RngExt, SeedableRng};
+use std::fmt;
 
 /// A Monte-Carlo estimate of `μᵏ(event, D)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Estimate {
     /// Point estimate (fraction of sampled valuations in the support).
     pub value: f64,
-    /// Standard error of the estimate.
+    /// Standard error of the estimate (Agresti–Coull; strictly positive
+    /// for any finite sample, even when every draw agreed).
     pub std_error: f64,
     /// Number of samples drawn.
     pub samples: u32,
@@ -32,11 +38,47 @@ impl Estimate {
     /// True iff `x` lies within two standard errors of the estimate.
     pub fn consistent_with(&self, x: f64) -> bool {
         let (lo, hi) = self.interval();
-        // Guard against a degenerate zero-variance estimate.
         let eps = 1e-9;
         x >= lo - eps && x <= hi + eps
     }
 }
+
+fn estimate_from_counts(hits: u64, samples: u64) -> Estimate {
+    let n = samples as f64;
+    let p = hits as f64 / n;
+    // Agresti–Coull shrinkage: the error bar comes from the shrunk
+    // proportion, the point estimate stays unbiased.
+    let p_tilde = (hits as f64 + 2.0) / (n + 4.0);
+    Estimate {
+        value: p,
+        std_error: (p_tilde * (1.0 - p_tilde) / (n + 4.0)).sqrt(),
+        samples: u32::try_from(samples).unwrap_or(u32::MAX),
+    }
+}
+
+/// Why an estimate could not be produced. Degenerate parameters are a
+/// caller error on the wire, not a programming error — they surface as
+/// `err …` replies instead of burning a worker panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingError {
+    /// `k = 0` with at least one null: `Vᵏ(D)` is empty, nothing to draw.
+    EmptyValuationSpace,
+    /// A zero sample budget cannot support an estimate.
+    ZeroSamples,
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::EmptyValuationSpace => {
+                write!(f, "k must be positive: V^0(D) is empty")
+            }
+            SamplingError::ZeroSamples => write!(f, "sample budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
 
 /// Estimate `μᵏ(event, D)` from `samples` uniformly drawn valuations.
 pub fn estimate_mu_k<R: Rng + ?Sized>(
@@ -45,27 +87,90 @@ pub fn estimate_mu_k<R: Rng + ?Sized>(
     db: &Database,
     k: usize,
     samples: u32,
-) -> Estimate {
-    assert!(k > 0 && samples > 0);
+) -> Result<Estimate, SamplingError> {
+    if k == 0 {
+        return Err(SamplingError::EmptyValuationSpace);
+    }
+    if samples == 0 {
+        return Err(SamplingError::ZeroSamples);
+    }
     let en = enumeration_for(event, db);
     let pool: Vec<_> = en.prefix(k);
     let nulls: Vec<NullId> = db.nulls().into_iter().collect();
-    let mut hits = 0u32;
+    let mut hits = 0u64;
     for _ in 0..samples {
-        let v = Valuation::from_pairs(
-            nulls
-                .iter()
-                .map(|&n| (n, pool[rng.random_range(0..pool.len())])),
-        );
-        if event.holds(&v, &v.apply_db(db)) {
+        if draw(rng, event, db, &nulls, &pool) {
             hits += 1;
         }
     }
-    let p = hits as f64 / samples as f64;
-    Estimate {
-        value: p,
-        std_error: (p * (1.0 - p) / samples as f64).sqrt(),
-        samples,
+    Ok(estimate_from_counts(hits, samples as u64))
+}
+
+fn draw<R: Rng + ?Sized>(
+    rng: &mut R,
+    event: &dyn SuppEvent,
+    db: &Database,
+    nulls: &[NullId],
+    pool: &[Cst],
+) -> bool {
+    let v = Valuation::from_pairs(
+        nulls.iter().map(|&n| (n, pool[rng.random_range(0..pool.len())])),
+    );
+    event.holds(&v, &v.apply_db(db))
+}
+
+/// An incremental sampler: owns its RNG and running counts so an anytime
+/// evaluator can interleave small [`MuSampler::batch`] calls with exact
+/// enumeration work and stream a converging estimate.
+pub struct MuSampler<'a> {
+    event: &'a dyn SuppEvent,
+    db: &'a Database,
+    pool: Vec<Cst>,
+    nulls: Vec<NullId>,
+    rng: StdRng,
+    hits: u64,
+    samples: u64,
+}
+
+impl<'a> MuSampler<'a> {
+    /// Set up a sampler for `μᵏ(event, db)` with a deterministic seed.
+    pub fn new(
+        event: &'a dyn SuppEvent,
+        db: &'a Database,
+        k: usize,
+        seed: u64,
+    ) -> Result<MuSampler<'a>, SamplingError> {
+        let nulls: Vec<NullId> = db.nulls().into_iter().collect();
+        if k == 0 && !nulls.is_empty() {
+            return Err(SamplingError::EmptyValuationSpace);
+        }
+        let en = enumeration_for(event, db);
+        Ok(MuSampler {
+            event,
+            db,
+            pool: en.prefix(k.max(1)),
+            nulls,
+            rng: StdRng::seed_from_u64(seed),
+            hits: 0,
+            samples: 0,
+        })
+    }
+
+    /// Draw `n` more samples and return the estimate over *all* samples
+    /// drawn so far.
+    pub fn batch(&mut self, n: u32) -> Estimate {
+        for _ in 0..n.max(1) {
+            if draw(&mut self.rng, self.event, self.db, &self.nulls, &self.pool) {
+                self.hits += 1;
+            }
+            self.samples += 1;
+        }
+        estimate_from_counts(self.hits, self.samples)
+    }
+
+    /// Total samples drawn so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
     }
 }
 
@@ -87,7 +192,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for k in [2usize, 5, 10] {
             let exact = mu_k(&ev, &db, k).to_f64();
-            let est = estimate_mu_k(&mut rng, &ev, &db, k, 4000);
+            let est = estimate_mu_k(&mut rng, &ev, &db, k, 4000).unwrap();
             assert!(
                 est.consistent_with(exact),
                 "k={k}: estimate {} ± {} vs exact {exact}",
@@ -98,15 +203,68 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_events_have_zero_variance() {
+    fn deterministic_events_keep_a_positive_error_bar() {
         let db = parse_database("R(c1, _x).").unwrap().db;
         let q = parse_query("T := exists u, v. R(u, v)").unwrap();
         let ev = BoolQueryEvent::new(q);
         let mut rng = StdRng::seed_from_u64(1);
-        let est = estimate_mu_k(&mut rng, &ev, &db, 4, 200);
+        let est = estimate_mu_k(&mut rng, &ev, &db, 4, 200).unwrap();
+        // Every sample hit, but 200 agreeing samples are still only
+        // rule-of-three evidence — the interval must not collapse.
         assert_eq!(est.value, 1.0);
-        assert_eq!(est.std_error, 0.0);
+        assert!(est.std_error > 0.0, "p̂ = 1 must not give a zero-width interval");
+        assert!(est.std_error < 0.05);
         assert!(est.consistent_with(1.0));
         assert!(!est.consistent_with(0.5));
+    }
+
+    #[test]
+    fn error_bar_shrinks_with_more_samples() {
+        let db = parse_database("R(c1, _x).").unwrap().db;
+        let q = parse_query("T := exists u, v. R(u, v)").unwrap();
+        let ev = BoolQueryEvent::new(q);
+        let small = estimate_mu_k(&mut StdRng::seed_from_u64(7), &ev, &db, 4, 50).unwrap();
+        let large = estimate_mu_k(&mut StdRng::seed_from_u64(7), &ev, &db, 4, 5000).unwrap();
+        assert!(large.std_error < small.std_error);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_errors_not_panics() {
+        let db = parse_database("R(c1, _x).").unwrap().db;
+        let q = parse_query("T := exists u, v. R(u, v)").unwrap();
+        let ev = BoolQueryEvent::new(q);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            estimate_mu_k(&mut rng, &ev, &db, 0, 10).unwrap_err(),
+            SamplingError::EmptyValuationSpace
+        );
+        assert_eq!(
+            estimate_mu_k(&mut rng, &ev, &db, 3, 0).unwrap_err(),
+            SamplingError::ZeroSamples
+        );
+        match MuSampler::new(&ev, &db, 0, 1) {
+            Err(e) => assert_eq!(e, SamplingError::EmptyValuationSpace),
+            Ok(_) => panic!("k = 0 sampler must be rejected"),
+        }
+    }
+
+    #[test]
+    fn incremental_sampler_accumulates_and_converges() {
+        let db = parse_database("R(c1, _x). R(c2, _y).").unwrap().db;
+        let q = parse_query("Col := exists p. R(c1, p) & R(c2, p)").unwrap();
+        let ev = BoolQueryEvent::new(q);
+        let k = 5;
+        let exact = mu_k(&ev, &db, k).to_f64();
+        let mut sampler = MuSampler::new(&ev, &db, k, 42).unwrap();
+        let first = sampler.batch(100);
+        assert_eq!(first.samples, 100);
+        let mut last = first;
+        for _ in 0..39 {
+            last = sampler.batch(100);
+        }
+        assert_eq!(sampler.samples(), 4000);
+        assert_eq!(last.samples, 4000);
+        assert!(last.std_error < first.std_error);
+        assert!(last.consistent_with(exact), "{} ± {} vs {exact}", last.value, last.std_error);
     }
 }

@@ -32,6 +32,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anytime;
 pub mod cache;
 mod flush;
 pub mod metrics;

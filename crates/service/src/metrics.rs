@@ -97,6 +97,15 @@ pub struct Metrics {
     /// Point-in-time pool queue depth, refreshed when a `stats`
     /// snapshot is taken (a gauge, not a counter).
     pub queue_depth: AtomicU64,
+    /// `ok* approx …` estimate chunks streamed to live connections by
+    /// anytime `series` jobs (batch mode and cache replays stream none).
+    pub anytime_chunks: AtomicU64,
+    /// Enumeration subtasks executed by a worker other than the one
+    /// that scattered them (work actually stolen, not just queued).
+    pub subtasks_stolen: AtomicU64,
+    /// Enumeration subtasks abandoned mid-slice because their job's
+    /// cancellation token fired (client disconnected).
+    pub subtasks_cancelled: AtomicU64,
     /// Executed jobs routed through Theorem 1 (direct naïve measure).
     pub route_theorem1: AtomicU64,
     /// Executed jobs routed through Theorem 4 (Σ^naïve(D) held, so the
@@ -149,6 +158,9 @@ impl Default for Metrics {
             deadline_expired: AtomicU64::new(0),
             conn_inflight_rejected: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            anytime_chunks: AtomicU64::new(0),
+            subtasks_stolen: AtomicU64::new(0),
+            subtasks_cancelled: AtomicU64::new(0),
             route_theorem1: AtomicU64::new(0),
             route_theorem4: AtomicU64::new(0),
             route_theorem5: AtomicU64::new(0),
@@ -217,6 +229,18 @@ impl Metrics {
             self.conn_inflight_rejected.load(Ordering::Relaxed),
         );
         line("queue_depth", self.queue_depth.load(Ordering::Relaxed));
+        line(
+            "anytime_chunks_total",
+            self.anytime_chunks.load(Ordering::Relaxed),
+        );
+        line(
+            "subtasks_stolen_total",
+            self.subtasks_stolen.load(Ordering::Relaxed),
+        );
+        line(
+            "subtasks_cancelled_total",
+            self.subtasks_cancelled.load(Ordering::Relaxed),
+        );
         line(
             "planner_route_theorem1_direct_total",
             self.route_theorem1.load(Ordering::Relaxed),
@@ -326,6 +350,9 @@ mod tests {
             "deadline_expired_total 0",
             "conn_inflight_rejected_total 0",
             "queue_depth 0",
+            "anytime_chunks_total 0",
+            "subtasks_stolen_total 0",
+            "subtasks_cancelled_total 0",
         ] {
             assert!(snap.contains(key), "missing {key} in {snap}");
         }

@@ -35,7 +35,27 @@
 //!   soon as that μᵏ is computed (ascending `k`), then a terminal
 //!   `ok done <k>`. Joining the chunk payloads with newlines (plus a
 //!   trailing newline) reconstructs byte-for-byte what the interactive
-//!   shell prints.
+//!   shell prints. With **anytime serving** enabled (the default on
+//!   live connections; see `--no-anytime`), an expensive series job
+//!   additionally interleaves Monte-Carlo estimate chunks of the final
+//!   μ^k_max while the exact enumeration proceeds:
+//!
+//!   ```text
+//!   approx  = "ok* approx " value " ±" err " " samples LF
+//!   value   = point estimate, 6 decimal places
+//!   err     = one standard error (Agresti–Coull), 6 decimal places
+//!   samples = number of Monte-Carlo samples behind the estimate
+//!   ```
+//!
+//!   `approx` chunks are advisory and carry the literal tag `approx`
+//!   (never a number, so they cannot collide with `k`-row tags):
+//!   clients reconstructing the exact table skip them. They appear only
+//!   on cache misses computed for a live streaming connection — batch
+//!   mode, `--no-anytime`, and cache-hit replays emit none — and they
+//!   are never part of the cached aggregate, so a hit replays exactly
+//!   the `k`-row chunks plus `ok done <k>`. Stripping `approx` chunks,
+//!   the frame sequence is byte-identical with and without anytime
+//!   serving.
 //! * **`explain <eval command>`** — the planner's full report as word-
 //!   tagged chunks, then a terminal `ok done <n>`: one `route` chunk
 //!   (the chosen route's kebab-case name), one `features` chunk (the
@@ -76,6 +96,13 @@
 /// over-cap) work: `err busy` / `err* <i> busy`. See the module docs'
 /// *Overload replies* section.
 pub const BUSY: &str = "busy";
+
+/// Internal error payload for a job abandoned because its client
+/// disconnected mid-stream (anytime cancellation). Never written to a
+/// live connection — by construction the connection is already gone —
+/// and excluded from `errors_total`; it exists so the completion path
+/// can tell "client left" from a real evaluation failure.
+pub(crate) const CANCELLED: &str = "cancelled";
 
 /// Escape a reply payload (or an `eval*` job) onto one line.
 pub fn escape(s: &str) -> String {

@@ -53,19 +53,20 @@
 //! — the workspace is std-only by charter, so no crate dependency; all
 //! `unsafe` in this crate is confined to those few wrappers.
 
+use crate::anytime::eval_series_anytime;
 use crate::pool::{DetachedJob, JobResult, Outcome, TrySubmitError};
 use crate::proto::{encode_frame, WireFrame, WireReply};
 use crate::server::{
-    classify, done_frame, eval_on_worker, eval_series_on_worker, multi_frame, new_hit_flag,
-    plan_frames, plan_on_worker, series_frames, settle_eval, settle_plan, single_frame, Control,
-    HitFlag, MultiJob, Shared, Step,
+    classify, done_frame, eval_on_worker, multi_frame, new_hit_flag, plan_frames, plan_on_worker,
+    series_frames, settle_eval, settle_plan, single_frame, Control, HitFlag, MultiJob, Shared,
+    Step,
 };
 use crate::session::Session;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpListener;
 use std::os::fd::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -91,6 +92,11 @@ enum Done {
     /// One streamed `series` row (`k` ascending), emitted by the worker
     /// while later rows are still being computed.
     SeriesRow { k: usize, row: String },
+    /// One anytime estimate for an in-flight `series` job, framed under
+    /// the literal `approx` tag (see [`crate::proto`]). Advisory: never
+    /// cached, only queued while the originating command is still the
+    /// connection's in-flight `series`.
+    SeriesApprox { payload: String },
     /// A single `eval`/`mu`/`certain` job finished.
     Single {
         hit: HitFlag,
@@ -184,6 +190,10 @@ struct Conn {
     /// How much of `wbuf` the socket has taken.
     wpos: usize,
     inflight: Option<Inflight>,
+    /// Cancellation token of the in-flight anytime `series` job, if
+    /// any: fired when the connection dies so its enumeration subtasks
+    /// stop instead of burning the pool for a reply nobody will read.
+    cancel: Option<Arc<AtomicBool>>,
     /// `EPOLLOUT` interest is currently registered.
     want_write: bool,
     /// Close once `wbuf` drains (after `quit`/`shutdown`/oversize).
@@ -203,6 +213,7 @@ impl Conn {
             wbuf: Vec::new(),
             wpos: 0,
             inflight: None,
+            cancel: None,
             want_write: false,
             closing: false,
             read_eof: false,
@@ -218,6 +229,7 @@ impl Conn {
     /// line was admitted in `extract_lines`).
     fn finish_command(&mut self) {
         self.inflight = None;
+        self.cancel = None;
         self.backlog = self.backlog.saturating_sub(1);
     }
 }
@@ -323,6 +335,12 @@ impl Reactor {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
+                    // Replies stream frame by frame (series rows,
+                    // anytime estimates); with Nagle on, a frame
+                    // written while an earlier one is unacked waits
+                    // for the peer's delayed ACK (~40ms) — a latency
+                    // floor that would swamp the estimates' head start.
+                    let _ = stream.set_nodelay(true);
                     let token = self.next_token;
                     self.next_token += 1;
                     if self
@@ -633,26 +651,36 @@ impl Reactor {
             Step::Series { ev, start } => {
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 conn.inflight = Some(Inflight::Series);
+                let cancel = Arc::new(AtomicBool::new(false));
+                conn.cancel = Some(Arc::clone(&cancel));
                 let job_session = conn.session.clone();
                 let job_shared = Arc::clone(&self.shared);
                 let hit = new_hit_flag();
                 let job_hit = Arc::clone(&hit);
                 let row_notifier = Arc::clone(&self.notifier);
+                let approx_notifier = Arc::clone(&self.notifier);
                 let end_notifier = Arc::clone(&self.notifier);
                 let admitted = self.admit(
                     id,
                     DetachedJob {
                         work: Box::new(move || {
-                            eval_series_on_worker(
+                            eval_series_anytime(
                                 &job_shared,
                                 &job_session,
                                 &ev,
                                 &job_hit,
                                 start,
+                                &cancel,
                                 &mut |k, row| {
                                     row_notifier.push(Completion {
                                         conn: id,
                                         done: Done::SeriesRow { k, row: row.to_string() },
+                                    });
+                                },
+                                &mut |payload| {
+                                    approx_notifier.push(Completion {
+                                        conn: id,
+                                        done: Done::SeriesApprox { payload: payload.to_string() },
                                     });
                                 },
                             )
@@ -711,6 +739,7 @@ impl Reactor {
     fn shed_inflight(&mut self, id: u64) {
         if let Some(conn) = self.conns.get_mut(&id) {
             conn.inflight = None;
+            conn.cancel = None;
         }
         self.queue_frames(id, &[busy_final()]);
     }
@@ -755,6 +784,22 @@ impl Reactor {
                     self.queue_frames(
                         id,
                         &[WireFrame::Chunk { tag: k.to_string(), payload: row }],
+                    );
+                }
+            }
+            Done::SeriesApprox { payload } => {
+                // Same suppression as rows: only while the originating
+                // `series` is still this connection's in-flight command.
+                // Counted only when actually queued to a live client.
+                let streaming = matches!(
+                    self.conns.get(&id).and_then(|c| c.inflight.as_ref()),
+                    Some(Inflight::Series)
+                );
+                if streaming {
+                    self.shared.metrics.anytime_chunks.fetch_add(1, Ordering::Relaxed);
+                    self.queue_frames(
+                        id,
+                        &[WireFrame::Chunk { tag: "approx".into(), payload }],
                     );
                 }
             }
@@ -881,6 +926,12 @@ impl Reactor {
     fn drop_conn(&mut self, id: u64) {
         if let Some(conn) = self.conns.remove(&id) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            // Nobody is left to read the reply: tell the in-flight
+            // anytime job to stop enumerating. The job still settles
+            // through its completion (counted, never cached).
+            if let Some(cancel) = &conn.cancel {
+                cancel.store(true, Ordering::Relaxed);
+            }
         }
         self.parked.retain(|(owner, _)| *owner != id);
     }

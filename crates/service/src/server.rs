@@ -101,6 +101,17 @@ pub struct ServerConfig {
     /// under overload. `0` (the default) disables both: jobs wait
     /// however long backpressure takes.
     pub queue_deadline_ms: u64,
+    /// Anytime serving for expensive `series` jobs over live
+    /// connections: stream `ok* approx …` estimate chunks while the
+    /// exact enumeration proceeds, and split that enumeration across
+    /// the pool as work-stealing subtasks. Disabled (`--no-anytime`),
+    /// series jobs run the sequential legacy path with no approx
+    /// chunks — the differential baseline; final frames are
+    /// byte-identical either way.
+    pub anytime: bool,
+    /// Target cadence of `ok* approx …` chunks in milliseconds
+    /// (`--anytime-interval-ms`).
+    pub anytime_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +129,8 @@ impl Default for ServerConfig {
             planner: true,
             max_inflight_per_conn: 0,
             queue_deadline_ms: 0,
+            anytime: true,
+            anytime_interval_ms: 25,
         }
     }
 }
@@ -139,6 +152,10 @@ pub(crate) struct Shared {
     /// Queue deadline for pool jobs; `Some` also enables shed-on-full
     /// (see [`ServerConfig::queue_deadline_ms`]).
     pub(crate) queue_deadline: Option<std::time::Duration>,
+    /// Anytime serving for streamed `series` jobs: `Some(cadence)` of
+    /// the approx chunks, `None` when `--no-anytime` forces the
+    /// sequential legacy path (see [`ServerConfig::anytime`]).
+    pub(crate) anytime: Option<std::time::Duration>,
 }
 
 impl Shared {
@@ -179,6 +196,9 @@ impl Shared {
             max_inflight_per_conn: cfg.max_inflight_per_conn,
             queue_deadline: (cfg.queue_deadline_ms > 0)
                 .then(|| std::time::Duration::from_millis(cfg.queue_deadline_ms)),
+            anytime: cfg
+                .anytime
+                .then(|| std::time::Duration::from_millis(cfg.anytime_interval_ms.max(1))),
         })
     }
 
@@ -338,7 +358,7 @@ pub(crate) fn new_hit_flag() -> HitFlag {
 
 /// Record a cache hit resolved on a worker: flag the job as a hit and
 /// account it (`jobs_cached`, `cache_hit_latency`).
-fn record_hit(shared: &Shared, hit: &HitFlag, start: Instant) {
+pub(crate) fn record_hit(shared: &Shared, hit: &HitFlag, start: Instant) {
     hit.store(true, Ordering::Release);
     shared.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
     shared.metrics.cache_hit_latency.record(start.elapsed());
@@ -349,7 +369,7 @@ fn record_hit(shared: &Shared, hit: &HitFlag, start: Instant) {
 /// Runs in the worker closure, *not* in the completion handler — a job
 /// whose connection vanished mid-flight still caches and persists its
 /// result.
-fn store_result(shared: &Shared, key: Option<&CacheKey>, text: &str) {
+pub(crate) fn store_result(shared: &Shared, key: Option<&CacheKey>, text: &str) {
     if let Some(k) = key {
         shared.cache.insert(k, text.to_string());
         if let Some(store) = &shared.store {
@@ -512,7 +532,12 @@ pub(crate) fn settle_eval(
         shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
     }
     shared.metrics.eval_latency.record(start.elapsed());
-    if result.is_err() {
+    // A job abandoned because its client disconnected mid-stream
+    // (anytime cancellation) still counts as executed — its route was
+    // already noted, keeping the per-route partition of
+    // `jobs_executed_total` exact — but it is not a server error: no
+    // live client ever sees the [`crate::proto::CANCELLED`] payload.
+    if result.as_deref().err().is_some_and(|e| e != crate::proto::CANCELLED) {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
     result

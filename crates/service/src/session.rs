@@ -228,6 +228,12 @@ impl Session {
         Session::default()
     }
 
+    /// The loaded database (read-only; the anytime evaluator clones it
+    /// to share across enumeration subtasks).
+    pub(crate) fn db(&self) -> &Database {
+        &self.db
+    }
+
     /// Execute one command line: parse, then apply.
     pub fn execute(&mut self, line: &str) -> Result<Reply, String> {
         match Request::parse(line)? {
@@ -499,7 +505,7 @@ impl Session {
     }
 
     /// Parse and validate `series` arguments: the event plus `k_max`.
-    fn series_args(&self, rest: &str) -> Result<(Box<dyn SuppEvent>, usize), String> {
+    pub(crate) fn series_args(&self, rest: &str) -> Result<(Box<dyn SuppEvent>, usize), String> {
         let (head, k_src) = rest
             .rsplit_once(char::is_whitespace)
             .ok_or("usage: series <name> <k>")?;

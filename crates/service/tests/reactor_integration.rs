@@ -198,7 +198,14 @@ fn series_streams_chunks_before_the_last_k_is_computed() {
 
     let sent = Instant::now();
     client.push("series Q 8");
-    let first = client.read_frame();
+    // Anytime serving may interleave advisory `approx` estimate chunks;
+    // the first *row* chunk must still be k=1 and arrive early.
+    let first = loop {
+        match client.read_frame() {
+            WireFrame::Chunk { tag, .. } if tag == "approx" => continue,
+            frame => break frame,
+        }
+    };
     let first_at = sent.elapsed();
     assert!(
         matches!(&first, WireFrame::Chunk { tag, .. } if tag == "1"),
@@ -207,7 +214,11 @@ fn series_streams_chunks_before_the_last_k_is_computed() {
     let (rest, terminal) = client.read_group();
     let done_at = sent.elapsed();
     assert_eq!(terminal, WireReply::Ok("done 8".into()));
-    assert_eq!(rest.len(), 7, "{rest:?}");
+    let rows: Vec<_> = rest
+        .iter()
+        .filter(|c| !matches!(c, WireFrame::Chunk { tag, .. } if tag == "approx"))
+        .collect();
+    assert_eq!(rows.len(), 7, "{rest:?}");
 
     // Streaming means the first row left the server while later, more
     // expensive rows were still being computed — so it must arrive in
@@ -300,57 +311,111 @@ fn slow_reader_stalls_only_its_own_connection() {
     join.join().unwrap();
 }
 
-#[test]
-fn abrupt_disconnect_mid_stream_leaves_the_server_healthy() {
+/// One run of the abrupt-disconnect scenario against a fresh server.
+/// Returns `Err` only for the one genuinely scheduling-dependent
+/// observable — no enumeration subtask saw the cancel token before the
+/// job settled — and panics on every hard contract violation.
+fn abrupt_disconnect_scenario() -> Result<(), String> {
     let (addr, handle, join) = spawn_server(2);
     let facts = {
         let rows: Vec<String> = (0..5).map(|i| format!("R(c{i}, _x{i}).")).collect();
         format!("fact {}", rows.join(" "))
     };
 
-    // Start a streamed series, read exactly one chunk, then vanish:
-    // the server's later writes for this connection must fail without
-    // harming the reactor or the worker pool.
+    // Start a streamed series with an expensive tail (the k=9 and k=10
+    // rows alone are ~160k valuations), read up to the k=8 row, then
+    // vanish: the next flush for this connection fails, the reactor
+    // fires the job's cancel token, and the scattered enumeration
+    // subtasks of the remaining rows abort instead of burning the pool
+    // for a reply nobody will read.
     {
         let mut doomed = Client::connect(addr);
         doomed.send_ok(&facts);
         doomed.send_ok("query Q := exists u, v. R(u, v)");
-        doomed.push("series Q 8");
-        let first = doomed.read_frame();
-        assert!(matches!(&first, WireFrame::Chunk { tag, .. } if tag == "1"), "{first:?}");
+        doomed.push("series Q 10");
+        loop {
+            if matches!(doomed.read_frame(), WireFrame::Chunk { tag, .. } if tag == "8") {
+                break;
+            }
+        }
         // Drop both socket halves mid-stream.
     }
 
-    // The in-flight series job still runs to completion server-side
-    // and caches its aggregate even though nobody is listening. Wait
-    // for it, then assert the server is fully functional.
+    // The cancelled job settles promptly — long before the full
+    // enumeration could have finished — and still counts as executed
+    // (the route counters partition executed jobs), but not as an
+    // error, and nothing is cached.
     let mut probe = Client::connect(addr);
     let deadline = Instant::now() + Duration::from_secs(60);
-    loop {
+    let stats = loop {
         let stats = probe.send_ok("stats");
         if stats_field(&stats, "jobs_executed_total") >= 1 {
-            break;
+            break stats;
         }
-        assert!(Instant::now() < deadline, "series job never finished:\n{stats}");
-        std::thread::sleep(Duration::from_millis(50));
-    }
+        assert!(Instant::now() < deadline, "cancelled job never settled:\n{stats}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(stats_field(&stats, "errors_total"), 0, "{stats}");
+    let observed = stats_field(&stats, "subtasks_cancelled_total");
+
+    // The server stays fully functional, and the identical request is
+    // a cache miss (a cancelled job must never cache a partial result):
+    // it recomputes and streams the complete, correct group. When the
+    // cancel token instead landed in the narrow window where the job
+    // aborts between scattered rows (observed == 0, checked below),
+    // the job still settled cancelled, so this stays a cache miss too.
     probe.send_ok(&facts);
     probe.send_ok("query Q := exists u, v. R(u, v)");
     assert_eq!(probe.send_ok("mu Q"), "μ(Q, D) = 1");
-
-    // The identical series request now hits the cache (the aggregate
-    // was inserted when the orphaned job finished) and replays the
-    // full chunk group.
     let (chunks, terminal) = {
-        probe.push("series Q 8");
+        probe.push("series Q 10");
         probe.read_group()
     };
-    assert_eq!(terminal, WireReply::Ok("done 8".into()));
-    assert_eq!(chunks.len(), 8, "{chunks:?}");
+    assert_eq!(terminal, WireReply::Ok("done 10".into()));
+    let rows: Vec<_> = chunks
+        .iter()
+        .filter(|c| !matches!(c, WireFrame::Chunk { tag, .. } if tag == "approx"))
+        .collect();
+    assert_eq!(rows.len(), 10, "{chunks:?}");
     let stats = probe.send_ok("stats");
-    assert!(stats_field(&stats, "jobs_cached_total") >= 1, "{stats}");
+    assert_eq!(
+        stats_field(&stats, "jobs_cached_total"),
+        0,
+        "a cancelled series must not populate the cache:\n{stats}"
+    );
 
     assert_eq!(probe.send("quit"), WireReply::Bye);
     handle.shutdown();
     join.join().unwrap();
+
+    if observed >= 1 {
+        Ok(())
+    } else {
+        Err(format!(
+            "no enumeration subtask observed the cancellation (token landed \
+             between scattered rows):\n{stats}"
+        ))
+    }
+}
+
+#[test]
+fn abrupt_disconnect_mid_stream_cancels_the_job_and_leaves_the_server_healthy() {
+    // Every contract assertion (settles promptly, not an error, not
+    // cached, server stays healthy) is hard and runs on every attempt.
+    // Whether a *subtask* was the one to observe the cancel token is
+    // scheduling-dependent: the token can land in the sliver where the
+    // owner aborts between rows and every in-flight slice already
+    // passed its last cancellation poll. Retry the scenario — on a
+    // fresh server — for that one observable instead of flaking.
+    let mut last = String::new();
+    for attempt in 0..3 {
+        match abrupt_disconnect_scenario() {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("attempt {attempt}: {e}");
+                last = e;
+            }
+        }
+    }
+    panic!("subtask cancellation never observed in 3 runs; last: {last}");
 }

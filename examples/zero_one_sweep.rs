@@ -54,7 +54,7 @@ fn main() {
 
         let mu_series = mu_k_series(&ev, &db, 7);
         let m_series = m_k_series(&ev, &db, 7);
-        let est = estimate_mu_k(&mut rng, &ev, &db, 50, 2000);
+        let est = estimate_mu_k(&mut rng, &ev, &db, 50, 2000).expect("valid sampling parameters");
 
         println!(
             "trial {trial:>2}: μ = {exact}  (naïve: {naive})   μ⁷ = {}   m⁷ = {}   μ̂⁵⁰ ≈ {:.3} ± {:.3}",

@@ -132,6 +132,66 @@ for want in '"workload": "service"' '"malformed": 0' '"offered_qps"' '"achieved_
 done
 echo "    load smoke OK: overload shed cleanly, report schema intact"
 
+# Anytime smoke stage: run one cliff series job (7^5 = 16807
+# valuations on the last row, over the split threshold) against a live
+# server twice — anytime on (the default) and --no-anytime — over a
+# real TCP connection (batch mode deliberately doesn't stream, so the
+# wire is the only place this can be observed). Asserts the contract
+# docs/ANYTIME.md promises: the first frame is an approx estimate
+# (the eager batch precedes all exact work), and deleting the approx
+# frames leaves output byte-identical to the sequential baseline.
+echo "==> anytime smoke (streamed estimates, --no-anytime byte identity)"
+anytime_series() { # $1: "on"|"off"  $2: output file
+    local flags=()
+    [ "$1" = off ] && flags+=(--no-anytime)
+    ./target/release/caz serve --addr 127.0.0.1:0 --workers 4 "${flags[@]}" \
+        2> "$STORE_TMP/serve.err" &
+    local srv=$!
+    local addr=""
+    for _ in $(seq 100); do
+        addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$STORE_TMP/serve.err")"
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    [ -n "$addr" ] || { echo "anytime smoke FAILED: server did not start" >&2; exit 1; }
+    exec 3<>"/dev/tcp/127.0.0.1/${addr##*:}"
+    printf 'fact R(c0, _x0). R(c1, _x1). R(c2, _x2). R(c3, _x3). R(c4, _x4).\nquery Z := exists u, v. R(u, v)\nseries Z 7\n' >&3
+    : > "$2"
+    local line
+    read -r line <&3   # `fact` reply
+    read -r line <&3   # `query` reply
+    while IFS= read -r line <&3; do
+        printf '%s\n' "$line" >> "$2"
+        case "$line" in "ok done"*) break ;; esac
+    done
+    exec 3<&- 3>&-
+    kill "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+}
+anytime_series on "$STORE_TMP/series_any.out"
+anytime_series off "$STORE_TMP/series_seq.out"
+# The eager estimator batch runs before any exact work, so the very
+# first frame must be an approx chunk.
+first_frame="$(head -n 1 "$STORE_TMP/series_any.out")"
+case "$first_frame" in
+    "ok* approx "*) ;;
+    *) echo "anytime smoke FAILED: first frame is not an approx chunk: $first_frame" >&2
+       exit 1 ;;
+esac
+grep -q '^ok\* approx ' "$STORE_TMP/series_seq.out" \
+    && { echo "anytime smoke FAILED: --no-anytime streamed an approx chunk" >&2; exit 1; }
+grep -v '^ok\* approx ' "$STORE_TMP/series_any.out" > "$STORE_TMP/series_any.exact"
+cmp -s "$STORE_TMP/series_any.exact" "$STORE_TMP/series_seq.out" \
+    || { echo "anytime smoke FAILED: exact frames diverge from --no-anytime" >&2; \
+         diff "$STORE_TMP/series_any.exact" "$STORE_TMP/series_seq.out" >&2 || true; exit 1; }
+echo "    anytime OK: estimates streamed first, exact frames byte-identical"
+
+echo "==> cargo clippy -p caz-core --all-targets -- -D warnings"
+cargo clippy -p caz-core --all-targets -- -D warnings
+
+echo "==> cargo clippy -p caz-service --all-targets -- -D warnings"
+cargo clippy -p caz-service --all-targets -- -D warnings
+
 echo "==> cargo clippy -p caz-bench --all-targets -- -D warnings"
 cargo clippy -p caz-bench --all-targets -- -D warnings
 

@@ -48,7 +48,14 @@ options for serve:
   --queue-deadline-ms <n>     admission control: shed instead of parking
                               when the pool queue is full, and expire
                               jobs that wait longer than <n> ms — both
-                              answer 'err busy' (default 0 = disabled)";
+                              answer 'err busy' (default 0 = disabled)
+  --no-anytime                disable anytime serving: 'series' jobs run
+                              sequentially on one worker and stream no
+                              'ok* approx' estimate chunks (baseline and
+                              escape hatch; final rows are byte-identical
+                              either way)
+  --anytime-interval-ms <n>   cadence of the streamed approx estimates
+                              for expensive 'series' jobs (default 25)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -134,6 +141,15 @@ fn serve(args: &[String]) -> ExitCode {
             "--no-planner" => {
                 cfg.planner = false;
                 Ok(())
+            }
+            "--no-anytime" => {
+                cfg.anytime = false;
+                Ok(())
+            }
+            "--anytime-interval-ms" => {
+                let mut ms = cfg.anytime_interval_ms as usize;
+                parse_num(value("--anytime-interval-ms"), &mut ms)
+                    .map(|()| cfg.anytime_interval_ms = ms as u64)
             }
             "--fsync" => value("--fsync").and_then(|v| match v.as_str() {
                 "always" => {

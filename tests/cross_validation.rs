@@ -171,7 +171,7 @@ mod property_based {
             let k = 6;
             let exact = mu_k(&ev, &db, k).to_f64();
             let mut rng = StdRng::seed_from_u64(seed);
-            let est = estimate_mu_k(&mut rng, &ev, &db, k, 1500);
+            let est = estimate_mu_k(&mut rng, &ev, &db, k, 1500).unwrap();
             // 2σ plus slack for the Bernoulli tail.
             prop_assert!((est.value - exact).abs() <= 3.5 * est.std_error + 0.05,
                 "estimate {} vs exact {}", est.value, exact);
