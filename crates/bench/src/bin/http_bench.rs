@@ -1,0 +1,86 @@
+//! `http_bench` — E23: the E21 open-loop overload sweep driven over
+//! each wire protocol in turn.
+//!
+//! Runs the identical seeded schedule three times against identically
+//! configured servers — raw line protocol, HTTP/1.1 keep-alive
+//! (pipelined `POST /eval`, chunked responses), and HTTP per-request
+//! (a fresh `Connection: close` dial per job, setup replayed in the
+//! body) — and writes the three reports to `BENCH_http.json`. The
+//! spread between the first two prices the gateway's framing; the
+//! spread to the third prices losing keep-alive and session reuse.
+//!
+//! `CAZ_TEST_SEED` selects the schedule seed (default 3707); pass
+//! `--smoke` for the CI-sized run.
+
+use caz_bench::load::{run_load, LoadConfig, Transport};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = env_u64("CAZ_TEST_SEED", 3707);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let mut runs = Vec::new();
+    for transport in [
+        Transport::Line,
+        Transport::HttpKeepAlive,
+        Transport::HttpPerRequest,
+    ] {
+        let mut cfg = if smoke {
+            LoadConfig::smoke(seed)
+        } else {
+            LoadConfig::standard(seed)
+        };
+        cfg.transport = transport;
+        eprintln!("── transport: {}", transport.label());
+        let report = run_load(&cfg);
+        for s in &report.steps {
+            eprintln!(
+                "  offered {:>4} qps  achieved {:>6.1}  ok {:>4}  busy {:>4}  lost {:>3}  \
+                 p50 {:>7}µs  p99 {:>8}µs  ttfc_p50 {:>7}µs  shed {:>4}",
+                s.offered_qps,
+                s.achieved_qps,
+                s.ok,
+                s.busy,
+                s.lost,
+                s.p50_us,
+                s.p99_us,
+                s.ttfc_p50_us,
+                s.jobs_shed
+            );
+        }
+
+        // Protocol health on every transport: each reply frame parsed,
+        // and nothing but `ok` and well-framed busy came back.
+        assert_eq!(
+            report.malformed, 0,
+            "{}: malformed reply frames observed",
+            transport.label()
+        );
+        let errors: u64 = report.steps.iter().map(|s| s.errors).sum();
+        assert_eq!(errors, 0, "{}: non-busy errors observed", transport.label());
+
+        runs.push(report.to_json());
+    }
+
+    let indented: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let body: Vec<String> = r.lines().map(|l| format!("    {l}")).collect();
+            body.join("\n").trim_start().to_string()
+        })
+        .map(|r| format!("    {r}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"http-gateway\",\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ]\n}}",
+        indented.join(",\n")
+    );
+    std::fs::write("BENCH_http.json", format!("{json}\n")).expect("write BENCH_http.json");
+    eprintln!("wrote BENCH_http.json ({} runs)", runs.len());
+    println!("{json}");
+}

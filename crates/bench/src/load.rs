@@ -26,7 +26,15 @@
 //! achieved QPS, and the server's own stats deltas
 //! (`jobs_shed_total`, `deadline_expired_total`, …) so client and
 //! server accounts of the same overload can be reconciled.
+//!
+//! The same schedule can be driven over either wire protocol
+//! ([`Transport`]): the raw line protocol, HTTP/1.1 keep-alive (every
+//! job a pipelined `POST /eval`, chunks read incrementally so
+//! time-to-first-chunk stays honest), or HTTP per-request (a fresh
+//! `Connection: close` dial per job, shipping the session setup with
+//! the job — the no-keep-alive tax E23 measures).
 
+use caz_service::http::{format_request, read_response};
 use caz_service::proto::{decode_frame, WireFrame, WireReply, BUSY};
 use caz_service::{Server, ServerConfig};
 use caz_testutil::rngs::StdRng;
@@ -39,6 +47,31 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which wire protocol the load generator speaks to the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// The raw line protocol (one command line per job).
+    Line,
+    /// HTTP/1.1 over one keep-alive connection per client: every job is
+    /// a pipelined `POST /eval`, every reply group one chunked response.
+    HttpKeepAlive,
+    /// HTTP/1.1 with a fresh `Connection: close` dial per job; the
+    /// session setup rides along in the request body since no state
+    /// survives between requests.
+    HttpPerRequest,
+}
+
+impl Transport {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Line => "line",
+            Transport::HttpKeepAlive => "http-keep-alive",
+            Transport::HttpPerRequest => "http-per-request",
+        }
+    }
+}
 
 /// Knobs for one load run: the client side (connections, offered-QPS
 /// steps, churn, zipf mix) and the server it targets (workers, queue,
@@ -70,6 +103,8 @@ pub struct LoadConfig {
     pub max_inflight_per_conn: usize,
     /// Server result-cache capacity.
     pub cache_capacity: usize,
+    /// Wire protocol the clients speak.
+    pub transport: Transport,
 }
 
 impl LoadConfig {
@@ -90,6 +125,7 @@ impl LoadConfig {
             queue_deadline_ms: 40,
             max_inflight_per_conn: 64,
             cache_capacity: 64,
+            transport: Transport::Line,
         }
     }
 
@@ -110,6 +146,7 @@ impl LoadConfig {
             queue_deadline_ms: 25,
             max_inflight_per_conn: 32,
             cache_capacity: 16,
+            transport: Transport::Line,
         }
     }
 
@@ -478,6 +515,8 @@ pub struct StepReport {
 /// The whole run's report.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
+    /// Wire protocol the run used.
+    pub transport: Transport,
     /// Schedule seed.
     pub seed: u64,
     /// Client connections.
@@ -537,9 +576,11 @@ impl LoadReport {
             })
             .collect();
         format!(
-            "{{\n  \"workload\": \"service\",\n  \"seed\": {},\n  \"connections\": {},\n  \
+            "{{\n  \"workload\": \"service\",\n  \"transport\": \"{}\",\n  \"seed\": {},\n  \
+             \"connections\": {},\n  \
              \"workers\": {},\n  \"queue_cap\": {},\n  \"queue_deadline_ms\": {},\n  \
              \"max_inflight_per_conn\": {},\n  \"malformed\": {},\n  \"steps\": [\n{}\n  ]\n}}",
+            self.transport.label(),
             self.seed,
             self.connections,
             self.workers,
@@ -588,6 +629,51 @@ fn connect_setup(addr: SocketAddr, setup: &[String]) -> (TcpStream, BufReader<Tc
     (stream, reader)
 }
 
+/// Account one reply-frame line against the oldest outstanding entry —
+/// shared by the line-protocol reader and both HTTP paths (where each
+/// de-chunked body line is wire-identical to a line-protocol frame).
+fn account_frame(line: &str, outstanding: &Mutex<VecDeque<Entry>>, acc: &RunAcc) {
+    match decode_frame(line) {
+        None => {
+            acc.malformed.fetch_add(1, Ordering::Relaxed);
+        }
+        // Chunk lines (series rows, anytime approx estimates) are not
+        // terminal replies, but the first one closes the
+        // time-to-first-chunk window: replies arrive in command order,
+        // so a chunk belongs to the oldest outstanding entry.
+        Some(WireFrame::Chunk { .. } | WireFrame::ChunkErr { .. }) => {
+            let mut outstanding = outstanding.lock().unwrap();
+            if let Some(e) = outstanding.front_mut() {
+                if !e.saw_chunk {
+                    e.saw_chunk = true;
+                    let us = e.scheduled.elapsed().as_micros() as u64;
+                    acc.steps[e.step].ttfc.lock().unwrap().record(us);
+                }
+            }
+        }
+        Some(WireFrame::Final(reply)) => {
+            let Some(e) = outstanding.lock().unwrap().pop_front() else {
+                acc.malformed.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let step = &acc.steps[e.step];
+            match reply {
+                WireReply::Ok(_) => {
+                    step.ok.fetch_add(1, Ordering::Relaxed);
+                    let us = e.scheduled.elapsed().as_micros() as u64;
+                    step.hist.lock().unwrap().record(us);
+                }
+                WireReply::Err(p) if p == BUSY => {
+                    step.busy.fetch_add(1, Ordering::Relaxed);
+                }
+                WireReply::Err(_) | WireReply::Bye => {
+                    step.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
 fn spawn_reader(
     mut reader: BufReader<TcpStream>,
     outstanding: Arc<Mutex<VecDeque<Entry>>>,
@@ -601,52 +687,129 @@ fn spawn_reader(
                 Ok(0) | Err(_) => break,
                 Ok(_) => {}
             }
-            match decode_frame(line.trim_end_matches('\n')) {
-                None => {
-                    acc.malformed.fetch_add(1, Ordering::Relaxed);
-                }
-                // Chunk lines (series rows, anytime approx estimates)
-                // are not terminal replies, but the first one closes
-                // the time-to-first-chunk window: replies arrive in
-                // command order, so a chunk belongs to the oldest
-                // outstanding entry.
-                Some(WireFrame::Chunk { .. } | WireFrame::ChunkErr { .. }) => {
-                    let mut outstanding = outstanding.lock().unwrap();
-                    if let Some(e) = outstanding.front_mut() {
-                        if !e.saw_chunk {
-                            e.saw_chunk = true;
-                            let us = e.scheduled.elapsed().as_micros() as u64;
-                            acc.steps[e.step].ttfc.lock().unwrap().record(us);
-                        }
-                    }
-                }
-                Some(WireFrame::Final(reply)) => {
-                    let Some(e) = outstanding.lock().unwrap().pop_front() else {
-                        acc.malformed.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    };
-                    let step = &acc.steps[e.step];
-                    match reply {
-                        WireReply::Ok(_) => {
-                            step.ok.fetch_add(1, Ordering::Relaxed);
-                            let us = e.scheduled.elapsed().as_micros() as u64;
-                            step.hist.lock().unwrap().record(us);
-                        }
-                        WireReply::Err(p) if p == BUSY => {
-                            step.busy.fetch_add(1, Ordering::Relaxed);
-                        }
-                        WireReply::Err(_) | WireReply::Bye => {
-                            step.errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
+            account_frame(line.trim_end_matches('\n'), &outstanding, &acc);
         }
         // EOF (churn or run end): replies still owed are lost.
         for e in outstanding.lock().unwrap().drain(..) {
             acc.steps[e.step].lost.fetch_add(1, Ordering::Relaxed);
         }
     })
+}
+
+/// Read one HTTP response incrementally, invoking `on_line` for every
+/// reply-frame line as its chunk arrives off the wire — chunk-at-a-time
+/// rather than via a whole-body read, so time-to-first-chunk over HTTP
+/// measures the stream, not the buffering. Returns whether the server
+/// announced `Connection: close`.
+fn read_http_frames<F: FnMut(&str)>(
+    reader: &mut BufReader<TcpStream>,
+    mut on_line: F,
+) -> std::io::Result<bool> {
+    use std::io::{Error, ErrorKind, Read};
+    let bad = |what: &str| Error::new(ErrorKind::InvalidData, what.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(Error::new(ErrorKind::UnexpectedEof, "no status line"));
+    }
+    if !line.starts_with("HTTP/1.1 ") {
+        return Err(bad("malformed status line"));
+    }
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "truncated headers"));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else { continue };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
+            "content-length" => {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?
+            }
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                return Err(Error::new(ErrorKind::UnexpectedEof, "truncated chunks"));
+            }
+            let size =
+                usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+            // Chunk data plus its CRLF; the last chunk's "data" is the
+            // bare CRLF terminating the body (no trailers).
+            let mut data = vec![0u8; size + 2];
+            reader.read_exact(&mut data)?;
+            if size == 0 {
+                break;
+            }
+            data.truncate(size);
+            let text = std::str::from_utf8(&data).map_err(|_| bad("chunk not utf-8"))?;
+            on_line(text.trim_end_matches('\n'));
+        }
+    } else {
+        let mut data = vec![0u8; content_length];
+        reader.read_exact(&mut data)?;
+        let text = std::str::from_utf8(&data).map_err(|_| bad("body not utf-8"))?;
+        for l in text.lines() {
+            on_line(l);
+        }
+    }
+    Ok(close)
+}
+
+/// The keep-alive HTTP reader: one chunked response per job, frames
+/// accounted exactly like line-protocol replies.
+fn spawn_http_reader(
+    mut reader: BufReader<TcpStream>,
+    outstanding: Arc<Mutex<VecDeque<Entry>>>,
+    acc: Arc<RunAcc>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        loop {
+            match read_http_frames(&mut reader, |l| account_frame(l, &outstanding, &acc)) {
+                Ok(false) => {}
+                Ok(true) => break,
+                Err(e) => {
+                    if e.kind() == std::io::ErrorKind::InvalidData {
+                        acc.malformed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+        }
+        for e in outstanding.lock().unwrap().drain(..) {
+            acc.steps[e.step].lost.fetch_add(1, Ordering::Relaxed);
+        }
+    })
+}
+
+/// Dial and run the session setup over HTTP: one `POST /eval` carrying
+/// every setup line, answered by one multi-group response.
+fn connect_setup_http(addr: SocketAddr, setup: &[String]) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut body = setup.join("\n");
+    body.push('\n');
+    (&stream)
+        .write_all(&format_request("POST", "/eval", &[], body.as_bytes()))
+        .expect("write setup");
+    let resp = read_response(&mut reader).expect("read setup response");
+    assert_eq!(resp.status, 200, "setup rejected");
+    let text = String::from_utf8(resp.body).expect("setup body utf-8");
+    for line in text.lines() {
+        assert!(line.starts_with("ok"), "setup line rejected: {line:?}");
+    }
+    (stream, reader)
 }
 
 /// The writer half of one connection: owns the socket, performs churn
@@ -659,9 +822,21 @@ fn conn_writer(
     rx: mpsc::Receiver<Cmd>,
     outstanding: Arc<Mutex<VecDeque<Entry>>>,
     acc: Arc<RunAcc>,
+    transport: Transport,
 ) {
-    let (mut stream, reader) = connect_setup(addr, &setup);
-    let mut reader_join = spawn_reader(reader, outstanding.clone(), acc.clone());
+    if transport == Transport::HttpPerRequest {
+        return per_request_writer(addr, setup, rx, outstanding, acc);
+    }
+    let connect = |setup: &[String]| match transport {
+        Transport::Line => connect_setup(addr, setup),
+        _ => connect_setup_http(addr, setup),
+    };
+    let spawn = |r, out, acc| match transport {
+        Transport::Line => spawn_reader(r, out, acc),
+        _ => spawn_http_reader(r, out, acc),
+    };
+    let (mut stream, reader) = connect(&setup);
+    let mut reader_join = spawn(reader, outstanding.clone(), acc.clone());
     for cmd in rx {
         match cmd {
             Cmd::Job { line, step, scheduled } => {
@@ -672,20 +847,106 @@ fn conn_writer(
                 acc.steps[step].sent.fetch_add(1, Ordering::Relaxed);
                 // A failed write means the server closed on us; the
                 // reader's EOF pass will account the entry as lost.
-                let _ = stream.write_all(format!("{line}\n").as_bytes());
+                let _ = match transport {
+                    Transport::Line => stream.write_all(format!("{line}\n").as_bytes()),
+                    _ => stream.write_all(&format_request(
+                        "POST",
+                        "/eval",
+                        &[],
+                        format!("{line}\n").as_bytes(),
+                    )),
+                };
             }
             Cmd::Churn => {
                 let _ = stream.shutdown(Shutdown::Both);
                 let _ = reader_join.join();
-                let (s, r) = connect_setup(addr, &setup);
+                let (s, r) = connect(&setup);
                 stream = s;
-                reader_join = spawn_reader(r, outstanding.clone(), acc.clone());
+                reader_join = spawn(r, outstanding.clone(), acc.clone());
             }
             Cmd::Quit => break,
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
     let _ = reader_join.join();
+}
+
+/// The per-request HTTP writer: every job dials a fresh connection and
+/// ships the whole session setup with the job in one `Connection:
+/// close` request — connect, setup replay, and teardown are all on the
+/// job's critical path, which is precisely the tax being measured.
+/// Jobs on one connection slot serialize (a pool of non-keep-alive
+/// clients); the open-loop clock still charges any resulting lateness
+/// to the transport because latency runs from the scheduled send time.
+fn per_request_writer(
+    addr: SocketAddr,
+    setup: Vec<String>,
+    rx: mpsc::Receiver<Cmd>,
+    outstanding: Arc<Mutex<VecDeque<Entry>>>,
+    acc: Arc<RunAcc>,
+) {
+    for cmd in rx {
+        match cmd {
+            Cmd::Job { line, step, scheduled } => {
+                acc.steps[step].sent.fetch_add(1, Ordering::Relaxed);
+                outstanding
+                    .lock()
+                    .unwrap()
+                    .push_back(Entry { step, scheduled, saw_chunk: false });
+                if run_one_request(addr, &setup, &line, &outstanding, &acc).is_err() {
+                    // Connection-level failure: the reply is lost.
+                    if let Some(e) = outstanding.lock().unwrap().pop_front() {
+                        acc.steps[e.step].lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // No connection outlives a request, so churn is a no-op.
+            Cmd::Churn => {}
+            Cmd::Quit => break,
+        }
+    }
+}
+
+fn run_one_request(
+    addr: SocketAddr,
+    setup: &[String],
+    job: &str,
+    outstanding: &Mutex<VecDeque<Entry>>,
+    acc: &RunAcc,
+) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut body = setup.join("\n");
+    body.push('\n');
+    body.push_str(job);
+    body.push('\n');
+    (&stream).write_all(&format_request(
+        "POST",
+        "/eval",
+        &[("Connection", "close")],
+        body.as_bytes(),
+    ))?;
+    // The response interleaves one reply group per command; the first
+    // `setup.len()` terminal frames belong to the setup replay and only
+    // the final group is the job's.
+    let mut setup_finals = setup.len();
+    read_http_frames(&mut reader, |line| {
+        if setup_finals > 0 {
+            if matches!(decode_frame(line), Some(WireFrame::Final(_))) {
+                setup_finals -= 1;
+            }
+            return;
+        }
+        account_frame(line, outstanding, acc);
+    })?;
+    if !outstanding.lock().unwrap().is_empty() {
+        // The job's terminal frame never arrived (server closed early).
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "reply group truncated",
+        ));
+    }
+    Ok(())
 }
 
 struct ConnHandle {
@@ -761,7 +1022,9 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
             let outstanding = Arc::new(Mutex::new(VecDeque::new()));
             let setup = catalogs[c % 4].setup.clone();
             let (out2, acc2) = (outstanding.clone(), acc.clone());
-            let join = std::thread::spawn(move || conn_writer(addr, setup, rx, out2, acc2));
+            let transport = cfg.transport;
+            let join =
+                std::thread::spawn(move || conn_writer(addr, setup, rx, out2, acc2, transport));
             ConnHandle { tx, outstanding, join }
         })
         .collect();
@@ -841,10 +1104,12 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     handle.shutdown();
     server_join.join().expect("server thread");
 
-    // Late stragglers may have resolved after their step's snapshot;
+    // Late stragglers may have resolved after their step's snapshot
+    // (per-request jobs can even still be queued in a slot's channel);
     // fold final client-side counts back in so the report reconciles.
     for (si, report) in steps.iter_mut().enumerate() {
         let sa = &acc.steps[si];
+        report.sent = sa.sent.load(Ordering::Relaxed);
         report.ok = sa.ok.load(Ordering::Relaxed);
         report.busy = sa.busy.load(Ordering::Relaxed);
         report.errors = sa.errors.load(Ordering::Relaxed);
@@ -852,6 +1117,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadReport {
     }
 
     LoadReport {
+        transport: cfg.transport,
         seed: cfg.seed,
         connections: cfg.connections,
         workers: cfg.workers,

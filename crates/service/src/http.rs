@@ -1,0 +1,842 @@
+//! Minimal, std-only HTTP/1.1 support for the evaluation server.
+//!
+//! The reactor serves two protocols on one port, sniffed from the first
+//! bytes of each connection (see [`sniff`]): the historical line
+//! protocol, and HTTP/1.1 with keep-alive and chunked responses. This
+//! module owns everything HTTP-shaped and nothing socket-shaped:
+//!
+//! * [`RequestParser`] — an incremental request parser (request line,
+//!   headers, `Content-Length` bodies) that is fed the connection's
+//!   read buffer and yields at most one complete request per poll;
+//! * [`route`] — maps a parsed request onto the line-protocol command
+//!   surface (`POST /eval`, `POST /eval-batch`, `GET /series/<n>/<k>`,
+//!   `GET /plan`, `GET /explain`, `GET /stats`, `GET /healthz`);
+//! * encoding helpers — a chunked response head, one chunk per reply
+//!   frame, and fully buffered (`Content-Length`) responses for
+//!   endpoints and errors that never stream.
+//!
+//! **Framing contract.** One reply group maps onto one HTTP response:
+//! every [`WireFrame`] of the group becomes exactly one chunk of the
+//! chunked body, and the terminal frame is followed by the last-chunk
+//! (`0\r\n\r\n`). With the default `text/plain` content type a chunk's
+//! payload is the frame's wire encoding plus `\n` — de-chunking an HTTP
+//! body therefore yields bytes identical to the line protocol's reply
+//! group. With `Accept: application/json` each frame renders instead as
+//! one newline-terminated JSON object (NDJSON), carrying the payload
+//! *unescaped*.
+//!
+//! **Status codes.** The status is decided by the group's first frame:
+//! a terminal `err busy` (admission control) becomes `503` with
+//! `Retry-After`; any other immediate terminal error becomes `400`;
+//! everything else is `200` — including groups that stream chunks first
+//! and only later learn their terminal line, which is the price of
+//! streaming (the definitive outcome is always the last body line).
+
+use crate::proto::{encode_frame, WireFrame, WireReply};
+use std::io::{self, BufRead};
+
+/// Reject header sections larger than this (431).
+pub(crate) const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Reject request bodies larger than this (413) — the same order as the
+/// line protocol's `MAX_LINE_BYTES` bound.
+pub(crate) const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// The last-chunk terminating every chunked response body.
+pub(crate) const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// A request-level protocol error: the connection answers with this
+/// status and closes (the stream position is no longer trustworthy).
+#[derive(Debug)]
+pub(crate) struct HttpError {
+    /// Response status code (4xx/5xx).
+    pub(crate) status: u16,
+    /// One-line human-readable detail (the response body).
+    pub(crate) detail: &'static str,
+}
+
+impl HttpError {
+    fn new(status: u16, detail: &'static str) -> HttpError {
+        HttpError { status, detail }
+    }
+}
+
+/// The parsed request line and the headers the server acts on.
+#[derive(Debug)]
+pub(crate) struct RequestHead {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub(crate) method: String,
+    /// Request target, verbatim (path + optional `?query`).
+    pub(crate) target: String,
+    /// `Accept: application/json` negotiated NDJSON framing.
+    pub(crate) json: bool,
+    /// Absent `Connection: close` (HTTP/1.1 defaults to keep-alive).
+    pub(crate) keep_alive: bool,
+}
+
+/// One complete request: head plus its (possibly empty) body.
+#[derive(Debug)]
+pub(crate) struct HttpRequest {
+    /// Request line + relevant headers.
+    pub(crate) head: RequestHead,
+    /// Raw body bytes (`Content-Length` many).
+    pub(crate) body: Vec<u8>,
+}
+
+/// A head parsed down to its body length, waiting for the body bytes.
+struct PendingBody {
+    head: RequestHead,
+    body_len: usize,
+}
+
+/// Incremental request parser. Feed it the connection's read buffer
+/// after every read; it consumes exactly the bytes of each complete
+/// request and remembers how far it scanned, so repeated polls over a
+/// slowly arriving head stay linear.
+#[derive(Default)]
+pub(crate) struct RequestParser {
+    /// Bytes of the buffer already scanned for the header terminator.
+    scanned: usize,
+    /// Parsed head awaiting its body.
+    pending: Option<PendingBody>,
+}
+
+impl RequestParser {
+    /// Try to take one complete request off the front of `buf`.
+    /// `Ok(None)` means more bytes are needed; an error means the
+    /// connection must answer with that status and close.
+    pub(crate) fn poll(&mut self, buf: &mut Vec<u8>) -> Result<Option<HttpRequest>, HttpError> {
+        loop {
+            if let Some(pending) = &self.pending {
+                if buf.len() < pending.body_len {
+                    return Ok(None);
+                }
+                let len = pending.body_len;
+                let body: Vec<u8> = buf.drain(..len).collect();
+                let head = self.pending.take().expect("checked above").head;
+                return Ok(Some(HttpRequest { head, body }));
+            }
+            let Some(head_end) = find_head_end(buf, &mut self.scanned) else {
+                if buf.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::new(431, "request header section too large"));
+                }
+                return Ok(None);
+            };
+            let head_bytes: Vec<u8> = buf.drain(..head_end).collect();
+            self.scanned = 0;
+            self.pending = Some(parse_head(&head_bytes)?);
+        }
+    }
+}
+
+/// Find the end of the header section (the byte index *after* the blank
+/// line), tolerating bare-LF line endings. `scanned` caches how far the
+/// previous call looked so repeated polls don't rescan.
+fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let mut i = scanned.saturating_sub(3);
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    *scanned = buf.len();
+    None
+}
+
+/// Parse the request line and headers out of a complete head section.
+fn parse_head(bytes: &[u8]) -> Result<PendingBody, HttpError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    // Skip blank lines before the request line (robustness the RFC
+    // recommends for clients that end the previous body with CRLF).
+    let request_line = loop {
+        match lines.next() {
+            Some("") => continue,
+            Some(line) => break line,
+            None => return Err(HttpError::new(400, "empty request")),
+        }
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(400, "malformed request line"));
+    };
+    if version != "HTTP/1.1" {
+        return Err(HttpError::new(505, "only HTTP/1.1 is supported"));
+    }
+    let mut head = RequestHead {
+        method: method.to_string(),
+        target: target.to_string(),
+        json: false,
+        keep_alive: true,
+    };
+    let mut body_len = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the segment after the final newline
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "malformed header line"));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                body_len = value
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+                if body_len > MAX_BODY_BYTES {
+                    return Err(HttpError::new(413, "request body too large"));
+                }
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::new(
+                    501,
+                    "Transfer-Encoding request bodies are not supported; use Content-Length",
+                ));
+            }
+            "expect" => return Err(HttpError::new(417, "Expect is not supported")),
+            "connection"
+                if value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")) =>
+            {
+                head.keep_alive = false;
+            }
+            "accept" if value.to_ascii_lowercase().contains("application/json") => {
+                head.json = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(PendingBody { head, body_len })
+}
+
+/// Methods whose presence at the start of a connection marks it as
+/// HTTP. Every line-protocol command is lowercase, so the uppercase
+/// method token is an unambiguous discriminator.
+const METHODS: [&str; 7] = ["GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "PATCH "];
+
+/// Sniff the protocol from the first bytes of a connection:
+/// `Some(true)` = HTTP, `Some(false)` = line protocol, `None` = not
+/// enough bytes to tell yet (only while the buffer is a proper prefix
+/// of a method token; at most 8 bytes).
+pub(crate) fn sniff(buf: &[u8]) -> Option<bool> {
+    for method in METHODS {
+        let method = method.as_bytes();
+        if buf.len() >= method.len() {
+            if buf.starts_with(method) {
+                return Some(true);
+            }
+        } else if method.starts_with(buf) {
+            return None;
+        }
+    }
+    Some(false)
+}
+
+/// What the router decided for one request.
+pub(crate) enum Routed {
+    /// Line-protocol commands to run, in order, in the connection's
+    /// session; their reply groups stream as one chunked response
+    /// (`lines` is never empty).
+    Commands {
+        /// The raw command lines (validated as UTF-8 at dispatch, like
+        /// line-protocol input).
+        lines: Vec<Vec<u8>>,
+        /// NDJSON framing was negotiated.
+        json: bool,
+        /// Keep the connection open after the response.
+        keep_alive: bool,
+    },
+    /// A response the router can produce without touching the session
+    /// (`/healthz`, routing errors). Still answered in pipeline order.
+    Immediate {
+        /// Response status code.
+        status: u16,
+        /// Plain-text response body.
+        body: String,
+        /// Keep the connection open after the response.
+        keep_alive: bool,
+    },
+}
+
+/// Map one request onto the command surface.
+pub(crate) fn route(req: HttpRequest) -> Routed {
+    let HttpRequest { head, body } = req;
+    let keep_alive = head.keep_alive;
+    let json = head.json;
+    let (path, query) = match head.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (head.target.as_str(), ""),
+    };
+    let immediate = |status: u16, text: &str| Routed::Immediate {
+        status,
+        body: text.to_string(),
+        keep_alive,
+    };
+    let commands = |lines: Vec<Vec<u8>>| Routed::Commands { lines, json, keep_alive };
+    match (head.method.as_str(), path) {
+        ("GET", "/healthz") => immediate(200, "ok\n"),
+        ("GET", "/stats") => commands(vec![b"stats".to_vec()]),
+        ("GET", "/plan") | ("GET", "/explain") => match query_param(query, "q") {
+            Some(q) if !q.trim().is_empty() => {
+                let verb = if path == "/plan" { "plan" } else { "explain" };
+                commands(vec![format!("{verb} {q}").into_bytes()])
+            }
+            _ => immediate(400, "missing query parameter q\n"),
+        },
+        ("GET", p) if p.starts_with("/series/") => {
+            let rest = &p["/series/".len()..];
+            match rest.split_once('/') {
+                Some((name, k)) if !name.is_empty() && !k.is_empty() && !k.contains('/') => {
+                    let name = percent_decode(name);
+                    let k = percent_decode(k);
+                    commands(vec![format!("series {name} {k}").into_bytes()])
+                }
+                _ => immediate(404, "expected /series/<name>/<k>\n"),
+            }
+        }
+        ("POST", "/eval") => {
+            let mut lines = split_body_lines(&body);
+            if lines.is_empty() {
+                // An empty script is one empty command: answered `ok`,
+                // exactly like an empty line on the line protocol.
+                lines.push(Vec::new());
+            }
+            commands(lines)
+        }
+        ("POST", "/eval-batch") => match std::str::from_utf8(&body) {
+            Ok(text) => {
+                let jobs: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+                if jobs.is_empty() {
+                    immediate(400, "empty batch\n")
+                } else {
+                    let line = format!("eval* {}", crate::proto::join_jobs(jobs));
+                    commands(vec![line.into_bytes()])
+                }
+            }
+            Err(_) => immediate(400, "batch body is not valid UTF-8\n"),
+        },
+        ("GET" | "POST", _) => immediate(404, "no such endpoint\n"),
+        _ => immediate(405, "method not allowed\n"),
+    }
+}
+
+/// Split a `POST /eval` body into command lines exactly like the line
+/// protocol does: `\n` terminates a command, a trailing `\r` is
+/// stripped, and a final newline does not produce an empty command.
+fn split_body_lines(body: &[u8]) -> Vec<Vec<u8>> {
+    let mut lines: Vec<Vec<u8>> = body
+        .split(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l).to_vec())
+        .collect();
+    if lines.last().is_some_and(|l| l.is_empty()) {
+        lines.pop();
+    }
+    lines
+}
+
+/// First value of `name` in a query string, percent-decoded.
+fn query_param(query: &str, name: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then(|| percent_decode(v))
+    })
+}
+
+/// Decode `%XX` escapes and `+`-as-space. Malformed escapes pass
+/// through literally (lenient, like most servers).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        417 => "Expectation Failed",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+/// Status code a reply group's *first* frame decides (see the module
+/// docs' status-code contract).
+pub(crate) fn status_for(frame: &WireFrame) -> u16 {
+    match frame {
+        WireFrame::Final(WireReply::Err(e)) if e == crate::proto::BUSY => 503,
+        WireFrame::Final(WireReply::Err(_)) => 400,
+        _ => 200,
+    }
+}
+
+/// Head of a chunked streaming response.
+pub(crate) fn streaming_head(status: u16, json: bool, keep_alive: bool) -> String {
+    let mut head = format!("HTTP/1.1 {} {}\r\nServer: caz\r\n", status, reason(status));
+    head.push_str(if json {
+        "Content-Type: application/json\r\n"
+    } else {
+        "Content-Type: text/plain; charset=utf-8\r\n"
+    });
+    head.push_str("Transfer-Encoding: chunked\r\n");
+    if status == 503 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    if !keep_alive {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    head
+}
+
+/// A complete, fully buffered (`Content-Length`) response.
+pub(crate) fn simple_response(status: u16, body: &str, keep_alive: bool) -> String {
+    let mut resp = format!("HTTP/1.1 {} {}\r\nServer: caz\r\n", status, reason(status));
+    resp.push_str("Content-Type: text/plain; charset=utf-8\r\n");
+    if status == 503 {
+        resp.push_str("Retry-After: 1\r\n");
+    }
+    if !keep_alive {
+        resp.push_str("Connection: close\r\n");
+    }
+    resp.push_str(&format!("Content-Length: {}\r\n\r\n{}", body.len(), body));
+    resp
+}
+
+/// Encode one chunk of a chunked body.
+pub(crate) fn chunk(data: &str) -> String {
+    format!("{:x}\r\n{}\r\n", data.len(), data)
+}
+
+/// Render one reply frame as one body line: the frame's wire encoding
+/// (`text/plain`, byte-identical to the line protocol) or one NDJSON
+/// object carrying the payload unescaped (`application/json`).
+pub(crate) fn frame_line(frame: &WireFrame, json: bool) -> String {
+    if !json {
+        let mut line = encode_frame(frame);
+        line.push('\n');
+        return line;
+    }
+    let mut line = match frame {
+        WireFrame::Chunk { tag, payload } => format!(
+            "{{\"type\":\"chunk\",\"tag\":\"{}\",\"payload\":\"{}\"}}",
+            json_escape(tag),
+            json_escape(payload)
+        ),
+        WireFrame::ChunkErr { tag, payload } => format!(
+            "{{\"type\":\"chunk_err\",\"tag\":\"{}\",\"error\":\"{}\"}}",
+            json_escape(tag),
+            json_escape(payload)
+        ),
+        WireFrame::Final(WireReply::Ok(payload)) => {
+            format!("{{\"type\":\"ok\",\"payload\":\"{}\"}}", json_escape(payload))
+        }
+        WireFrame::Final(WireReply::Err(e)) => {
+            format!("{{\"type\":\"err\",\"error\":\"{}\"}}", json_escape(e))
+        }
+        WireFrame::Final(WireReply::Bye) => "{\"type\":\"bye\"}".to_string(),
+    };
+    line.push('\n');
+    line
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Client-side helpers (tests, benches, and anything else that needs to
+// speak to the gateway without an HTTP library).
+// ---------------------------------------------------------------------
+
+/// One response as read back by [`read_response`].
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes, de-chunked if the response was chunked.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Format one request with `Content-Length` and `Host` filled in —
+/// enough client for the tests and the load harness.
+pub fn format_request(
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: caz\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !body.is_empty() || method == "POST" {
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    req.push_str("\r\n");
+    let mut bytes = req.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+/// Read one response off a buffered stream, de-chunking a chunked body
+/// (so a `text/plain` body compares byte-for-byte against line-protocol
+/// reply groups). Bodies with neither `Content-Length` nor chunking are
+/// read to EOF.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    if r.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "no status line"));
+    }
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated headers"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    };
+    let mut body = Vec::new();
+    let chunked = find("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if r.read_line(&mut size_line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated chunk size"));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed chunk size {size_line:?}"),
+                )
+            })?;
+            if size == 0 {
+                let mut terminator = String::new();
+                r.read_line(&mut terminator)?; // blank line (no trailers)
+                break;
+            }
+            let mut data = vec![0u8; size + 2]; // chunk + CRLF
+            r.read_exact(&mut data)?;
+            data.truncate(size);
+            body.extend_from_slice(&data);
+        }
+    } else if let Some(len) = find("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        let mut data = vec![0u8; len];
+        r.read_exact(&mut data)?;
+        body = data;
+    } else {
+        r.read_to_end(&mut body)?;
+    }
+    Ok(HttpResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(method: &str, target: &str) -> RequestHead {
+        RequestHead {
+            method: method.into(),
+            target: target.into(),
+            json: false,
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn parser_handles_split_deliveries() {
+        let mut p = RequestParser::default();
+        let mut buf = Vec::new();
+        let req = b"POST /eval HTTP/1.1\r\nHost: x\r\nContent-Length: 6\r\n\r\nstats\n";
+        for (i, &b) in req.iter().enumerate() {
+            buf.push(b);
+            let polled = p.poll(&mut buf).expect("no parse error");
+            if i + 1 < req.len() {
+                assert!(polled.is_none(), "complete at byte {i}");
+            } else {
+                let req = polled.expect("complete request");
+                assert_eq!(req.head.method, "POST");
+                assert_eq!(req.head.target, "/eval");
+                assert_eq!(req.body, b"stats\n");
+                assert!(req.head.keep_alive);
+            }
+        }
+        assert!(buf.is_empty(), "request bytes fully consumed");
+    }
+
+    #[test]
+    fn parser_yields_pipelined_requests_in_order() {
+        let mut p = RequestParser::default();
+        let mut buf =
+            b"GET /stats HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+                .to_vec();
+        let first = p.poll(&mut buf).unwrap().expect("first request");
+        assert_eq!(first.head.target, "/stats");
+        let second = p.poll(&mut buf).unwrap().expect("second request");
+        assert_eq!(second.head.target, "/healthz");
+        assert!(!second.head.keep_alive);
+        assert!(p.poll(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn parser_tolerates_bare_lf_line_endings() {
+        let mut p = RequestParser::default();
+        let mut buf = b"GET /healthz HTTP/1.1\nHost: x\n\n".to_vec();
+        let req = p.poll(&mut buf).unwrap().expect("request");
+        assert_eq!(req.head.target, "/healthz");
+    }
+
+    #[test]
+    fn parser_rejects_oversize_declared_bodies() {
+        let mut p = RequestParser::default();
+        let mut buf = format!(
+            "POST /eval HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .into_bytes();
+        let err = p.poll(&mut buf).expect_err("too large");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn parser_rejects_oversize_header_sections() {
+        let mut p = RequestParser::default();
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        buf.extend_from_slice("X-Pad: ".as_bytes());
+        buf.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 16));
+        let err = p.poll(&mut buf).expect_err("header section too large");
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn parser_rejects_http_10_and_transfer_encoding() {
+        let mut p = RequestParser::default();
+        let mut buf = b"GET / HTTP/1.0\r\n\r\n".to_vec();
+        assert_eq!(p.poll(&mut buf).expect_err("1.0").status, 505);
+        let mut p = RequestParser::default();
+        let mut buf = b"POST /eval HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        assert_eq!(p.poll(&mut buf).expect_err("te").status, 501);
+    }
+
+    #[test]
+    fn sniff_distinguishes_http_from_line_protocol() {
+        assert_eq!(sniff(b"GET /stats HTTP/1.1\r\n"), Some(true));
+        assert_eq!(sniff(b"POST "), Some(true));
+        assert_eq!(sniff(b"stats\n"), Some(false));
+        assert_eq!(sniff(b"mu Q"), Some(false));
+        // Proper prefixes of a method token wait for more bytes.
+        assert_eq!(sniff(b"GE"), None);
+        assert_eq!(sniff(b"OPTION"), None);
+        assert_eq!(sniff(b""), None);
+        // Lowercase never sniffs as HTTP: commands are safe.
+        assert_eq!(sniff(b"get lowercase"), Some(false));
+    }
+
+    #[test]
+    fn router_maps_the_endpoint_surface() {
+        let cases: Vec<(RequestHead, Vec<u8>, &str)> = vec![
+            (head("GET", "/stats"), vec![], "stats"),
+            (head("GET", "/series/Col/3"), vec![], "series Col 3"),
+            (head("GET", "/plan?q=mu%20Q"), vec![], "plan mu Q"),
+            (head("GET", "/explain?q=cond+Col"), vec![], "explain cond Col"),
+            (head("POST", "/eval"), b"mu Q\n".to_vec(), "mu Q"),
+        ];
+        for (h, body, expect) in cases {
+            let target = h.target.clone();
+            match route(HttpRequest { head: h, body }) {
+                Routed::Commands { lines, .. } => {
+                    assert_eq!(lines, vec![expect.as_bytes().to_vec()], "target {target}");
+                }
+                Routed::Immediate { status, .. } => panic!("{target} -> immediate {status}"),
+            }
+        }
+    }
+
+    #[test]
+    fn router_splits_multi_command_bodies() {
+        let req = HttpRequest {
+            head: head("POST", "/eval"),
+            body: b"fact R(c).\nmu Q\r\nstats".to_vec(),
+        };
+        match route(req) {
+            Routed::Commands { lines, .. } => assert_eq!(
+                lines,
+                vec![b"fact R(c).".to_vec(), b"mu Q".to_vec(), b"stats".to_vec()]
+            ),
+            Routed::Immediate { .. } => panic!("expected commands"),
+        }
+    }
+
+    #[test]
+    fn router_builds_eval_batch_groups() {
+        let req = HttpRequest {
+            head: head("POST", "/eval-batch"),
+            body: b"mu Q\ncertain Q\n".to_vec(),
+        };
+        match route(req) {
+            Routed::Commands { lines, .. } => {
+                assert_eq!(lines, vec![b"eval* mu Q\tcertain Q".to_vec()]);
+            }
+            Routed::Immediate { .. } => panic!("expected commands"),
+        }
+    }
+
+    #[test]
+    fn router_answers_unroutable_requests_immediately() {
+        let cases = vec![
+            (head("GET", "/nope"), 404),
+            (head("POST", "/stats"), 404),
+            (head("PUT", "/eval"), 405),
+            (head("GET", "/plan"), 400),
+            (head("GET", "/series/OnlyName"), 404),
+        ];
+        for (h, expect) in cases {
+            let target = h.target.clone();
+            match route(HttpRequest { head: h, body: vec![] }) {
+                Routed::Immediate { status, .. } => assert_eq!(status, expect, "{target}"),
+                Routed::Commands { .. } => panic!("{target} routed to commands"),
+            }
+        }
+    }
+
+    #[test]
+    fn status_follows_the_first_frame() {
+        let busy = WireFrame::Final(WireReply::Err(crate::proto::BUSY.into()));
+        assert_eq!(status_for(&busy), 503);
+        let err = WireFrame::Final(WireReply::Err("unknown query".into()));
+        assert_eq!(status_for(&err), 400);
+        let chunk = WireFrame::Chunk { tag: "1".into(), payload: "row".into() };
+        assert_eq!(status_for(&chunk), 200);
+        assert_eq!(status_for(&WireFrame::Final(WireReply::Ok("x".into()))), 200);
+    }
+
+    #[test]
+    fn text_chunks_concatenate_to_wire_identical_groups() {
+        let frames = [
+            WireFrame::Chunk { tag: "1".into(), payload: "k=  1  0".into() },
+            WireFrame::Final(WireReply::Ok("done 1".into())),
+        ];
+        let mut body = String::new();
+        for f in &frames {
+            body.push_str(&frame_line(f, false));
+        }
+        assert_eq!(body, "ok* 1 k=  1  0\nok done 1\n");
+    }
+
+    #[test]
+    fn json_frames_carry_payloads_unescaped() {
+        let frame = WireFrame::Final(WireReply::Ok("a\nb\"q\"".into()));
+        assert_eq!(
+            frame_line(&frame, true),
+            "{\"type\":\"ok\",\"payload\":\"a\\nb\\\"q\\\"\"}\n"
+        );
+    }
+
+    #[test]
+    fn chunked_responses_roundtrip_through_read_response() {
+        let mut wire = streaming_head(200, false, true);
+        wire.push_str(&chunk("ok* 1 row\n"));
+        wire.push_str(&chunk("ok done 1\n"));
+        wire.push_str(std::str::from_utf8(LAST_CHUNK).unwrap());
+        let mut r = std::io::BufReader::new(wire.as_bytes());
+        let resp = read_response(&mut r).expect("parse own response");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok* 1 row\nok done 1\n");
+        let simple = simple_response(503, "err busy\n", true);
+        let mut r = std::io::BufReader::new(simple.as_bytes());
+        let resp = read_response(&mut r).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, b"err busy\n");
+    }
+}

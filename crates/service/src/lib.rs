@@ -20,6 +20,10 @@
 //!   connection over `std::net::TcpListener`, plus an offline batch
 //!   driver, with a [`metrics`] registry exposed through the `stats`
 //!   command;
+//! * [`http`] — std-only HTTP/1.1 framing (incremental parser, router,
+//!   chunked encoding) the reactor serves on the same port, sniffed
+//!   per connection from the first bytes, so standard tooling can reach
+//!   the same command surface;
 //! * `flush` (private) — a write-behind thread feeding fresh cache
 //!   entries to a crash-safe persistent [`caz_store::Store`]
 //!   (snapshot + checksummed WAL) when the server is configured with a
@@ -35,6 +39,7 @@
 mod anytime;
 pub mod cache;
 mod flush;
+pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod proto;

@@ -100,6 +100,20 @@ pub struct Metrics {
     /// `ok* approx …` estimate chunks streamed to live connections by
     /// anytime `series` jobs (batch mode and cache replays stream none).
     pub anytime_chunks: AtomicU64,
+    /// HTTP requests parsed off sniffed HTTP/1.1 connections (every
+    /// routed request, including ones answered without a session, e.g.
+    /// `/healthz` and routing errors).
+    pub http_requests: AtomicU64,
+    /// HTTP responses with a 2xx status.
+    pub http_2xx: AtomicU64,
+    /// HTTP responses with a 4xx status.
+    pub http_4xx: AtomicU64,
+    /// HTTP responses with a 5xx status (`503` busy, mostly).
+    pub http_5xx: AtomicU64,
+    /// Connections dropped because the peer read replies slower than
+    /// they were produced and the per-connection write buffer hit its
+    /// cap ([`crate::ServerConfig::max_wbuf_bytes`]).
+    pub slow_reader_disconnects: AtomicU64,
     /// Enumeration subtasks executed by a worker other than the one
     /// that scattered them (work actually stolen, not just queued).
     pub subtasks_stolen: AtomicU64,
@@ -159,6 +173,11 @@ impl Default for Metrics {
             conn_inflight_rejected: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             anytime_chunks: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            http_2xx: AtomicU64::new(0),
+            http_4xx: AtomicU64::new(0),
+            http_5xx: AtomicU64::new(0),
+            slow_reader_disconnects: AtomicU64::new(0),
             subtasks_stolen: AtomicU64::new(0),
             subtasks_cancelled: AtomicU64::new(0),
             route_theorem1: AtomicU64::new(0),
@@ -198,6 +217,18 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one HTTP response against its status class. Only the
+    /// classes the gateway emits get counters; anything else (1xx/3xx)
+    /// is unreachable by construction and deliberately uncounted.
+    pub fn note_http_status(&self, status: u16) {
+        match status {
+            200..=299 => self.http_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.http_4xx.fetch_add(1, Ordering::Relaxed),
+            500..=599 => self.http_5xx.fetch_add(1, Ordering::Relaxed),
+            _ => return,
+        };
+    }
+
     /// Render the registry (plus the cache counters) as stable
     /// `key value` lines. The global `cache_*` lines are exact sums of
     /// the per-shard `cache_shard<i>_*` lines that follow them — an
@@ -232,6 +263,14 @@ impl Metrics {
         line(
             "anytime_chunks_total",
             self.anytime_chunks.load(Ordering::Relaxed),
+        );
+        line("http_requests_total", self.http_requests.load(Ordering::Relaxed));
+        line("http_responses_2xx_total", self.http_2xx.load(Ordering::Relaxed));
+        line("http_responses_4xx_total", self.http_4xx.load(Ordering::Relaxed));
+        line("http_responses_5xx_total", self.http_5xx.load(Ordering::Relaxed));
+        line(
+            "slow_reader_disconnects_total",
+            self.slow_reader_disconnects.load(Ordering::Relaxed),
         );
         line(
             "subtasks_stolen_total",

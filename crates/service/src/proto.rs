@@ -71,6 +71,12 @@
 //! element failed, so a client never needs lookahead: read lines until a
 //! non-`*` status.
 //!
+//! The HTTP/1.1 gateway (`crate::http`, docs/HTTP.md) reuses this
+//! framing verbatim: every frame of a group becomes exactly one chunk
+//! of a chunked response body and the terminal frame is followed by the
+//! last-chunk, so a de-chunked `text/plain` body is byte-identical to
+//! the group as the line protocol would have written it.
+//!
 //! ## Overload replies
 //!
 //! Under admission control (`--queue-deadline-ms` and/or

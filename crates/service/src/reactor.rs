@@ -48,12 +48,30 @@
 //! served — in-flight and queued commands finish (nothing is shed
 //! during drain), replies flush, and each connection closes once idle.
 //!
+//! **Two protocols, one port**: unless `--no-http` disables it, the
+//! first bytes of every connection are sniffed ([`crate::http::sniff`])
+//! — an uppercase HTTP method token selects HTTP/1.1 framing, anything
+//! else the line protocol (all commands are lowercase, so the
+//! discriminator is unambiguous). The [`Transport`] on each connection
+//! then decides how extracted input becomes [`Pending`] entries and how
+//! reply frames are encoded in [`Reactor::queue_frames`]: one reply
+//! group per HTTP response, one frame per chunk, so a de-chunked
+//! `text/plain` body is byte-identical to the line protocol's output.
+//!
+//! **Slow readers are bounded**: after a partial socket drain the
+//! written prefix of `wbuf` is compacted away, and a connection whose
+//! *unsent* bytes exceed [`ServerConfig::max_wbuf_bytes`]
+//! (`crate::ServerConfig`) is disconnected and counted in
+//! `slow_reader_disconnects_total` — a peer that stops reading its
+//! streamed `series` can no longer grow the buffer without bound.
+//!
 //! The syscall surface (`epoll_create1`/`epoll_ctl`/`epoll_wait`,
 //! `pipe2`) is declared directly against libc in the [`sys`] submodule
 //! — the workspace is std-only by charter, so no crate dependency; all
 //! `unsafe` in this crate is confined to those few wrappers.
 
 use crate::anytime::eval_series_anytime;
+use crate::http::{self, HttpError, RequestParser, Routed};
 use crate::pool::{DetachedJob, JobResult, Outcome, TrySubmitError};
 use crate::proto::{encode_frame, WireFrame, WireReply};
 use crate::server::{
@@ -81,10 +99,23 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// a line break is broken or hostile, and the reactor must bound
 /// per-connection memory.
 const MAX_LINE_BYTES: usize = 1 << 20;
+/// Compact the drained `wpos` prefix of a write buffer once it reaches
+/// this size (skipping tiny memmoves on fast readers).
+const WBUF_COMPACT_MIN: usize = 4096;
 
 /// The terminal `err busy` reply answering a shed or over-cap command.
 fn busy_final() -> WireFrame {
     WireFrame::Final(WireReply::Err(crate::proto::BUSY.into()))
+}
+
+/// Bytes buffered after the last newline — the input that no amount of
+/// extraction can frame yet. Bounds the read loop for both transports
+/// (HTTP bodies are separately bounded by the parser's limits).
+fn unframed_tail_len(rbuf: &[u8]) -> usize {
+    match rbuf.iter().rposition(|&b| b == b'\n') {
+        Some(pos) => rbuf.len() - pos - 1,
+        None => rbuf.len(),
+    }
 }
 
 /// What one finished piece of pool work means for its connection.
@@ -161,14 +192,85 @@ enum Inflight {
     Series,
 }
 
+/// How a connection frames its input and replies.
+enum Transport {
+    /// Not enough bytes arrived to tell HTTP from the line protocol.
+    Sniff,
+    /// The historical newline-framed command protocol.
+    Line,
+    /// HTTP/1.1: requests parse into command batches, reply groups
+    /// stream as chunked responses (boxed: most connections are Line).
+    Http(Box<HttpState>),
+}
+
+/// Per-connection HTTP state: the incremental parser plus the response
+/// currently being streamed (requests pipeline, responses serialize).
+#[derive(Default)]
+struct HttpState {
+    parser: RequestParser,
+    active: Option<ActiveResponse>,
+}
+
+/// One in-progress HTTP response. Opened when the first command of its
+/// request is pumped; closed (last-chunk) when `remaining` terminal
+/// frames have been encoded.
+struct ActiveResponse {
+    /// NDJSON framing was negotiated via `Accept: application/json`.
+    json: bool,
+    /// Close the connection after this response.
+    keep_alive: bool,
+    /// Terminal frames still owed before the response body ends — one
+    /// per command line of the request.
+    remaining: usize,
+    /// The status line + headers have been written (the status is
+    /// decided by the first frame).
+    head_sent: bool,
+}
+
+/// Response framing carried by the first pending entry of each HTTP
+/// request; [`Reactor::pump`] turns it into the [`ActiveResponse`].
+struct HttpMeta {
+    json: bool,
+    keep_alive: bool,
+    /// Command lines in the request = terminal frames in the response.
+    commands: usize,
+}
+
+/// A transport-level protocol error. Queued *behind* everything already
+/// admitted so the terminal error reaches the peer at a group boundary
+/// — never interleaved into a streaming `series` or `eval*` group —
+/// after which the connection closes.
+enum Fatal {
+    /// A line-protocol peer buffered more than [`MAX_LINE_BYTES`]
+    /// without a newline.
+    OversizeLine,
+    /// An HTTP request failed to parse (431/413/505/...).
+    Http(HttpError),
+}
+
 /// One entry of a connection's pending-command queue.
 enum Pending {
-    /// A complete command line awaiting dispatch.
-    Line(Vec<u8>),
+    /// A complete command line awaiting dispatch. `meta` is set on the
+    /// first command of an HTTP request and opens its response.
+    Line {
+        raw: Vec<u8>,
+        meta: Option<HttpMeta>,
+    },
     /// A line rejected at read time by the per-connection in-flight cap;
     /// queued (instead of answered immediately) so its `err busy` reply
     /// goes out in arrival order like every other reply.
-    Shed,
+    Shed { meta: Option<HttpMeta> },
+    /// A fully formed HTTP response the router produced without a
+    /// session (`/healthz`, routing errors); queued so it is written in
+    /// pipeline order behind earlier requests' responses.
+    Immediate {
+        status: u16,
+        body: String,
+        keep_alive: bool,
+    },
+    /// A transport error to report once everything admitted before it
+    /// has been answered; the connection then closes.
+    Fatal(Fatal),
 }
 
 /// Per-connection state: socket, session, buffers, and the one
@@ -176,6 +278,9 @@ enum Pending {
 struct Conn {
     stream: std::net::TcpStream,
     session: Session,
+    /// Input/reply framing: sniffed on the first bytes, then fixed for
+    /// the connection's lifetime.
+    transport: Transport,
     /// Bytes read but not yet split into lines.
     rbuf: Vec<u8>,
     /// Complete command lines waiting their turn (one command in
@@ -203,10 +308,11 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: std::net::TcpStream) -> Conn {
+    fn new(stream: std::net::TcpStream, transport: Transport) -> Conn {
         Conn {
             stream,
             session: Session::new(),
+            transport,
             rbuf: Vec::new(),
             pending: VecDeque::new(),
             backlog: 0,
@@ -315,8 +421,8 @@ impl Reactor {
         }
         let ids: Vec<u64> = self.conns.keys().copied().collect();
         for id in ids {
-            // Serve lines that had already arrived, then read no more.
-            self.extract_lines(id);
+            // Serve input that had already arrived, then read no more.
+            self.extract_input(id);
             if let Some(conn) = self.conns.get_mut(&id) {
                 conn.read_eof = true;
                 conn.rbuf.clear(); // any partial line will never complete
@@ -351,7 +457,12 @@ impl Reactor {
                         continue;
                     }
                     self.shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                    self.conns.insert(token, Conn::new(stream));
+                    let transport = if self.shared.http {
+                        Transport::Sniff
+                    } else {
+                        Transport::Line
+                    };
+                    self.conns.insert(token, Conn::new(stream, transport));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -386,9 +497,13 @@ impl Reactor {
             // before the stop; bytes arriving after it are not read.
             return;
         }
-        let mut oversize = false;
         loop {
             let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.read_eof {
+                // A transport error already stopped this connection's
+                // input (Fatal queued); never buffer more bytes.
+                break;
+            }
             let mut buf = [0u8; 8192];
             match conn.stream.read(&mut buf) {
                 Ok(0) => {
@@ -397,10 +512,12 @@ impl Reactor {
                 }
                 Ok(n) => {
                     conn.rbuf.extend_from_slice(&buf[..n]);
-                    if conn.rbuf.len() > MAX_LINE_BYTES
-                        && !conn.rbuf[..MAX_LINE_BYTES].contains(&b'\n')
-                    {
-                        oversize = true;
+                    // Stop slurping once the unframed tail exceeds the
+                    // line bound; extraction below either consumes it
+                    // (HTTP body) or turns it into a terminal error.
+                    // epoll here is level-triggered, so a break loses
+                    // no readiness.
+                    if unframed_tail_len(&conn.rbuf) > MAX_LINE_BYTES {
                         break;
                     }
                 }
@@ -412,22 +529,40 @@ impl Reactor {
                 }
             }
         }
-        if oversize {
-            let conn = self.conns.get_mut(&id).expect("checked above");
-            conn.rbuf.clear();
-            conn.pending.clear();
-            conn.backlog = usize::from(conn.inflight.is_some());
-            conn.read_eof = true;
-            conn.closing = true;
-            self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            self.queue_frames(
-                id,
-                &[WireFrame::Final(WireReply::Err("request line too long".into()))],
-            );
+        self.decide_transport(id);
+        self.extract_input(id);
+        self.pump(id);
+    }
+
+    /// Resolve a sniffing connection's transport once its first bytes
+    /// are conclusive ([`http::sniff`]); undecided stays [`Transport::Sniff`]
+    /// until more bytes arrive (or EOF, which defaults to Line — any
+    /// partial input is dropped at close either way).
+    fn decide_transport(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if !matches!(conn.transport, Transport::Sniff) {
             return;
         }
-        self.extract_lines(id);
-        self.pump(id);
+        let is_http = match http::sniff(&conn.rbuf) {
+            Some(v) => v,
+            None if conn.read_eof => false,
+            None => return,
+        };
+        conn.transport = if is_http {
+            Transport::Http(Box::default())
+        } else {
+            Transport::Line
+        };
+    }
+
+    /// Turn buffered bytes into pending entries per the connection's
+    /// transport (no-op while the sniffer is still undecided).
+    fn extract_input(&mut self, id: u64) {
+        match self.conns.get(&id).map(|c| &c.transport) {
+            Some(Transport::Line) => self.extract_lines(id),
+            Some(Transport::Http(_)) => self.extract_requests(id),
+            Some(Transport::Sniff) | None => {}
+        }
     }
 
     /// Split complete `\n`-terminated lines (stripping a trailing `\r`)
@@ -447,17 +582,84 @@ impl Reactor {
             }
             if cap > 0 && conn.backlog >= cap {
                 rejected += 1;
-                conn.pending.push_back(Pending::Shed);
+                conn.pending.push_back(Pending::Shed { meta: None });
             } else {
                 conn.backlog += 1;
-                conn.pending.push_back(Pending::Line(line));
+                conn.pending.push_back(Pending::Line { raw: line, meta: None });
             }
+        }
+        // An oversize unframed tail can never complete into a line:
+        // queue the terminal error *behind* everything admitted above
+        // (groups in flight finish first), then stop reading.
+        if conn.rbuf.len() > MAX_LINE_BYTES {
+            conn.rbuf.clear();
+            conn.read_eof = true;
+            conn.pending.push_back(Pending::Fatal(Fatal::OversizeLine));
+            self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
         if rejected > 0 {
             self.shared
                 .metrics
                 .conn_inflight_rejected
                 .fetch_add(rejected, Ordering::Relaxed);
+        }
+    }
+
+    /// Parse complete HTTP requests off the read buffer and queue their
+    /// command lines (first command carries the response's [`HttpMeta`])
+    /// or immediate responses. A parse error queues a [`Pending::Fatal`]
+    /// and stops reading — the stream position is unrecoverable.
+    fn extract_requests(&mut self, id: u64) {
+        let cap = self.shared.max_inflight_per_conn;
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            let Transport::Http(state) = &mut conn.transport else { return };
+            match state.parser.poll(&mut conn.rbuf) {
+                Ok(None) => return,
+                Ok(Some(req)) => {
+                    self.shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                    match http::route(req) {
+                        Routed::Immediate { status, body, keep_alive } => {
+                            conn.pending.push_back(Pending::Immediate {
+                                status,
+                                body,
+                                keep_alive,
+                            });
+                        }
+                        Routed::Commands { lines, json, keep_alive } => {
+                            let mut meta = Some(HttpMeta {
+                                json,
+                                keep_alive,
+                                commands: lines.len(),
+                            });
+                            let mut rejected = 0u64;
+                            for raw in lines {
+                                let meta = meta.take();
+                                if cap > 0 && conn.backlog >= cap {
+                                    rejected += 1;
+                                    conn.pending.push_back(Pending::Shed { meta });
+                                } else {
+                                    conn.backlog += 1;
+                                    conn.pending.push_back(Pending::Line { raw, meta });
+                                }
+                            }
+                            if rejected > 0 {
+                                self.shared
+                                    .metrics
+                                    .conn_inflight_rejected
+                                    .fetch_add(rejected, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    conn.rbuf.clear();
+                    conn.read_eof = true;
+                    conn.pending.push_back(Pending::Fatal(Fatal::Http(e)));
+                    self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
         }
     }
 
@@ -471,14 +673,37 @@ impl Reactor {
             }
             let Some(entry) = conn.pending.pop_front() else { break };
             let raw = match entry {
-                Pending::Line(raw) => raw,
-                Pending::Shed => {
+                Pending::Line { raw, meta } => {
+                    if let Some(meta) = meta {
+                        Self::open_response(conn, meta);
+                    }
+                    raw
+                }
+                Pending::Shed { meta } => {
                     // A line the in-flight cap rejected: it still counts
                     // as a received request, but busy replies stay out
                     // of errors_total so conn_inflight_rejected_total
                     // reconciles with what the client observed.
+                    let Some(conn) = self.conns.get_mut(&id) else { return };
+                    if let Some(meta) = meta {
+                        Self::open_response(conn, meta);
+                    }
                     self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
                     self.queue_frames(id, &[busy_final()]);
+                    continue;
+                }
+                Pending::Immediate { status, body, keep_alive } => {
+                    self.shared.metrics.note_http_status(status);
+                    let resp = http::simple_response(status, &body, keep_alive);
+                    conn.wbuf.extend_from_slice(resp.as_bytes());
+                    if !keep_alive {
+                        conn.closing = true;
+                    }
+                    self.flush_writes(id);
+                    continue;
+                }
+                Pending::Fatal(fatal) => {
+                    self.fatal_reply(id, fatal);
                     continue;
                 }
             };
@@ -507,6 +732,45 @@ impl Reactor {
         self.maybe_close(id);
     }
 
+    /// Open the HTTP response an [`HttpMeta`]-carrying pending entry
+    /// announces (no-op on line-protocol connections).
+    fn open_response(conn: &mut Conn, meta: HttpMeta) {
+        if let Transport::Http(state) = &mut conn.transport {
+            debug_assert!(state.active.is_none(), "responses serialize");
+            state.active = Some(ActiveResponse {
+                json: meta.json,
+                keep_alive: meta.keep_alive,
+                remaining: meta.commands,
+                head_sent: false,
+            });
+        }
+    }
+
+    /// Answer a [`Pending::Fatal`] — a terminal, transport-appropriate
+    /// error emitted only once everything admitted before it has been
+    /// served — and begin closing.
+    fn fatal_reply(&mut self, id: u64, fatal: Fatal) {
+        match fatal {
+            Fatal::OversizeLine => {
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.closing = true;
+                }
+                self.queue_frames(
+                    id,
+                    &[WireFrame::Final(WireReply::Err("request line too long".into()))],
+                );
+            }
+            Fatal::Http(e) => {
+                self.shared.metrics.note_http_status(e.status);
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                conn.closing = true;
+                let resp = http::simple_response(e.status, &format!("{}\n", e.detail), false);
+                conn.wbuf.extend_from_slice(resp.as_bytes());
+                self.flush_writes(id);
+            }
+        }
+    }
+
     /// Classify one command line and either queue its reply frames or
     /// put its evaluation in flight on the pool.
     fn dispatch(&mut self, id: u64, line: &str) {
@@ -525,6 +789,12 @@ impl Reactor {
                             conn.pending.clear();
                             conn.backlog = 0;
                         }
+                        self.queue_frames(id, &frames);
+                        // `quit` inside a multi-command HTTP body: the
+                        // request's later commands were just cancelled,
+                        // so terminate the open chunked response.
+                        self.finish_http_abort(id);
+                        return;
                     }
                     Control::ShutdownServer => {
                         // The fix for the lost-shutdown bug: commit the
@@ -541,6 +811,7 @@ impl Reactor {
                         // closes idle connections, and this one is idle
                         // the moment its bye is flushed.
                         self.queue_frames(id, &frames);
+                        self.finish_http_abort(id);
                         self.begin_stop();
                         return;
                     }
@@ -856,13 +1127,75 @@ impl Reactor {
         }
     }
 
-    /// Append frames to the connection's write buffer and push as much
-    /// as the socket will take.
+    /// Append frames to the connection's write buffer — encoded per the
+    /// connection's transport — and push as much as the socket will
+    /// take. On HTTP connections each frame becomes one chunk of the
+    /// active response; the response's terminal-frame count reaching
+    /// zero writes the last-chunk and, without keep-alive, closes.
     fn queue_frames(&mut self, id: u64, frames: &[WireFrame]) {
         let Some(conn) = self.conns.get_mut(&id) else { return };
-        for frame in frames {
-            conn.wbuf.extend_from_slice(encode_frame(frame).as_bytes());
-            conn.wbuf.push(b'\n');
+        match &mut conn.transport {
+            Transport::Line | Transport::Sniff => {
+                for frame in frames {
+                    conn.wbuf.extend_from_slice(encode_frame(frame).as_bytes());
+                    conn.wbuf.push(b'\n');
+                }
+            }
+            Transport::Http(state) => {
+                for frame in frames {
+                    let Some(active) = state.active.as_mut() else {
+                        // No open response can only mean the request was
+                        // aborted (quit/shutdown); drop the frame.
+                        continue;
+                    };
+                    let is_final = matches!(frame, WireFrame::Final(_));
+                    if matches!(frame, WireFrame::Final(WireReply::Bye)) {
+                        active.keep_alive = false;
+                    }
+                    if !active.head_sent {
+                        let status = http::status_for(frame);
+                        self.shared.metrics.note_http_status(status);
+                        conn.wbuf.extend_from_slice(
+                            http::streaming_head(status, active.json, active.keep_alive)
+                                .as_bytes(),
+                        );
+                        active.head_sent = true;
+                    }
+                    let line = http::frame_line(frame, active.json);
+                    conn.wbuf.extend_from_slice(http::chunk(&line).as_bytes());
+                    if is_final {
+                        active.remaining = active.remaining.saturating_sub(1);
+                        if active.remaining == 0 {
+                            conn.wbuf.extend_from_slice(http::LAST_CHUNK);
+                            if !active.keep_alive {
+                                conn.closing = true;
+                            }
+                            state.active = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_writes(id);
+    }
+
+    /// Terminate an HTTP response left open by an aborted request
+    /// (`quit`/`shutdown` cancelled its remaining commands) so the peer
+    /// sees a well-formed body before the close. No-op otherwise.
+    fn finish_http_abort(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if let Transport::Http(state) = &mut conn.transport {
+            if let Some(active) = state.active.take() {
+                if active.head_sent {
+                    conn.wbuf.extend_from_slice(http::LAST_CHUNK);
+                } else {
+                    // Defensive: no frame was ever queued for this
+                    // response; close it out as an empty 200.
+                    conn.wbuf.extend_from_slice(
+                        http::simple_response(200, "", false).as_bytes(),
+                    );
+                }
+            }
         }
         self.flush_writes(id);
     }
@@ -899,6 +1232,23 @@ impl Reactor {
                 if conn.want_write {
                     conn.want_write = false;
                     interest = Some(sys::EPOLLIN | sys::EPOLLRDHUP);
+                }
+            } else if !dead {
+                // Partial drain: compact the written prefix so a slow
+                // reader's buffer holds only unsent bytes, then bound
+                // those — a peer that stops reading a streamed series
+                // must not grow the buffer without limit.
+                if conn.wpos >= WBUF_COMPACT_MIN {
+                    conn.wbuf.drain(..conn.wpos);
+                    conn.wpos = 0;
+                }
+                let cap = self.shared.wbuf_cap;
+                if cap > 0 && conn.wbuf.len() - conn.wpos > cap {
+                    self.shared
+                        .metrics
+                        .slow_reader_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                    dead = true;
                 }
             }
             if let Some(events) = interest {

@@ -112,6 +112,17 @@ pub struct ServerConfig {
     /// Target cadence of `ok* approx …` chunks in milliseconds
     /// (`--anytime-interval-ms`).
     pub anytime_interval_ms: u64,
+    /// Serve HTTP/1.1 (keep-alive, chunked responses) on the same port
+    /// as the line protocol, sniffed per connection from the first
+    /// bytes (see [`crate::http`]). `--no-http` disables the sniffer,
+    /// restoring a line-protocol-only listener.
+    pub http: bool,
+    /// Cap on *unsent* reply bytes buffered per connection. A peer that
+    /// reads slower than its replies are produced (e.g. an unread
+    /// streaming `series`) is disconnected once the buffer exceeds the
+    /// cap, counted in `slow_reader_disconnects_total`. `0` disables
+    /// the bound (the pre-cap behavior: unbounded growth).
+    pub max_wbuf_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +142,8 @@ impl Default for ServerConfig {
             queue_deadline_ms: 0,
             anytime: true,
             anytime_interval_ms: 25,
+            http: true,
+            max_wbuf_bytes: 4 << 20,
         }
     }
 }
@@ -156,6 +169,12 @@ pub(crate) struct Shared {
     /// the approx chunks, `None` when `--no-anytime` forces the
     /// sequential legacy path (see [`ServerConfig::anytime`]).
     pub(crate) anytime: Option<std::time::Duration>,
+    /// Sniff and serve HTTP/1.1 alongside the line protocol (see
+    /// [`ServerConfig::http`]).
+    pub(crate) http: bool,
+    /// Per-connection cap on unsent reply bytes; `0` = unbounded (see
+    /// [`ServerConfig::max_wbuf_bytes`]).
+    pub(crate) wbuf_cap: usize,
 }
 
 impl Shared {
@@ -199,6 +218,8 @@ impl Shared {
             anytime: cfg
                 .anytime
                 .then(|| std::time::Duration::from_millis(cfg.anytime_interval_ms.max(1))),
+            http: cfg.http,
+            wbuf_cap: cfg.max_wbuf_bytes,
         })
     }
 

@@ -297,7 +297,22 @@ fn shutdown_from_vanishing_client_still_stops_the_server() {
     // the close arrived, failed the `bye` write and bailed out of the
     // handler before the stop flag was ever set. Either way the server
     // ran forever. The fix commits the stop before attempting `bye`.
-    let (addr, _handle, join) = spawn_server(1);
+    //
+    // The slow-reader write-buffer cap (`max_wbuf_bytes`) is disabled
+    // here: this victim *is* a never-reading client, and with the cap
+    // on the server would (correctly) disconnect it — megabytes of
+    // undeliverable replies and all — before the pipelined `shutdown`
+    // is ever dispatched. This test is about the stop-commit ordering,
+    // so it opts back into unbounded buffering.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        max_wbuf_bytes: 0,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
 
     // A second connection that watches progress through `stats` without
     // ever touching the victim's reply stream.

@@ -186,6 +186,44 @@ cmp -s "$STORE_TMP/series_any.exact" "$STORE_TMP/series_seq.out" \
          diff "$STORE_TMP/series_any.exact" "$STORE_TMP/series_seq.out" >&2 || true; exit 1; }
 echo "    anytime OK: estimates streamed first, exact frames byte-identical"
 
+# HTTP smoke stage: the gateway over raw /dev/tcp (no curl, no HTTP
+# library — the point is that a shell is a sufficient client). Two
+# pipelined requests on one keep-alive connection: GET /healthz
+# (immediate, Content-Length) and POST /eval whose chunked body must
+# contain the same `ok` reply lines the line protocol would write;
+# the second request carries Connection: close so EOF ends the read.
+echo "==> http smoke (gateway over /dev/tcp: healthz + pipelined eval)"
+./target/release/caz serve --addr 127.0.0.1:0 --workers 2 \
+    2> "$STORE_TMP/http.err" &
+HTTP_SRV=$!
+HTTP_ADDR=""
+for _ in $(seq 100); do
+    HTTP_ADDR="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$STORE_TMP/http.err")"
+    [ -n "$HTTP_ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$HTTP_ADDR" ] || { echo "http smoke FAILED: server did not start" >&2; exit 1; }
+HTTP_BODY=$'fact R(a, _x). R(a, _y).\nquery Q := exists u, v. R(u, v)\nmu Q'
+exec 3<>"/dev/tcp/127.0.0.1/${HTTP_ADDR##*:}"
+printf 'GET /healthz HTTP/1.1\r\nHost: caz\r\n\r\n' >&3
+printf 'POST /eval HTTP/1.1\r\nHost: caz\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "${#HTTP_BODY}" "$HTTP_BODY" >&3
+tr -d '\r' <&3 > "$STORE_TMP/http.out"
+exec 3<&- 3>&-
+kill "$HTTP_SRV" 2>/dev/null || true
+wait "$HTTP_SRV" 2>/dev/null || true
+[ "$(grep -c '^HTTP/1.1 200 OK$' "$STORE_TMP/http.out")" -eq 2 ] \
+    || { echo "http smoke FAILED: expected two 200 responses" >&2
+         cat "$STORE_TMP/http.out" >&2; exit 1; }
+grep -q '^Transfer-Encoding: chunked$' "$STORE_TMP/http.out" \
+    || { echo "http smoke FAILED: eval response is not chunked" >&2; exit 1; }
+for want in '^ok$' '^ok 2 fact(s) added$' '^ok query Q defined$' '^ok μ(Q, D) = 1$'; do
+    grep -q "$want" "$STORE_TMP/http.out" \
+        || { echo "http smoke FAILED: missing reply line $want" >&2
+             cat "$STORE_TMP/http.out" >&2; exit 1; }
+done
+echo "    http smoke OK: healthz + chunked eval replies over a raw socket"
+
 echo "==> cargo clippy -p caz-core --all-targets -- -D warnings"
 cargo clippy -p caz-core --all-targets -- -D warnings
 

@@ -55,7 +55,17 @@ options for serve:
                               escape hatch; final rows are byte-identical
                               either way)
   --anytime-interval-ms <n>   cadence of the streamed approx estimates
-                              for expensive 'series' jobs (default 25)";
+                              for expensive 'series' jobs (default 25)
+  --http / --no-http          serve HTTP/1.1 (keep-alive + chunked
+                              responses) on the same port as the line
+                              protocol, sniffed per connection from the
+                              first bytes (default on; --no-http
+                              restores a line-protocol-only listener)
+  --max-wbuf-bytes <n>        disconnect a connection whose unsent
+                              reply bytes exceed <n> — a slow reader
+                              on a streamed series no longer buffers
+                              without bound (default 4194304; 0 =
+                              unbounded)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -145,6 +155,17 @@ fn serve(args: &[String]) -> ExitCode {
             "--no-anytime" => {
                 cfg.anytime = false;
                 Ok(())
+            }
+            "--http" => {
+                cfg.http = true;
+                Ok(())
+            }
+            "--no-http" => {
+                cfg.http = false;
+                Ok(())
+            }
+            "--max-wbuf-bytes" => {
+                parse_num_or_zero(value("--max-wbuf-bytes"), &mut cfg.max_wbuf_bytes)
             }
             "--anytime-interval-ms" => {
                 let mut ms = cfg.anytime_interval_ms as usize;
