@@ -1,0 +1,440 @@
+//! `cluster_bench` — E24: multi-process replica scaling through the
+//! routing front-end.
+//!
+//! Spawns real `caz` subprocesses — a leader (`--role leader`), read
+//! replicas (`--role replica`), and the `caz route` front-end — wired
+//! exactly as the CLUSTER.md quick-start wires them, then drives the
+//! E21 read workload (the Theorem-1 `mu` catalog) through the router
+//! in phases:
+//!
+//! 1. **replicas=1** — closed-loop read clients, one replica ready;
+//! 2. **bootstrap** — a second replica joins *mid-run* (the leader is
+//!    taking writes throughout) and the time to its first `lag 0`
+//!    ready report is measured;
+//! 3. **replicas=2** — the same clients reconnect and spread over
+//!    both replicas;
+//! 4. **failover** — the leader process is killed and reads continue
+//!    against the surviving replicas.
+//!
+//! Every reply frame in every phase is parsed; a single malformed
+//! frame fails the run. Results land in `BENCH_cluster.json`. On a
+//! single-core container the replicas=2/replicas=1 ratio measures
+//! process overhead, not parallelism — the JSON records `cores` so
+//! readers can judge the ratio in context.
+//!
+//! `CAZ_BIN` overrides the server binary (default: `caz` next to this
+//! binary); pass `--smoke` for the CI-sized run.
+
+use caz_bench::load::{catalog, Catalog};
+use caz_service::http::{format_request, read_response};
+use caz_service::proto::{decode_frame, WireFrame, WireReply};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn caz_binary() -> PathBuf {
+    if let Ok(bin) = std::env::var("CAZ_BIN") {
+        return bin.into();
+    }
+    let mut path = std::env::current_exe().expect("current_exe");
+    path.pop();
+    path.push("caz");
+    path
+}
+
+/// A spawned cluster member plus the addresses scraped from its
+/// startup banner.
+struct Member {
+    child: Child,
+    client_addr: SocketAddr,
+    replication_addr: Option<SocketAddr>,
+}
+
+impl Member {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Member {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawn `caz` with `args` and scrape `listening on <addr>` banners
+/// from its stderr. Once the client address is known, a drain thread
+/// keeps the pipe from filling.
+fn spawn_member(args: &[String]) -> Member {
+    let mut child = Command::new(caz_binary())
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn caz");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let mut client_addr = None;
+    let mut replication_addr = None;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while client_addr.is_none() {
+        assert!(Instant::now() < deadline, "member did not print its listen address");
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            panic!("member exited before listening: {args:?}");
+        }
+        if let Some(rest) = line.strip_prefix("caz-service replication listening on ") {
+            replication_addr = rest.trim().parse().ok();
+        } else if let Some(rest) = line
+            .strip_prefix("caz-service listening on ")
+            .or_else(|| line.strip_prefix("caz-route listening on "))
+        {
+            let addr = rest.split_whitespace().next().unwrap_or("");
+            client_addr = addr.parse().ok();
+        }
+    }
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Member { child, client_addr: client_addr.unwrap(), replication_addr }
+}
+
+fn strs(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+/// `GET /healthz` against a member: `(status, body)`, or `None` if the
+/// member is unreachable.
+fn healthz(addr: SocketAddr) -> Option<(u16, String)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(&format_request("GET", "/healthz", &[], b"")).ok()?;
+    let mut reader = BufReader::new(stream);
+    let resp = read_response(&mut reader).ok()?;
+    Some((resp.status, String::from_utf8_lossy(&resp.body).into_owned()))
+}
+
+fn health_value(body: &str, key: &str) -> Option<u64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix(' ')))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Wait until a member reports ready (200) with zero replication lag.
+/// Returns the time it took.
+fn wait_ready(addr: SocketAddr, what: &str) -> Duration {
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(30);
+    loop {
+        if let Some((200, body)) = healthz(addr) {
+            if health_value(&body, "lag_records") == Some(0) {
+                return start.elapsed();
+            }
+        }
+        assert!(Instant::now() < deadline, "{what} never became ready");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// One phase's aggregate counts across all client threads.
+#[derive(Default)]
+struct PhaseCounts {
+    ok: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    malformed: AtomicU64,
+}
+
+struct PhaseReport {
+    label: &'static str,
+    qps: f64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    malformed: u64,
+}
+
+/// Send `line` and read frames until the terminal one, classifying it
+/// into the phase counts. Returns false when the connection died.
+fn run_job(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+    counts: &PhaseCounts,
+) -> bool {
+    if writer.write_all(line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+        return false;
+    }
+    loop {
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) => {}
+        }
+        match decode_frame(reply.trim_end()) {
+            Some(WireFrame::Chunk { .. } | WireFrame::ChunkErr { .. }) => continue,
+            Some(WireFrame::Final(WireReply::Ok(_))) => {
+                counts.ok.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Some(WireFrame::Final(WireReply::Err(e))) if e.contains("busy") => {
+                counts.busy.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Some(WireFrame::Final(WireReply::Err(_))) => {
+                counts.errors.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Some(WireFrame::Final(WireReply::Bye)) => return false,
+            None => {
+                counts.malformed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+}
+
+/// Connect through the router and replay the catalog setup. A dead
+/// backend mid-setup returns `None` so the client can redial (and be
+/// spliced to a live member).
+fn connect_client(router: SocketAddr, cat: &Catalog, counts: &PhaseCounts) -> Option<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(router).ok()?;
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    for line in &cat.setup {
+        if !run_job(&mut writer, &mut reader, line, counts) {
+            return None;
+        }
+    }
+    Some((writer, reader))
+}
+
+/// One closed-loop read phase: `conns` clients hammer the catalog's
+/// job lines round-robin through the router for `dur`.
+fn read_phase(
+    label: &'static str,
+    router: SocketAddr,
+    conns: usize,
+    dur: Duration,
+    cat: &Catalog,
+) -> PhaseReport {
+    let counts = Arc::new(PhaseCounts::default());
+    // Setup replies are counted too; measure reads only.
+    let deadline = Instant::now() + dur;
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..conns {
+        let counts = Arc::clone(&counts);
+        let cat = cat.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut conn = None;
+            let mut rank = c; // de-phase the round-robin across clients
+            let mut reads = 0u64;
+            while Instant::now() < deadline {
+                if conn.is_none() {
+                    // Setup replies land in a throwaway count: only
+                    // job replies below are part of the measurement.
+                    let warmup = PhaseCounts::default();
+                    conn = connect_client(router, &cat, &warmup);
+                    if conn.is_none() {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                }
+                let (writer, reader) = conn.as_mut().unwrap();
+                let line = &cat.jobs[rank % cat.jobs.len()];
+                rank = rank.wrapping_add(1);
+                if run_job(writer, reader, line, &counts) {
+                    reads += 1;
+                } else {
+                    conn = None; // backend died; redial through the router
+                }
+            }
+            reads
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ok = counts.ok.load(Ordering::Relaxed);
+    PhaseReport {
+        label,
+        qps: ok as f64 / elapsed,
+        ok,
+        busy: counts.busy.load(Ordering::Relaxed),
+        errors: counts.errors.load(Ordering::Relaxed),
+        malformed: counts.malformed.load(Ordering::Relaxed),
+    }
+}
+
+/// A background write stream against the leader's client port: fresh
+/// query definitions, so every job is a miss the leader must compute,
+/// persist, and replicate.
+fn write_stream(leader: SocketAddr, stop: Arc<AtomicBool>, cat: Catalog) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let counts = PhaseCounts::default();
+        let Some((mut writer, mut reader)) = connect_client(leader, &cat, &counts) else {
+            return 0;
+        };
+        let mut written = 0u64;
+        let mut i = 0usize;
+        while !stop.load(Ordering::SeqCst) {
+            let define = format!("query W{i} := exists p. R(c{}, p) & R(c{}, p)", i % 6, (i / 6) % 6);
+            let job = format!("mu W{i}");
+            i += 1;
+            if !run_job(&mut writer, &mut reader, &define, &counts)
+                || !run_job(&mut writer, &mut reader, &job, &counts)
+            {
+                break;
+            }
+            written += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        written
+    })
+}
+
+/// Reserve an ephemeral port for a member that starts later (the
+/// router's member list is fixed at spawn time).
+fn reserve_port() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    listener.local_addr().expect("reserved addr")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (phase_ms, conns, ranks) = if smoke { (800, 3, 8) } else { (3_000, 4, 16) };
+    let dur = Duration::from_millis(phase_ms);
+    let cat = catalog(0, ranks);
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+
+    let store = std::env::temp_dir().join(format!("caz-cluster-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // ── leader ──
+    let leader = spawn_member(&strs(&[
+        "serve",
+        "--addr", "127.0.0.1:0",
+        "--role", "leader",
+        "--cache-path", store.to_str().unwrap(),
+        "--replication-addr", "127.0.0.1:0",
+        "--workers", "2",
+    ]));
+    let repl_addr = leader.replication_addr.expect("leader prints its replication address");
+    eprintln!("leader: client {} replication {}", leader.client_addr, repl_addr);
+
+    // Warm every read rank on the leader so replicas can serve all of
+    // them from replicated state.
+    {
+        let counts = PhaseCounts::default();
+        let (mut writer, mut reader) =
+            connect_client(leader.client_addr, &cat, &counts).expect("warm leader");
+        for job in &cat.jobs {
+            assert!(run_job(&mut writer, &mut reader, job, &counts), "warm {job}");
+        }
+        assert_eq!(counts.malformed.load(Ordering::Relaxed), 0);
+    }
+
+    let replica_args = |client: &str| {
+        strs(&[
+            "serve",
+            "--addr", client,
+            "--role", "replica",
+            "--leader-addr", &repl_addr.to_string(),
+            "--workers", "2",
+        ])
+    };
+
+    // ── replica 1 + router ──
+    let r1 = spawn_member(&replica_args("127.0.0.1:0"));
+    let r1_ready = wait_ready(r1.client_addr, "replica 1");
+    eprintln!("replica 1: {} ready in {:?}", r1.client_addr, r1_ready);
+
+    let r2_addr = reserve_port();
+    let router = spawn_member(&strs(&[
+        "route",
+        "--addr", "127.0.0.1:0",
+        "--member", &leader.client_addr.to_string(),
+        "--member", &r1.client_addr.to_string(),
+        "--member", &r2_addr.to_string(),
+        "--health-interval-ms", "200",
+    ]));
+    eprintln!("router: {}", router.client_addr);
+
+    // ── phase 1: one ready replica ──
+    let p1 = read_phase("replicas=1", router.client_addr, conns, dur, &cat);
+    eprintln!("replicas=1: {:.0} qps ({} ok)", p1.qps, p1.ok);
+
+    // ── phase 2: second replica bootstraps mid-run ──
+    let stop_writes = Arc::new(AtomicBool::new(false));
+    let writer = write_stream(leader.client_addr, Arc::clone(&stop_writes), cat.clone());
+    let mut r2 = spawn_member(&replica_args(&r2_addr.to_string()));
+    let bootstrap = wait_ready(r2.client_addr, "replica 2");
+    stop_writes.store(true, Ordering::SeqCst);
+    let writes_during_bootstrap = writer.join().unwrap_or(0);
+    eprintln!(
+        "replica 2 bootstrapped to lag 0 in {:?} ({} writes in flight)",
+        bootstrap, writes_during_bootstrap
+    );
+    // Let the router's next poll see the new replica.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // ── phase 3: two ready replicas ──
+    let p2 = read_phase("replicas=2", router.client_addr, conns, dur, &cat);
+    eprintln!("replicas=2: {:.0} qps ({} ok)", p2.qps, p2.ok);
+
+    // ── phase 4: kill the leader; replicas keep serving ──
+    let mut leader = leader;
+    leader.kill();
+    std::thread::sleep(Duration::from_millis(500));
+    let p3 = read_phase("failover", router.client_addr, conns, dur, &cat);
+    eprintln!("failover: {:.0} qps ({} ok)", p3.qps, p3.ok);
+    for (addr, name) in [(r1.client_addr, "replica 1"), (r2.client_addr, "replica 2")] {
+        let (status, body) = healthz(addr).expect("replica healthz after failover");
+        assert_eq!(status, 200, "{name} unready after leader death: {body}");
+    }
+
+    let phases = [&p1, &p2, &p3];
+    for p in phases {
+        assert_eq!(p.malformed, 0, "{}: malformed reply frames", p.label);
+        assert_eq!(p.errors, 0, "{}: non-busy errors", p.label);
+    }
+    let ratio = p2.qps / p1.qps.max(f64::EPSILON);
+
+    let phase_json: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"phase\": \"{}\", \"qps\": {:.1}, \"ok\": {}, \"busy\": {}, \
+                 \"errors\": {}, \"malformed\": {} }}",
+                p.label, p.qps, p.ok, p.busy, p.errors, p.malformed
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"cluster-replica-scaling\",\n  \"cores\": {cores},\n  \
+         \"connections\": {conns},\n  \"ranks\": {ranks},\n  \"phase_ms\": {phase_ms},\n  \
+         \"phases\": [\n{}\n  ],\n  \"scaling_ratio\": {ratio:.2},\n  \
+         \"bootstrap_to_lag0_ms\": {},\n  \"writes_during_bootstrap\": {writes_during_bootstrap}\n}}\n",
+        phase_json.join(",\n"),
+        bootstrap.as_millis(),
+    );
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    print!("{json}");
+
+    r2.kill();
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -1,0 +1,459 @@
+//! The leader side: a flusher-fed fanout plus the replication
+//! listener.
+//!
+//! Design: feeder threads never receive record bytes from the flusher.
+//! [`Fanout`] (the [`ReplicationSink`]) only advances a shared view of
+//! the store — (generation, WAL length, WAL record count) — and wakes
+//! the feeders; each feeder then reads the bytes it owes its replica
+//! straight from the store files with positioned reads
+//! ([`caz_store::StoreReader`], `pread`-based, so the single-writer
+//! flusher is never disturbed). This unifies live tailing and
+//! catch-up: a replica that connects late, falls behind, or bootstraps
+//! mid-run is just a feeder whose offset is further from the end — no
+//! queues to overflow, no slow-replica backpressure on the write path,
+//! and the shipped bytes are byte-identical to the leader's disk, so
+//! the store's CRC framing protects them in flight too.
+//!
+//! Compaction folds the WAL into a fresh snapshot and resets the file;
+//! every shipped offset dies with it. The sink callback bumps the
+//! shared *generation*; feeders notice before their next read, send
+//! `reset <generation>`, and re-anchor at the file header — connected
+//! replicas keep their caches (compaction never invents or drops
+//! entries, it folds them), while a replica *rejoining* with offsets
+//! from a dead generation fails the handshake match and re-bootstraps
+//! from the snapshot.
+
+use crate::wire::{self, Ack, Greeting, StreamMsg, Sync};
+use caz_service::replication::ReplicationSink;
+use caz_service::Metrics;
+use caz_store::{parse_records, Entry, StoreReader, HEADER_BYTES};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Most WAL bytes shipped per `wal` message. Chunks are clipped to
+/// whole records, so a single record larger than this still ships (the
+/// feeder grows the read until one record fits).
+const CHUNK_BYTES: u64 = 256 * 1024;
+/// Idle heartbeat cadence (also bounds feeder shutdown latency).
+const PING_INTERVAL: Duration = Duration::from_millis(500);
+
+/// The store view shared between the flusher's sink callbacks and the
+/// feeder threads.
+#[derive(Debug, Default)]
+struct LeaderState {
+    /// Compaction generation; bumping it invalidates every shipped
+    /// WAL offset.
+    generation: u64,
+    /// Current WAL file length (header included).
+    wal_len: u64,
+    /// Records currently in the WAL (this generation).
+    wal_records: u64,
+    /// Current snapshot file length.
+    snapshot_len: u64,
+}
+
+/// The leader's [`ReplicationSink`]: one instance is handed to the
+/// server config (the flusher calls it after every successful store
+/// write) and to [`Leader::start`] (the feeders wait on it).
+#[derive(Debug, Default)]
+pub struct Fanout {
+    /// This leader process's lifetime tag; set by [`Leader::start`].
+    epoch: AtomicU64,
+    state: Mutex<LeaderState>,
+    changed: Condvar,
+}
+
+impl Fanout {
+    /// A fanout with an empty store view; [`Leader::start`] primes it
+    /// from the store files before the first replica can connect.
+    pub fn new() -> Arc<Fanout> {
+        Arc::new(Fanout::default())
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+impl ReplicationSink for Fanout {
+    fn wal_appended(&self, batch: &[Entry], wal_len_after: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.wal_len = wal_len_after;
+        st.wal_records += batch.len() as u64;
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    fn wal_compacted(&self, snapshot_len: u64, wal_len_after: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.generation += 1;
+        st.wal_len = wal_len_after;
+        st.wal_records = 0;
+        st.snapshot_len = snapshot_len;
+        drop(st);
+        self.changed.notify_all();
+    }
+}
+
+/// Per-connected-replica slot: ack state for the lag gauge, plus the
+/// socket so shutdown can sever it.
+struct Peer {
+    acked_generation: AtomicU64,
+    acked_records: AtomicU64,
+    stream: TcpStream,
+}
+
+/// The replication listener: accepts replicas and feeds each one.
+pub struct Leader {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    fanout: Arc<Fanout>,
+    peers: Arc<Mutex<Vec<Arc<Peer>>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Leader {
+    /// Bind the replication listener and start accepting replicas.
+    ///
+    /// Must run after the server opened the store (recovery may
+    /// truncate a torn WAL tail) and before it serves clients (the
+    /// store view is primed from the files here, and a client-driven
+    /// append racing the priming read would be counted twice).
+    /// `epoch` must identify this leader process lifetime (any value
+    /// overwhelmingly unlikely to repeat across restarts).
+    pub fn start(
+        fanout: Arc<Fanout>,
+        store_dir: &Path,
+        addr: &str,
+        epoch: u64,
+        metrics: Arc<Metrics>,
+    ) -> io::Result<Leader> {
+        let reader = StoreReader::new(store_dir);
+        fanout.epoch.store(epoch, Ordering::Relaxed);
+        // Prime the shared view from the recovered files: the WAL is
+        // parsed (not just measured) so `wal_records` is exact and a
+        // torn tail — impossible after recovery, but cheap to tolerate
+        // — is never shipped.
+        {
+            let wal_len = reader.wal_len()?;
+            let body_len = wal_len.saturating_sub(HEADER_BYTES) as usize;
+            let wal = reader.read_wal_at(HEADER_BYTES, body_len)?;
+            let parsed = parse_records(&wal);
+            let mut st = fanout.state.lock().unwrap();
+            st.generation = 1;
+            st.wal_len = HEADER_BYTES + parsed.valid_bytes;
+            st.wal_records = parsed.entries.len() as u64;
+            st.snapshot_len = reader.snapshot_len()?;
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let peers: Arc<Mutex<Vec<Arc<Peer>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let fanout = Arc::clone(&fanout);
+            let stop = Arc::clone(&stop);
+            let peers = Arc::clone(&peers);
+            std::thread::Builder::new().name("caz-repl-accept".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let fanout = Arc::clone(&fanout);
+                    let stop = Arc::clone(&stop);
+                    let peers = Arc::clone(&peers);
+                    let reader = reader.clone();
+                    let metrics = Arc::clone(&metrics);
+                    let _ = std::thread::Builder::new().name("caz-repl-feed".into()).spawn(
+                        move || {
+                            metrics.replicas_connected.fetch_add(1, Ordering::Relaxed);
+                            let _ = serve_replica(stream, &fanout, &stop, &peers, &reader, &metrics);
+                            metrics.replicas_connected.fetch_sub(1, Ordering::Relaxed);
+                            refresh_lag(&fanout, &peers, &metrics);
+                        },
+                    );
+                }
+            })?
+        };
+        Ok(Leader { addr: local, stop, fanout, peers, accept: Some(accept) })
+    }
+
+    /// The bound replication address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, sever every replica connection, and join the
+    /// acceptor. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake feeders parked on the condvar so they observe the flag.
+        self.fanout.changed.notify_all();
+        for peer in self.peers.lock().unwrap().drain(..) {
+            let _ = peer.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Leader {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Recompute the leader-side lag gauge: the worst connected replica's
+/// unapplied record count under the current generation (a replica
+/// still acking a dead generation counts as fully lagging).
+fn refresh_lag(fanout: &Fanout, peers: &Mutex<Vec<Arc<Peer>>>, metrics: &Metrics) {
+    let st = fanout.state.lock().unwrap();
+    let lag = peers
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|p| {
+            if p.acked_generation.load(Ordering::Relaxed) == st.generation {
+                st.wal_records.saturating_sub(p.acked_records.load(Ordering::Relaxed))
+            } else {
+                st.wal_records
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    metrics.replica_lag_records.store(lag, Ordering::Relaxed);
+}
+
+/// Serve one replica connection to completion: register the peer,
+/// handshake, ship, and unregister on any exit path.
+fn serve_replica(
+    stream: TcpStream,
+    fanout: &Arc<Fanout>,
+    stop: &Arc<AtomicBool>,
+    peers: &Arc<Mutex<Vec<Arc<Peer>>>>,
+    reader: &StoreReader,
+    metrics: &Arc<Metrics>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let peer = Arc::new(Peer {
+        acked_generation: AtomicU64::new(0),
+        acked_records: AtomicU64::new(0),
+        stream: stream.try_clone()?,
+    });
+    peers.lock().unwrap().push(Arc::clone(&peer));
+    let result = feed(stream, fanout, stop, peers, reader, metrics, &peer);
+    peers.lock().unwrap().retain(|p| !Arc::ptr_eq(p, &peer));
+    result
+}
+
+/// The feeder proper: handshake, optional snapshot ship, then the WAL
+/// tail until the socket, the leader, or the replica goes away.
+fn feed(
+    stream: TcpStream,
+    fanout: &Arc<Fanout>,
+    stop: &Arc<AtomicBool>,
+    peers: &Arc<Mutex<Vec<Arc<Peer>>>>,
+    reader: &StoreReader,
+    metrics: &Arc<Metrics>,
+    peer: &Arc<Peer>,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut control = BufReader::new(stream);
+    let sync = match wire::read_line(&mut control)? {
+        Some(line) => Sync::parse(&line)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed sync"))?,
+        None => return Ok(()),
+    };
+
+    // Acks arrive asynchronously while the feeder writes: a dedicated
+    // reader keeps the lag gauge fresh without the feeder ever
+    // blocking on a read. It exits when the socket closes.
+    {
+        let peer = Arc::clone(peer);
+        let fanout = Arc::clone(fanout);
+        let peers = Arc::clone(peers);
+        let metrics = Arc::clone(metrics);
+        std::thread::Builder::new().name("caz-repl-ack".into()).spawn(move || {
+            while let Ok(Some(line)) = wire::read_line(&mut control) {
+                let Some(ack) = Ack::parse(&line) else { break };
+                peer.acked_generation.store(ack.generation, Ordering::Relaxed);
+                peer.acked_records.store(ack.records, Ordering::Relaxed);
+                refresh_lag(&fanout, &peers, &metrics);
+            }
+        })?;
+    }
+
+    let epoch = fanout.epoch();
+    let mut generation;
+    let mut offset;
+    // Handshake: resume the tail when every coordinate matches, ship a
+    // snapshot otherwise.
+    {
+        let st = fanout.state.lock().unwrap();
+        generation = st.generation;
+        let incremental = sync.epoch == epoch
+            && sync.generation == st.generation
+            && (HEADER_BYTES..=st.wal_len).contains(&sync.wal_offset);
+        if incremental {
+            offset = sync.wal_offset;
+            let greeting = Greeting::Tail {
+                epoch,
+                generation,
+                wal_records: st.wal_records,
+                wal_len: st.wal_len,
+            };
+            drop(st);
+            wire::write_line(&mut writer, &greeting.line())?;
+        } else {
+            let total = st.snapshot_len;
+            // A partial download resumes only under the exact same
+            // (epoch, generation) — the snapshot is immutable within a
+            // generation, so its byte range is stable.
+            let from = if sync.epoch == epoch
+                && sync.generation == st.generation
+                && sync.snap_offset <= total
+            {
+                sync.snap_offset
+            } else {
+                0
+            };
+            let greeting = Greeting::Snapshot {
+                epoch,
+                generation,
+                total,
+                from,
+                wal_records: st.wal_records,
+                wal_len: st.wal_len,
+            };
+            drop(st);
+            wire::write_line(&mut writer, &greeting.line())?;
+            let mut at = from;
+            while at < total {
+                let want = (total - at).min(CHUNK_BYTES) as usize;
+                let chunk = reader.read_snapshot_at(at, want)?;
+                if chunk.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "snapshot shrank mid-ship",
+                    ));
+                }
+                writer.write_all(&chunk)?;
+                metrics
+                    .replication_bytes_shipped
+                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                at += chunk.len() as u64;
+            }
+            writer.flush()?;
+            metrics.snapshot_ships.fetch_add(1, Ordering::Relaxed);
+            offset = HEADER_BYTES;
+            // A compaction racing the ship above replaced the snapshot
+            // under our positioned reads; drop the connection and let
+            // the replica re-bootstrap cleanly. (Mixed bytes could only
+            // ever yield valid-but-stale records — the CRC framing
+            // rejects anything torn — but a clean restart is simpler to
+            // reason about.)
+            if fanout.state.lock().unwrap().generation != generation {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "compaction during snapshot ship",
+                ));
+            }
+        }
+    }
+
+    // The tail loop: ship whole records from `offset` while the view
+    // says there are bytes to ship; park on the condvar (pinging) when
+    // caught up; re-anchor on generation bumps.
+    let mut chunk_cap = CHUNK_BYTES;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let (read_from, read_len) = {
+            let mut st = fanout.state.lock().unwrap();
+            if st.generation != generation {
+                generation = st.generation;
+                offset = HEADER_BYTES;
+                let line = StreamMsg::Reset { generation }.line();
+                drop(st);
+                wire::write_line(&mut writer, &line)?;
+                continue;
+            }
+            if offset >= st.wal_len {
+                let (next, timeout) = fanout.changed.wait_timeout(st, PING_INTERVAL).unwrap();
+                st = next;
+                if timeout.timed_out() {
+                    let line = StreamMsg::Ping {
+                        wal_records: st.wal_records,
+                        wal_len: st.wal_len,
+                    }
+                    .line();
+                    drop(st);
+                    wire::write_line(&mut writer, &line)?;
+                }
+                continue;
+            }
+            (offset, (st.wal_len - offset).min(chunk_cap))
+        };
+        let bytes = reader.read_wal_at(read_from, read_len as usize)?;
+        // Only whole records ship; a record larger than the cap grows
+        // the next read instead of wedging the stream.
+        let parsed = parse_records(&bytes);
+        if parsed.valid_bytes == 0 {
+            if bytes.len() as u64 >= read_len {
+                chunk_cap = chunk_cap.saturating_mul(2);
+            }
+            continue;
+        }
+        chunk_cap = CHUNK_BYTES;
+        // Discard the read if a compaction replaced the file under it.
+        if fanout.state.lock().unwrap().generation != generation {
+            continue;
+        }
+        let valid = parsed.valid_bytes as usize;
+        let msg = StreamMsg::Wal {
+            offset: read_from,
+            len: parsed.valid_bytes,
+            records: parsed.entries.len() as u64,
+        };
+        writer.write_all(msg.line().as_bytes())?;
+        writer.write_all(&bytes[..valid])?;
+        writer.flush()?;
+        offset = read_from + parsed.valid_bytes;
+        metrics
+            .replication_records_shipped
+            .fetch_add(parsed.entries.len() as u64, Ordering::Relaxed);
+        metrics
+            .replication_bytes_shipped
+            .fetch_add(parsed.valid_bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_tracks_appends_and_compactions() {
+        let fanout = Fanout::new();
+        let e = Entry { key: "k".into(), shard_hash: 1, value: "v".into() };
+        fanout.wal_appended(&[e.clone(), e.clone()], 100);
+        fanout.wal_appended(std::slice::from_ref(&e), 150);
+        {
+            let st = fanout.state.lock().unwrap();
+            assert_eq!((st.wal_len, st.wal_records), (150, 3));
+        }
+        fanout.wal_compacted(400, HEADER_BYTES);
+        let st = fanout.state.lock().unwrap();
+        assert_eq!(st.generation, 1);
+        assert_eq!((st.wal_len, st.wal_records, st.snapshot_len), (HEADER_BYTES, 0, 400));
+    }
+}

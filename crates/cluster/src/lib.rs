@@ -1,0 +1,54 @@
+//! `caz-cluster`: single-leader WAL-shipping replication for the
+//! result store, plus a routing front-end.
+//!
+//! The paper's measures are expensive to compute and immutable once
+//! computed (a cache entry maps an isomorphism-invariant canonical key
+//! to an exact rational), so the natural way to scale reads is to
+//! replicate the *result store* — not the query engine — and serve
+//! cache hits from as many processes as the workload needs. This crate
+//! implements exactly that, std-only, over the seams `caz-service`
+//! exposes:
+//!
+//! * [`leader`] — the write side. A [`leader::Fanout`] plugs into the
+//!   flusher as a [`caz_service::ReplicationSink`]: after every
+//!   successful store write it advances a shared (generation, WAL
+//!   length, record count) view and wakes the per-replica feeder
+//!   threads. [`leader::Leader`] owns the replication listener: each
+//!   connecting replica is served a snapshot bootstrap (versioned,
+//!   CRC-checked, resumable by offset) and/or a tailing stream of WAL
+//!   records read straight from the store files — the shipped bytes
+//!   are byte-identical to the leader's disk, so the same CRC framing
+//!   protects them in flight.
+//! * [`replica`] — the read side. [`replica::start`] spawns the
+//!   applier: a reconnect loop that handshakes with the leader, pulls
+//!   snapshot + WAL tail, feeds decoded entries into the serving cache
+//!   through a [`caz_service::ReplicaHandle`], acks applied offsets,
+//!   and publishes the readiness gauge `/healthz` reports. A torn
+//!   chunk (leader died mid-record) is truncated to the longest valid
+//!   record prefix — exactly like store recovery — and the next
+//!   handshake resumes from the surviving offset.
+//! * [`router`] — the front-end. [`router::Router`] health-checks
+//!   members over `GET /healthz` (which now reports role and lag) and
+//!   spreads incoming client connections across ready replicas at the
+//!   byte level (L4 splice), falling back to the leader when no
+//!   replica is ready.
+//! * [`wire`] — the small text control protocol those two ends speak
+//!   around the raw record bytes; see `docs/CLUSTER.md` for the full
+//!   exchange.
+//!
+//! Consistency: replication is **asynchronous** — see the caveats on
+//! [`caz_service::replication`]. Replicas may lag; because entries are
+//! immutable facts, lag costs recomputation (or a proxied miss), never
+//! a wrong answer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod leader;
+pub mod replica;
+pub mod router;
+pub mod wire;
+
+pub use leader::{Fanout, Leader};
+pub use replica::{start as start_replica, Replica, ReplicaConfig};
+pub use router::{Router, RouterConfig};

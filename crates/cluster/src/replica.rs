@@ -1,0 +1,300 @@
+//! The replica side: a reconnecting applier feeding the serving cache.
+//!
+//! The applier owns the replica's replication state in one thread:
+//! (epoch, generation, WAL offset, applied record count) plus a buffer
+//! for a partially downloaded snapshot. Each connection handshakes
+//! with those coordinates; the leader either resumes the tail at the
+//! offset or ships a snapshot bootstrap (resumable by byte offset —
+//! a replica that lost its leader mid-bootstrap keeps what it has and
+//! asks for the rest).
+//!
+//! Torn tails: a leader that dies mid-`wal`-message leaves the replica
+//! holding a prefix of the promised bytes. The applier applies the
+//! longest valid record prefix (the same [`caz_store::parse_records`]
+//! scan store recovery uses — the shipped bytes carry the on-disk CRC
+//! framing), advances its offset to that record boundary, discards the
+//! torn remainder, and the next handshake resumes exactly there.
+//!
+//! Readiness: the applier publishes `(wal_offset, lag_records, ready)`
+//! through its [`ReplicaHandle`]. The replica is unready until its
+//! first catch-up (lag 0) and whenever lag exceeds the configured
+//! threshold; once synced, a *dead leader* does not unready it — in a
+//! leader outage the replicas are the only servers left, and stale
+//! immutable entries are still correct answers.
+
+use crate::wire::{self, Ack, Greeting, StreamMsg, Sync};
+use caz_service::ReplicaHandle;
+use caz_store::{header_is_current, parse_records, HEADER_BYTES, SNAPSHOT_MAGIC};
+use std::io::{self, BufReader, Read};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocking read may sit idle before the connection is
+/// declared dead. The leader pings every 500ms, so a healthy link
+/// never gets close.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Applier tuning.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// The leader's *replication* address (`host:port`).
+    pub leader_addr: String,
+    /// Records of lag past which the replica reports unready on
+    /// `/healthz` (503), telling routers to stop sending it traffic.
+    pub lag_threshold: u64,
+    /// Delay between reconnection attempts.
+    pub reconnect: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> ReplicaConfig {
+        ReplicaConfig {
+            leader_addr: String::new(),
+            lag_threshold: 10_000,
+            reconnect: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A running applier; dropping it (or calling [`Replica::shutdown`])
+/// stops the reconnect loop.
+pub struct Replica {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Stop the applier and join its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Replication coordinates surviving across reconnects.
+#[derive(Default)]
+struct SyncState {
+    epoch: u64,
+    generation: u64,
+    /// Absolute WAL offset applied (0 = never synced in this epoch).
+    wal_offset: u64,
+    /// Records applied in this generation.
+    applied: u64,
+    /// The leader's last advertised record count for this generation.
+    target: u64,
+    /// Partially downloaded snapshot bytes (resumable bootstrap).
+    snap_buf: Vec<u8>,
+    /// Set at the first observed lag 0; after that, readiness only
+    /// depends on the lag threshold.
+    synced_once: bool,
+}
+
+/// Start the applier for `handle` against `cfg.leader_addr`.
+pub fn start(handle: ReplicaHandle, cfg: ReplicaConfig) -> Replica {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("caz-repl-apply".into())
+            .spawn(move || run(handle, cfg, stop))
+            .expect("spawn caz-repl-apply thread")
+    };
+    Replica { stop, thread: Some(thread) }
+}
+
+/// The reconnect loop: stream until the connection dies, publish
+/// status, back off, repeat.
+fn run(handle: ReplicaHandle, cfg: ReplicaConfig, stop: Arc<AtomicBool>) {
+    let mut st = SyncState::default();
+    publish(&handle, &cfg, &mut st);
+    while !stop.load(Ordering::SeqCst) {
+        // Transport errors are the applier's weather, not its failure:
+        // reconnect and resume from the surviving coordinates.
+        let _ = stream_once(&handle, &cfg, &stop, &mut st);
+        publish(&handle, &cfg, &mut st);
+        let mut waited = Duration::ZERO;
+        while waited < cfg.reconnect && !stop.load(Ordering::SeqCst) {
+            let step = cfg.reconnect.min(Duration::from_millis(50));
+            std::thread::sleep(step);
+            waited += step;
+        }
+    }
+}
+
+/// Publish the replica's position and readiness through the handle.
+fn publish(handle: &ReplicaHandle, cfg: &ReplicaConfig, st: &mut SyncState) {
+    let lag = st.target.saturating_sub(st.applied);
+    if lag == 0 && st.epoch != 0 {
+        st.synced_once = true;
+    }
+    let ready = st.synced_once && lag <= cfg.lag_threshold;
+    handle.set_status(st.wal_offset, lag, ready);
+}
+
+/// One connection: handshake, bootstrap if granted, then apply the
+/// tail until the socket dies.
+fn stream_once(
+    handle: &ReplicaHandle,
+    cfg: &ReplicaConfig,
+    stop: &AtomicBool,
+    st: &mut SyncState,
+) -> io::Result<()> {
+    let stream = TcpStream::connect(&cfg.leader_addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let hello = Sync {
+        epoch: st.epoch,
+        generation: st.generation,
+        wal_offset: st.wal_offset,
+        snap_offset: st.snap_buf.len() as u64,
+    };
+    wire::write_line(&mut writer, &hello.line())?;
+
+    let greeting = wire::read_line(&mut reader)?
+        .and_then(|l| Greeting::parse(&l))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed greeting"))?;
+    match greeting {
+        Greeting::Tail { epoch, generation, wal_records, wal_len: _ } => {
+            st.epoch = epoch;
+            st.generation = generation;
+            st.target = wal_records;
+        }
+        Greeting::Snapshot { epoch, generation, total, from, wal_records, wal_len: _ } => {
+            // The grant tells us how much of our partial download the
+            // leader honored; anything else starts over.
+            if from != st.snap_buf.len() as u64 {
+                st.snap_buf.clear();
+            }
+            if from != st.snap_buf.len() as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "snapshot resume offset mismatch",
+                ));
+            }
+            // Pull the remaining bytes; a partial arrival is kept in
+            // the buffer so the next handshake resumes it.
+            read_append(&mut reader, &mut st.snap_buf, (total - from) as usize)?;
+            if total >= HEADER_BYTES && !header_is_current(&st.snap_buf, &SNAPSHOT_MAGIC) {
+                st.snap_buf.clear();
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "snapshot header from a different store version",
+                ));
+            }
+            let body = if total >= HEADER_BYTES { &st.snap_buf[HEADER_BYTES as usize..] } else { &[][..] };
+            let parsed = parse_records(body);
+            handle.apply_entries(&parsed.entries);
+            handle.note_bytes(total);
+            handle.note_snapshot();
+            st.snap_buf = Vec::new();
+            st.epoch = epoch;
+            st.generation = generation;
+            st.wal_offset = HEADER_BYTES;
+            st.applied = 0;
+            st.target = wal_records;
+        }
+    }
+    publish(handle, cfg, st);
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let Some(line) = wire::read_line(&mut reader)? else {
+            return Ok(()); // leader closed cleanly
+        };
+        let msg = StreamMsg::parse(&line)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed stream line"))?;
+        match msg {
+            StreamMsg::Wal { offset, len, records: _ } => {
+                if offset != st.wal_offset {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "wal chunk offset desync",
+                    ));
+                }
+                let mut buf = Vec::with_capacity(len as usize);
+                let short = read_append(&mut reader, &mut buf, len as usize).is_err();
+                // Apply the longest valid record prefix — all of it on
+                // a healthy link, the surviving records of a torn
+                // chunk when the leader died mid-ship.
+                let parsed = parse_records(&buf);
+                handle.apply_entries(&parsed.entries);
+                handle.note_bytes(parsed.valid_bytes);
+                st.wal_offset += parsed.valid_bytes;
+                st.applied += parsed.entries.len() as u64;
+                st.target = st.target.max(st.applied);
+                publish(handle, cfg, st);
+                if short || parsed.truncated {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn wal chunk (leader died mid-ship); truncated to last whole record",
+                    ));
+                }
+                let ack = Ack {
+                    generation: st.generation,
+                    offset: st.wal_offset,
+                    records: st.applied,
+                };
+                wire::write_line(&mut writer, &ack.line())?;
+            }
+            StreamMsg::Reset { generation } => {
+                // Compaction folded everything we applied into the
+                // snapshot; our cache keeps it all, only the WAL
+                // coordinates re-anchor.
+                st.generation = generation;
+                st.wal_offset = HEADER_BYTES;
+                st.applied = 0;
+                st.target = 0;
+                publish(handle, cfg, st);
+                let ack = Ack {
+                    generation: st.generation,
+                    offset: st.wal_offset,
+                    records: st.applied,
+                };
+                wire::write_line(&mut writer, &ack.line())?;
+            }
+            StreamMsg::Ping { wal_records, wal_len: _ } => {
+                st.target = wal_records;
+                publish(handle, cfg, st);
+            }
+        }
+    }
+}
+
+/// Append exactly `n` bytes from `r` to `buf`; on a short read the
+/// received prefix is kept in `buf` and the error is returned.
+fn read_append<R: Read>(r: &mut R, buf: &mut Vec<u8>, n: usize) -> io::Result<()> {
+    let mut remaining = n;
+    let mut chunk = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        match r.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short read"));
+            }
+            Ok(got) => {
+                buf.extend_from_slice(&chunk[..got]);
+                remaining -= got;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,292 @@
+//! The routing front-end: health-checked L4 connection spreading.
+//!
+//! `caz route` sits in front of a leader and its replicas and spreads
+//! *connections* (not requests) across the members that report ready —
+//! both protocols the members speak (the line protocol and HTTP) are
+//! connection-oriented with per-connection session state, so splicing
+//! bytes at L4 preserves every protocol feature (pipelining, chunked
+//! streaming, keep-alive) without the router understanding any of it.
+//!
+//! A poller thread probes every member's `GET /healthz` on a fixed
+//! cadence: HTTP 200 means ready (replicas answer 503 while
+//! bootstrapping or lagging past their threshold), and the body's
+//! `role` line identifies the leader. New connections round-robin over
+//! ready *replicas* — reads scale with replica count while the leader
+//! keeps its cycles for writes/misses — and fall back to the leader
+//! (or any ready member, or in the worst case any member at all) when
+//! no replica is ready. A member that dies mid-connection kills only
+//! the connections spliced to it; the next poll marks it unready.
+
+use caz_service::http::{format_request, read_response};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a health probe may take end to end before the member
+/// counts as unready.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Router tuning.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address for client connections (`:0` for ephemeral).
+    pub addr: String,
+    /// Member *client* addresses (leader and replicas alike — roles
+    /// are discovered from `/healthz`, not configured).
+    pub members: Vec<String>,
+    /// Health poll cadence.
+    pub health_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            members: Vec::new(),
+            health_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One backend's last observed health.
+struct Member {
+    addr: String,
+    ready: AtomicBool,
+    leader: AtomicBool,
+}
+
+/// A bound router; [`Router::run`] serves until [`Router::shutdown`].
+pub struct Router {
+    listener: TcpListener,
+    addr: SocketAddr,
+    members: Arc<Vec<Member>>,
+    next: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    interval: Duration,
+}
+
+impl Router {
+    /// Bind the listener and record the member set.
+    pub fn bind(cfg: &RouterConfig) -> io::Result<Router> {
+        if cfg.members.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one --member",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let members = Arc::new(
+            cfg.members
+                .iter()
+                .map(|m| Member {
+                    addr: m.clone(),
+                    ready: AtomicBool::new(false),
+                    leader: AtomicBool::new(false),
+                })
+                .collect::<Vec<_>>(),
+        );
+        Ok(Router {
+            listener,
+            addr,
+            members,
+            next: Arc::new(AtomicUsize::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+            interval: cfg.health_interval,
+        })
+    }
+
+    /// The bound listen address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that stops [`Router::run`] from another thread.
+    pub fn shutdown_handle(&self) -> RouterShutdown {
+        RouterShutdown { stop: Arc::clone(&self.stop), addr: self.addr }
+    }
+
+    /// Probe every member once, synchronously. Useful before accepting
+    /// traffic so the first connection doesn't race the first poll.
+    pub fn poll_members_once(&self) {
+        poll_members(&self.members);
+    }
+
+    /// Serve until shutdown: a poller thread keeps member health
+    /// fresh; each accepted client is spliced to a picked backend by a
+    /// pair of copy threads.
+    pub fn run(self) -> io::Result<()> {
+        let poller = {
+            let members = Arc::clone(&self.members);
+            let stop = Arc::clone(&self.stop);
+            let interval = self.interval;
+            std::thread::Builder::new().name("caz-route-health".into()).spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    poll_members(&members);
+                    let mut waited = Duration::ZERO;
+                    while waited < interval && !stop.load(Ordering::SeqCst) {
+                        let step = interval.min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        waited += step;
+                    }
+                }
+            })?
+        };
+        for client in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(client) = client else { continue };
+            let members = Arc::clone(&self.members);
+            let next = Arc::clone(&self.next);
+            let _ = std::thread::Builder::new()
+                .name("caz-route-conn".into())
+                .spawn(move || splice(client, &members, &next));
+        }
+        let _ = poller.join();
+        Ok(())
+    }
+}
+
+/// Stops a running [`Router`].
+pub struct RouterShutdown {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl RouterShutdown {
+    /// Request shutdown and wake the acceptor.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Probe every member's `/healthz` and record readiness + role.
+fn poll_members(members: &[Member]) {
+    for member in members {
+        let (ready, leader) = probe(&member.addr).unwrap_or((false, false));
+        member.ready.store(ready, Ordering::Relaxed);
+        member.leader.store(leader, Ordering::Relaxed);
+    }
+}
+
+/// One health probe: `(ready, is_leader)`.
+fn probe(addr: &str) -> io::Result<(bool, bool)> {
+    use std::net::ToSocketAddrs;
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable member"))?;
+    let stream = TcpStream::connect_timeout(&target, PROBE_TIMEOUT)?;
+    stream.set_read_timeout(Some(PROBE_TIMEOUT))?;
+    stream.set_write_timeout(Some(PROBE_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(&format_request("GET", "/healthz", &[], b""))?;
+    let mut reader = io::BufReader::new(stream);
+    let resp = read_response(&mut reader)?;
+    let body = String::from_utf8_lossy(&resp.body).to_string();
+    // A standalone server counts as a leader for routing purposes:
+    // it is the fallback when no replica is ready.
+    let leader = body.lines().any(|l| l == "role leader" || l == "role single");
+    Ok((resp.status == 200, leader))
+}
+
+/// Pick a backend: round-robin over ready replicas, then a ready
+/// leader, then (last resort — health data may just be stale) any
+/// member in round-robin order.
+fn pick(members: &[Member], next: &AtomicUsize) -> usize {
+    let n = members.len();
+    let start = next.fetch_add(1, Ordering::Relaxed);
+    for i in 0..n {
+        let idx = (start + i) % n;
+        let m = &members[idx];
+        if m.ready.load(Ordering::Relaxed) && !m.leader.load(Ordering::Relaxed) {
+            return idx;
+        }
+    }
+    for i in 0..n {
+        let idx = (start + i) % n;
+        if members[idx].ready.load(Ordering::Relaxed) {
+            return idx;
+        }
+    }
+    start % n
+}
+
+/// Splice one client connection to a backend: two copy threads, each
+/// direction half-closed independently so protocol-level EOFs pass
+/// through intact.
+fn splice(client: TcpStream, members: &[Member], next: &AtomicUsize) {
+    let idx = pick(members, next);
+    let Ok(backend) = TcpStream::connect(&members[idx].addr) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = backend.set_nodelay(true);
+    let (Ok(client_r), Ok(backend_r)) = (client.try_clone(), backend.try_clone()) else {
+        return;
+    };
+    let up = std::thread::Builder::new().name("caz-route-up".into()).spawn(move || {
+        copy_then_half_close(client_r, backend)
+    });
+    copy_then_half_close(backend_r, client);
+    if let Ok(handle) = up {
+        let _ = handle.join();
+    }
+}
+
+/// Copy until EOF or error, then propagate the write-side shutdown.
+fn copy_then_half_close(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(ready: bool, leader: bool) -> Member {
+        Member {
+            addr: String::new(),
+            ready: AtomicBool::new(ready),
+            leader: AtomicBool::new(leader),
+        }
+    }
+
+    #[test]
+    fn pick_prefers_ready_replicas_then_leader_then_anyone() {
+        let members = vec![member(true, true), member(true, false), member(true, false)];
+        let next = AtomicUsize::new(0);
+        let picks: Vec<usize> = (0..4).map(|_| pick(&members, &next)).collect();
+        assert!(picks.iter().all(|&i| i == 1 || i == 2), "{picks:?}");
+        assert!(picks.contains(&1) && picks.contains(&2), "round-robin: {picks:?}");
+
+        let members = vec![member(true, true), member(false, false)];
+        let next = AtomicUsize::new(0);
+        for _ in 0..3 {
+            assert_eq!(pick(&members, &next), 0, "leader fallback");
+        }
+
+        let members = vec![member(false, false), member(false, false)];
+        let next = AtomicUsize::new(0);
+        let picks: Vec<usize> = (0..4).map(|_| pick(&members, &next)).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1], "last resort round-robins everyone");
+    }
+}

@@ -1,0 +1,273 @@
+//! The replication control protocol: newline-terminated ASCII lines
+//! around raw store-format record bytes.
+//!
+//! One replica connection is one exchange:
+//!
+//! ```text
+//! replica → leader   sync <epoch> <generation> <wal_offset> <snap_offset>
+//! leader  → replica  snap <epoch> <generation> <total> <from> <wal_records> <wal_len>
+//!                    … (total - from) raw snapshot-file bytes …
+//!              or    tail <epoch> <generation> <wal_records> <wal_len>
+//! then, streamed:
+//! leader  → replica  wal <offset> <len> <records>   + len raw WAL record bytes
+//!                    reset <generation>             (the WAL was compacted away)
+//!                    ping <wal_records> <wal_len>   (idle heartbeat)
+//! replica → leader   ack <generation> <offset> <records>   (after each apply)
+//! ```
+//!
+//! `epoch` identifies one leader process lifetime; `generation` counts
+//! compactions within it. A replica's resumable offsets (`wal_offset`
+//! into the WAL, `snap_offset` into a partially shipped snapshot) are
+//! only meaningful under the (epoch, generation) they were observed in
+//! — the leader falls back to a fresh snapshot bootstrap whenever they
+//! don't match. All counters are `u64`, all offsets are absolute file
+//! offsets (so the first record of either file lives at
+//! [`caz_store::HEADER_BYTES`]).
+
+use std::io::{self, BufRead, Write};
+
+/// The replica's opening handshake line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sync {
+    /// Leader lifetime the offsets below were observed under (0 = none).
+    pub epoch: u64,
+    /// Compaction generation the offsets were observed under.
+    pub generation: u64,
+    /// Absolute WAL offset applied so far.
+    pub wal_offset: u64,
+    /// Snapshot bytes already received from an interrupted bootstrap.
+    pub snap_offset: u64,
+}
+
+/// The leader's reply to a [`Sync`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Greeting {
+    /// Bootstrap: `total - from` raw snapshot bytes follow, then the
+    /// WAL tail streams from [`caz_store::HEADER_BYTES`].
+    Snapshot {
+        /// Current leader epoch.
+        epoch: u64,
+        /// Current compaction generation.
+        generation: u64,
+        /// Full snapshot file length in bytes.
+        total: u64,
+        /// Resume offset granted (0 unless the replica's partial
+        /// download is still valid).
+        from: u64,
+        /// Records currently in the leader's WAL.
+        wal_records: u64,
+        /// Current WAL file length.
+        wal_len: u64,
+    },
+    /// Catch-up: the replica's offset is valid; the WAL tail streams
+    /// from there.
+    Tail {
+        /// Current leader epoch.
+        epoch: u64,
+        /// Current compaction generation.
+        generation: u64,
+        /// Records currently in the leader's WAL.
+        wal_records: u64,
+        /// Current WAL file length.
+        wal_len: u64,
+    },
+}
+
+/// One streamed message after the greeting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamMsg {
+    /// `len` raw WAL record bytes follow, starting at absolute file
+    /// offset `offset` and containing exactly `records` whole records.
+    Wal {
+        /// Absolute WAL offset of the first byte.
+        offset: u64,
+        /// Byte length of the chunk that follows.
+        len: u64,
+        /// Whole records in the chunk.
+        records: u64,
+    },
+    /// The WAL was compacted into the snapshot and reset: re-anchor at
+    /// [`caz_store::HEADER_BYTES`] under this new generation. The
+    /// replica's cache already holds every folded entry, so nothing is
+    /// discarded.
+    Reset {
+        /// The new compaction generation.
+        generation: u64,
+    },
+    /// Idle heartbeat carrying the leader's current position, so a
+    /// caught-up replica can keep its lag gauge fresh (and notice a
+    /// dead leader by its absence).
+    Ping {
+        /// Records currently in the leader's WAL.
+        wal_records: u64,
+        /// Current WAL file length.
+        wal_len: u64,
+    },
+}
+
+/// The replica's applied-position report, sent after each apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Generation the offsets are relative to.
+    pub generation: u64,
+    /// Absolute WAL offset applied.
+    pub offset: u64,
+    /// WAL records applied in this generation.
+    pub records: u64,
+}
+
+impl Sync {
+    /// Serialize as a protocol line (with trailing newline).
+    pub fn line(&self) -> String {
+        format!(
+            "sync {} {} {} {}\n",
+            self.epoch, self.generation, self.wal_offset, self.snap_offset
+        )
+    }
+
+    /// Parse a `sync` line (without trailing newline).
+    pub fn parse(line: &str) -> Option<Sync> {
+        let f = fields(line, "sync", 4)?;
+        Some(Sync { epoch: f[0], generation: f[1], wal_offset: f[2], snap_offset: f[3] })
+    }
+}
+
+impl Greeting {
+    /// Serialize as a protocol line (with trailing newline).
+    pub fn line(&self) -> String {
+        match *self {
+            Greeting::Snapshot { epoch, generation, total, from, wal_records, wal_len } => {
+                format!("snap {epoch} {generation} {total} {from} {wal_records} {wal_len}\n")
+            }
+            Greeting::Tail { epoch, generation, wal_records, wal_len } => {
+                format!("tail {epoch} {generation} {wal_records} {wal_len}\n")
+            }
+        }
+    }
+
+    /// Parse a greeting line (without trailing newline).
+    pub fn parse(line: &str) -> Option<Greeting> {
+        if let Some(f) = fields(line, "snap", 6) {
+            return Some(Greeting::Snapshot {
+                epoch: f[0],
+                generation: f[1],
+                total: f[2],
+                from: f[3],
+                wal_records: f[4],
+                wal_len: f[5],
+            });
+        }
+        let f = fields(line, "tail", 4)?;
+        Some(Greeting::Tail { epoch: f[0], generation: f[1], wal_records: f[2], wal_len: f[3] })
+    }
+}
+
+impl StreamMsg {
+    /// Serialize as a protocol line (with trailing newline).
+    pub fn line(&self) -> String {
+        match *self {
+            StreamMsg::Wal { offset, len, records } => format!("wal {offset} {len} {records}\n"),
+            StreamMsg::Reset { generation } => format!("reset {generation}\n"),
+            StreamMsg::Ping { wal_records, wal_len } => format!("ping {wal_records} {wal_len}\n"),
+        }
+    }
+
+    /// Parse a stream line (without trailing newline).
+    pub fn parse(line: &str) -> Option<StreamMsg> {
+        if let Some(f) = fields(line, "wal", 3) {
+            return Some(StreamMsg::Wal { offset: f[0], len: f[1], records: f[2] });
+        }
+        if let Some(f) = fields(line, "reset", 1) {
+            return Some(StreamMsg::Reset { generation: f[0] });
+        }
+        let f = fields(line, "ping", 2)?;
+        Some(StreamMsg::Ping { wal_records: f[0], wal_len: f[1] })
+    }
+}
+
+impl Ack {
+    /// Serialize as a protocol line (with trailing newline).
+    pub fn line(&self) -> String {
+        format!("ack {} {} {}\n", self.generation, self.offset, self.records)
+    }
+
+    /// Parse an `ack` line (without trailing newline).
+    pub fn parse(line: &str) -> Option<Ack> {
+        let f = fields(line, "ack", 3)?;
+        Some(Ack { generation: f[0], offset: f[1], records: f[2] })
+    }
+}
+
+/// Split `line` as `word` plus exactly `n` u64 fields.
+fn fields(line: &str, word: &str, n: usize) -> Option<Vec<u64>> {
+    let rest = line.strip_prefix(word)?;
+    let parsed: Option<Vec<u64>> =
+        rest.split_whitespace().map(|t| t.parse::<u64>().ok()).collect();
+    let parsed = parsed?;
+    (rest.starts_with([' ', '\t']) && parsed.len() == n).then_some(parsed)
+}
+
+/// Read one protocol line (stripping the newline). `Ok(None)` on EOF.
+pub fn read_line<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with(['\r', '\n']) {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Write one already-newline-terminated line and flush it.
+pub fn write_line<W: Write>(w: &mut W, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips_through_its_line() {
+        let sync = Sync { epoch: 7, generation: 2, wal_offset: 1200, snap_offset: 0 };
+        assert_eq!(Sync::parse(sync.line().trim_end()), Some(sync));
+
+        for g in [
+            Greeting::Snapshot {
+                epoch: 1,
+                generation: 3,
+                total: 4096,
+                from: 1024,
+                wal_records: 9,
+                wal_len: 600,
+            },
+            Greeting::Tail { epoch: 1, generation: 3, wal_records: 9, wal_len: 600 },
+        ] {
+            assert_eq!(Greeting::parse(g.line().trim_end()), Some(g));
+        }
+
+        for m in [
+            StreamMsg::Wal { offset: 12, len: 88, records: 2 },
+            StreamMsg::Reset { generation: 4 },
+            StreamMsg::Ping { wal_records: 10, wal_len: 700 },
+        ] {
+            assert_eq!(StreamMsg::parse(m.line().trim_end()), Some(m));
+        }
+
+        let ack = Ack { generation: 4, offset: 12, records: 0 };
+        assert_eq!(Ack::parse(ack.line().trim_end()), Some(ack));
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_none() {
+        assert_eq!(Sync::parse("sync 1 2 3"), None, "missing field");
+        assert_eq!(Sync::parse("sync 1 2 3 4 5"), None, "extra field");
+        assert_eq!(Sync::parse("sync 1 2 three 4"), None, "non-numeric");
+        assert_eq!(Sync::parse("synced 1 2 3 4"), None, "wrong word");
+        assert_eq!(Greeting::parse("hello"), None);
+        assert_eq!(StreamMsg::parse("wal 1"), None);
+        assert_eq!(Ack::parse("ack -1 2 3"), None, "negative");
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::cache::CacheKey;
 use crate::metrics::Metrics;
+use crate::replication::ReplicationSink;
 use caz_store::{Entry, Store};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, SyncSender, TryRecvError};
@@ -39,7 +40,16 @@ pub(crate) struct Flusher {
 
 impl Flusher {
     /// Take ownership of an opened store and start the flusher thread.
-    pub(crate) fn spawn(mut store: Store, metrics: Arc<Metrics>) -> Flusher {
+    /// With a replication `sink` configured (leader role), the thread
+    /// reports each successful append and compaction to it — *after*
+    /// the bytes are on disk, so a sink never ships a record the
+    /// store could still lose, and from the single writer thread, so
+    /// sink callbacks observe WAL offsets in file order.
+    pub(crate) fn spawn(
+        mut store: Store,
+        metrics: Arc<Metrics>,
+        sink: Option<Arc<dyn ReplicationSink>>,
+    ) -> Flusher {
         let (tx, rx) = sync_channel::<Entry>(FLUSH_QUEUE_CAP);
         let handle = std::thread::Builder::new()
             .name("caz-flush".into())
@@ -59,6 +69,9 @@ impl Flusher {
                                 .store_appends
                                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
                             metrics.store_flush_latency.record(start.elapsed());
+                            if let Some(sink) = &sink {
+                                sink.wal_appended(&batch, store.wal_len());
+                            }
                         }
                         // Persistence is best-effort relative to serving:
                         // a failing disk degrades the next start to a
@@ -69,6 +82,9 @@ impl Flusher {
                         match store.compact() {
                             Ok(_) => {
                                 metrics.store_compactions.fetch_add(1, Ordering::Relaxed);
+                                if let Some(sink) = &sink {
+                                    sink.wal_compacted(store.snapshot_len(), store.wal_len());
+                                }
                             }
                             Err(e) => eprintln!("caz-store: compaction failed: {e}"),
                         }
@@ -131,7 +147,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let metrics = Arc::new(Metrics::new());
         let (store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
-        let flusher = Flusher::spawn(store, Arc::clone(&metrics));
+        let flusher = Flusher::spawn(store, Arc::clone(&metrics), None);
         for i in 0..50u32 {
             let key = CacheKey {
                 text: format!("k{i}"),
@@ -146,6 +162,53 @@ mod tests {
         let (_, entries, report) = Store::open(&dir, FsyncPolicy::Never).unwrap();
         assert_eq!(report.truncated_events, 0);
         assert_eq!(entries.len(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flusher_reports_writes_to_the_replication_sink() {
+        #[derive(Debug, Default)]
+        struct Recorder {
+            appended_records: std::sync::atomic::AtomicU64,
+            last_wal_len: std::sync::atomic::AtomicU64,
+            compactions: std::sync::atomic::AtomicU64,
+        }
+        impl crate::replication::ReplicationSink for Recorder {
+            fn wal_appended(&self, batch: &[Entry], wal_len_after: u64) {
+                self.appended_records
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.last_wal_len.store(wal_len_after, Ordering::Relaxed);
+            }
+            fn wal_compacted(&self, _snapshot_len: u64, wal_len_after: u64) {
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+                self.last_wal_len.store(wal_len_after, Ordering::Relaxed);
+            }
+        }
+
+        let dir =
+            std::env::temp_dir().join(format!("caz-flush-sink-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics = Arc::new(Metrics::new());
+        let (mut store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        // A tiny compaction floor so the appends below trigger one.
+        store.set_compaction_policy(1, 1);
+        let sink = Arc::new(Recorder::default());
+        let flusher = Flusher::spawn(
+            store,
+            Arc::clone(&metrics),
+            Some(Arc::clone(&sink) as Arc<dyn crate::replication::ReplicationSink>),
+        );
+        for i in 0..20u32 {
+            let key = CacheKey { text: format!("k{i}"), shard_hash: i as u128 };
+            flusher.append(&key, "value");
+        }
+        flusher.shutdown();
+        assert_eq!(sink.appended_records.load(Ordering::Relaxed), 20);
+        assert!(sink.compactions.load(Ordering::Relaxed) >= 1);
+        assert!(
+            sink.last_wal_len.load(Ordering::Relaxed) >= caz_store::HEADER_BYTES,
+            "every reported WAL length includes at least the header"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

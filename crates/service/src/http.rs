@@ -254,12 +254,20 @@ pub(crate) enum Routed {
         keep_alive: bool,
     },
     /// A response the router can produce without touching the session
-    /// (`/healthz`, routing errors). Still answered in pipeline order.
+    /// (routing errors). Still answered in pipeline order.
     Immediate {
         /// Response status code.
         status: u16,
         /// Plain-text response body.
         body: String,
+        /// Keep the connection open after the response.
+        keep_alive: bool,
+    },
+    /// `GET /healthz`: resolved by the reactor against shared server
+    /// state (role, readiness, replication position) — the router
+    /// can't see that state, and the reply must be current at answer
+    /// time, not route time.
+    Health {
         /// Keep the connection open after the response.
         keep_alive: bool,
     },
@@ -281,7 +289,7 @@ pub(crate) fn route(req: HttpRequest) -> Routed {
     };
     let commands = |lines: Vec<Vec<u8>>| Routed::Commands { lines, json, keep_alive };
     match (head.method.as_str(), path) {
-        ("GET", "/healthz") => immediate(200, "ok\n"),
+        ("GET", "/healthz") => Routed::Health { keep_alive },
         ("GET", "/stats") => commands(vec![b"stats".to_vec()]),
         ("GET", "/plan") | ("GET", "/explain") => match query_param(query, "q") {
             Some(q) if !q.trim().is_empty() => {
@@ -738,8 +746,16 @@ mod tests {
                     assert_eq!(lines, vec![expect.as_bytes().to_vec()], "target {target}");
                 }
                 Routed::Immediate { status, .. } => panic!("{target} -> immediate {status}"),
+                Routed::Health { .. } => panic!("{target} -> health"),
             }
         }
+        assert!(
+            matches!(
+                route(HttpRequest { head: head("GET", "/healthz"), body: vec![] }),
+                Routed::Health { .. }
+            ),
+            "/healthz resolves against shared state in the reactor"
+        );
     }
 
     #[test]
@@ -753,7 +769,7 @@ mod tests {
                 lines,
                 vec![b"fact R(c).".to_vec(), b"mu Q".to_vec(), b"stats".to_vec()]
             ),
-            Routed::Immediate { .. } => panic!("expected commands"),
+            _ => panic!("expected commands"),
         }
     }
 
@@ -767,7 +783,7 @@ mod tests {
             Routed::Commands { lines, .. } => {
                 assert_eq!(lines, vec![b"eval* mu Q\tcertain Q".to_vec()]);
             }
-            Routed::Immediate { .. } => panic!("expected commands"),
+            _ => panic!("expected commands"),
         }
     }
 
@@ -784,7 +800,7 @@ mod tests {
             let target = h.target.clone();
             match route(HttpRequest { head: h, body: vec![] }) {
                 Routed::Immediate { status, .. } => assert_eq!(status, expect, "{target}"),
-                Routed::Commands { .. } => panic!("{target} routed to commands"),
+                _ => panic!("{target} routed elsewhere"),
             }
         }
     }

@@ -27,7 +27,13 @@
 //! * `flush` (private) — a write-behind thread feeding fresh cache
 //!   entries to a crash-safe persistent [`caz_store::Store`]
 //!   (snapshot + checksummed WAL) when the server is configured with a
-//!   cache path, so a restart warm-starts instead of recomputing.
+//!   cache path, so a restart warm-starts instead of recomputing;
+//! * [`replication`] — the narrow seam the `caz-cluster` crate plugs
+//!   into: a [`replication::Role`] on the config, a
+//!   [`replication::ReplicationSink`] the flusher reports successful
+//!   store writes to (leader side), and a
+//!   [`replication::ReplicaHandle`] that feeds replicated entries and
+//!   readiness into a running read replica.
 //!
 //! `unsafe` is denied crate-wide and allowed only in the reactor's
 //! syscall-binding submodule (raw `epoll`/`pipe2` FFI — the workspace
@@ -44,6 +50,7 @@ pub mod metrics;
 pub mod pool;
 pub mod proto;
 mod reactor;
+pub mod replication;
 pub mod server;
 pub mod session;
 
@@ -51,5 +58,6 @@ pub use cache::{CacheKey, ResultCache, ShardedCache};
 pub use caz_store::FsyncPolicy;
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
+pub use replication::{MissPolicy, ReplicaHandle, ReplicationSink, Role};
 pub use server::{run_batch, Server, ServerConfig, ShutdownHandle};
 pub use session::{EvalKind, EvalRequest, PlanReport, Reply, Request, Session};

@@ -134,6 +134,37 @@ pub struct Metrics {
     /// five `planner_*` counters sum to `jobs_executed_total`: each
     /// executed (non-cache-hit) job notes exactly one route.
     pub route_fallback: AtomicU64,
+    /// The process's replication role, numerically encoded
+    /// ([`crate::replication::Role::as_u64`]: 0 single, 1 leader,
+    /// 2 replica) so the snapshot stays all-`u64`.
+    pub role: AtomicU64,
+    /// WAL records shipped to replicas (leader) or received and applied
+    /// (replica). Symmetric by construction: a record counts once on
+    /// each side of every link it crosses.
+    pub replication_records_shipped: AtomicU64,
+    /// Replication payload bytes shipped (leader) or applied (replica),
+    /// WAL framing included; snapshot bootstrap bytes count here too.
+    pub replication_bytes_shipped: AtomicU64,
+    /// Full snapshot bootstraps served (leader) or completed (replica).
+    pub snapshot_ships: AtomicU64,
+    /// Gauge: replica connections currently attached to the leader's
+    /// replication endpoint (always 0 on replicas and standalones).
+    pub replicas_connected: AtomicU64,
+    /// Gauge: replication lag in records — on a replica, records the
+    /// leader has announced but this process has not applied; on a
+    /// leader, the worst lag across connected replicas.
+    pub replica_lag_records: AtomicU64,
+    /// Gauge: this process's WAL position in bytes — on a leader, the
+    /// WAL length; on a replica, the leader-WAL offset it has applied
+    /// through. Reported by `/healthz` as `wal_offset`.
+    pub replication_wal_offset: AtomicU64,
+    /// Gauge: whether a replica reports ready on `/healthz` (1 until
+    /// the applier marks it lagging past the threshold; always 1 for
+    /// leaders and standalones, which are ready by definition).
+    pub replica_ready: AtomicU64,
+    /// Cache-missing jobs a replica forwarded to the leader under
+    /// `--on-miss proxy`.
+    pub replication_proxied: AtomicU64,
     /// Entries recovered from the persistent store at startup (0 when
     /// the server runs without `--cache-path`).
     pub store_loaded_entries: AtomicU64,
@@ -185,6 +216,15 @@ impl Default for Metrics {
             route_theorem5: AtomicU64::new(0),
             route_theorem8: AtomicU64::new(0),
             route_fallback: AtomicU64::new(0),
+            role: AtomicU64::new(0),
+            replication_records_shipped: AtomicU64::new(0),
+            replication_bytes_shipped: AtomicU64::new(0),
+            snapshot_ships: AtomicU64::new(0),
+            replicas_connected: AtomicU64::new(0),
+            replica_lag_records: AtomicU64::new(0),
+            replication_wal_offset: AtomicU64::new(0),
+            replica_ready: AtomicU64::new(1),
+            replication_proxied: AtomicU64::new(0),
             store_loaded_entries: AtomicU64::new(0),
             store_appends: AtomicU64::new(0),
             store_compactions: AtomicU64::new(0),
@@ -297,6 +337,30 @@ impl Metrics {
             self.route_theorem8.load(Ordering::Relaxed),
         );
         line("planner_fallback_total", self.route_fallback.load(Ordering::Relaxed));
+        line("role", self.role.load(Ordering::Relaxed));
+        line(
+            "replication_records_shipped_total",
+            self.replication_records_shipped.load(Ordering::Relaxed),
+        );
+        line(
+            "replication_bytes_shipped_total",
+            self.replication_bytes_shipped.load(Ordering::Relaxed),
+        );
+        line("snapshot_ships_total", self.snapshot_ships.load(Ordering::Relaxed));
+        line("replicas_connected", self.replicas_connected.load(Ordering::Relaxed));
+        line(
+            "replica_lag_records",
+            self.replica_lag_records.load(Ordering::Relaxed),
+        );
+        line(
+            "replication_wal_offset",
+            self.replication_wal_offset.load(Ordering::Relaxed),
+        );
+        line("replica_ready", self.replica_ready.load(Ordering::Relaxed));
+        line(
+            "replication_proxied_total",
+            self.replication_proxied.load(Ordering::Relaxed),
+        );
         line(
             "store_loaded_entries",
             self.store_loaded_entries.load(Ordering::Relaxed),
@@ -392,6 +456,15 @@ mod tests {
             "anytime_chunks_total 0",
             "subtasks_stolen_total 0",
             "subtasks_cancelled_total 0",
+            // Replication keys are always present; a standalone server
+            // reports role 0 (single) and ready 1.
+            "role 0",
+            "replication_records_shipped_total 0",
+            "replication_bytes_shipped_total 0",
+            "snapshot_ships_total 0",
+            "replicas_connected 0",
+            "replica_lag_records 0",
+            "replica_ready 1",
         ] {
             assert!(snap.contains(key), "missing {key} in {snap}");
         }

@@ -626,6 +626,16 @@ impl Reactor {
                                 keep_alive,
                             });
                         }
+                        // `/healthz` is resolved here, against shared
+                        // state, so readiness is current at answer time.
+                        Routed::Health { keep_alive } => {
+                            let (status, body) = self.shared.health();
+                            conn.pending.push_back(Pending::Immediate {
+                                status,
+                                body,
+                                keep_alive,
+                            });
+                        }
                         Routed::Commands { lines, json, keep_alive } => {
                             let mut meta = Some(HttpMeta {
                                 json,

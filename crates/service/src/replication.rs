@@ -1,0 +1,190 @@
+//! Role-aware replication plumbing: the seam between this crate and
+//! `caz-cluster`.
+//!
+//! The service itself implements no replication. What it provides is
+//! the three hooks a replication layer needs, kept deliberately narrow
+//! so the cluster crate can evolve without touching the reactor:
+//!
+//! * [`Role`] — how the process serves: a standalone server, a leader
+//!   whose flusher fans freshly persisted WAL records out to a
+//!   replication endpoint, or a read replica whose cache is fed by an
+//!   external applier instead of a local store;
+//! * [`ReplicationSink`] — callbacks the flusher thread fires *after*
+//!   each successful store write (append or compaction), carrying
+//!   exactly the state a WAL-shipping leader needs: the appended
+//!   entries and the absolute WAL length afterwards. Invocations are
+//!   serialized (the flusher is the store's single writer), so a sink
+//!   observes offsets in monotonic file order between compactions;
+//! * [`ReplicaHandle`] — the write side of a read replica: inject
+//!   replicated entries into the serving cache and publish the
+//!   replication gauges `/healthz` and `stats` report.
+//!
+//! Consistency model (documented once here, enforced nowhere):
+//! replication is **asynchronous**. A leader acknowledges client work
+//! before any replica has it, and a replica serves whatever prefix of
+//! the leader's WAL it has applied — reads on replicas may lag. The
+//! cache being keyed on isomorphism-invariant canonical forms makes
+//! this safe: entries are immutable facts (`key → exact rational`), so
+//! lag can only cause recomputation, never wrong answers.
+
+use crate::cache::CacheKey;
+use crate::server::Shared;
+use caz_store::Entry;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// How this process participates in a cluster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Role {
+    /// A standalone server (the default): no replication endpoint, no
+    /// applier; behaves exactly as before the cluster subsystem.
+    #[default]
+    Single,
+    /// The write side: owns the persistent store; a
+    /// [`ReplicationSink`] fans WAL appends out to replicas.
+    Leader,
+    /// A read replica: serves from a cache fed through a
+    /// [`ReplicaHandle`]; never writes a persistent store (misses are
+    /// computed-and-served without persisting, or proxied to the
+    /// leader under [`MissPolicy::Proxy`]).
+    Replica,
+}
+
+impl Role {
+    /// The wire/flag spelling (`single`, `leader`, `replica`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Single => "single",
+            Role::Leader => "leader",
+            Role::Replica => "replica",
+        }
+    }
+
+    /// The numeric encoding used by the all-`u64` `stats` snapshot
+    /// (`role 0|1|2` in declaration order).
+    pub fn as_u64(self) -> u64 {
+        match self {
+            Role::Single => 0,
+            Role::Leader => 1,
+            Role::Replica => 2,
+        }
+    }
+
+    /// Parse a `--role` flag value.
+    pub fn parse(s: &str) -> Result<Role, String> {
+        match s {
+            "single" => Ok(Role::Single),
+            "leader" => Ok(Role::Leader),
+            "replica" => Ok(Role::Replica),
+            other => Err(format!("unknown role {other:?} (expected leader|replica|single)")),
+        }
+    }
+}
+
+/// What a replica does with an evaluation request that misses its
+/// replicated cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MissPolicy {
+    /// Compute locally and serve the result **without persisting it**
+    /// (the default): the replica's cache warms, but the leader's
+    /// store — the single source of durable truth — is untouched.
+    #[default]
+    Compute,
+    /// Forward the job to the leader's client port: the leader
+    /// computes, persists, and replicates the entry back, so one miss
+    /// warms the whole cluster. `series` jobs are excluded (their
+    /// chunked replies don't proxy) and always compute locally.
+    Proxy,
+}
+
+/// Callbacks fired by the flusher thread after each successful store
+/// write. Implemented by the cluster crate's leader-side fanout;
+/// `Debug` is required so [`crate::ServerConfig`] stays derivable.
+pub trait ReplicationSink: Send + Sync + std::fmt::Debug {
+    /// `batch` was appended to the WAL; the WAL file is now
+    /// `wal_len_after` bytes long. The encoded bytes of `batch` are the
+    /// file's bytes in `[wal_len_after - encoded_len, wal_len_after)`.
+    fn wal_appended(&self, batch: &[Entry], wal_len_after: u64);
+
+    /// The WAL was folded into a fresh snapshot (`snapshot_len` bytes)
+    /// and reset to its bare header (`wal_len_after` bytes). Offsets
+    /// previously shipped are invalid from here on — a WAL-shipping
+    /// leader must bump its generation so replicas re-anchor.
+    fn wal_compacted(&self, snapshot_len: u64, wal_len_after: u64);
+}
+
+/// The write side of a read replica, handed out by
+/// [`crate::Server::replica_handle`]: the cluster applier feeds
+/// replicated entries and status through this into the running server.
+#[derive(Clone)]
+pub struct ReplicaHandle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl ReplicaHandle {
+    /// Insert replicated entries into the serving cache. Values are
+    /// canonical and immutable, so re-applying an entry (bootstrap
+    /// overlap, reconnect replay) is idempotent.
+    pub fn apply_entries(&self, entries: &[Entry]) {
+        for e in entries {
+            let key = CacheKey { text: e.key.clone(), shard_hash: e.shard_hash };
+            self.shared.cache.insert(&key, e.value.clone());
+        }
+        self.shared
+            .metrics
+            .replication_records_shipped
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Count replicated payload bytes applied (the WAL-framed bytes as
+    /// shipped, so leader-side and replica-side byte counters agree).
+    pub fn note_bytes(&self, n: u64) {
+        self.shared
+            .metrics
+            .replication_bytes_shipped
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one completed snapshot bootstrap.
+    pub fn note_snapshot(&self) {
+        self.shared.metrics.snapshot_ships.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the replica's replication position and readiness:
+    /// `wal_offset` (applied bytes into the leader's WAL),
+    /// `lag_records` (records known shipped but not yet applied), and
+    /// whether the replica should report ready on `/healthz` (an
+    /// unready replica answers 503 and routers stop sending it
+    /// traffic; it keeps serving whoever asks anyway).
+    pub fn set_status(&self, wal_offset: u64, lag_records: u64, ready: bool) {
+        let m = &self.shared.metrics;
+        m.replication_wal_offset.store(wal_offset, Ordering::Relaxed);
+        m.replica_lag_records.store(lag_records, Ordering::Relaxed);
+        m.replica_ready.store(ready as u64, Ordering::Relaxed);
+    }
+
+    /// The server's metrics registry (the leader-side endpoint updates
+    /// ship counters through the same registry).
+    pub fn metrics(&self) -> Arc<crate::metrics::Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_parses_and_encodes() {
+        assert_eq!(Role::parse("leader"), Ok(Role::Leader));
+        assert_eq!(Role::parse("replica"), Ok(Role::Replica));
+        assert_eq!(Role::parse("single"), Ok(Role::Single));
+        assert!(Role::parse("primary").is_err());
+        for role in [Role::Single, Role::Leader, Role::Replica] {
+            assert_eq!(Role::parse(role.name()), Ok(role));
+        }
+        assert_eq!(Role::Single.as_u64(), 0);
+        assert_eq!(Role::Leader.as_u64(), 1);
+        assert_eq!(Role::Replica.as_u64(), 2);
+    }
+}

@@ -49,16 +49,17 @@ use crate::cache::{CacheKey, ShardedCache};
 use crate::flush::Flusher;
 use crate::metrics::Metrics;
 use crate::pool::{JobResult, Outcome, WorkerPool};
-use crate::proto::{encode_frame, WireFrame, WireReply};
+use crate::proto::{decode_frame, encode_frame, WireFrame, WireReply};
 use crate::reactor::Reactor;
+use crate::replication::{MissPolicy, ReplicaHandle, ReplicationSink, Role};
 use crate::session::{parse_eval_job, EvalKind, EvalRequest, Reply, Request, Session};
 use caz_store::{FsyncPolicy, Store};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::bind`] and [`run_batch`].
 #[derive(Clone, Debug)]
@@ -123,6 +124,24 @@ pub struct ServerConfig {
     /// cap, counted in `slow_reader_disconnects_total`. `0` disables
     /// the bound (the pre-cap behavior: unbounded growth).
     pub max_wbuf_bytes: usize,
+    /// How this process participates in a cluster (see
+    /// [`crate::replication::Role`]). [`Role::Replica`] servers never
+    /// open a persistent store: their cache is fed by an external
+    /// applier through [`Server::replica_handle`], and `cache_path` is
+    /// ignored (the leader owns the only store).
+    pub role: Role,
+    /// Leader-side replication fanout: callbacks the flusher fires
+    /// after each successful store write. Wired by the cluster layer;
+    /// `None` everywhere else.
+    pub replication: Option<Arc<dyn ReplicationSink>>,
+    /// What a replica does with a cache miss (see
+    /// [`crate::replication::MissPolicy`]). Ignored unless `role` is
+    /// [`Role::Replica`].
+    pub on_miss: MissPolicy,
+    /// The leader's *client* address (`host:port`), required by
+    /// [`MissPolicy::Proxy`]: replica misses replay their session setup
+    /// there and serve the leader's reply.
+    pub leader_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -144,6 +163,10 @@ impl Default for ServerConfig {
             anytime_interval_ms: 25,
             http: true,
             max_wbuf_bytes: 4 << 20,
+            role: Role::Single,
+            replication: None,
+            on_miss: MissPolicy::Compute,
+            leader_addr: None,
         }
     }
 }
@@ -175,6 +198,13 @@ pub(crate) struct Shared {
     /// Per-connection cap on unsent reply bytes; `0` = unbounded (see
     /// [`ServerConfig::max_wbuf_bytes`]).
     pub(crate) wbuf_cap: usize,
+    /// Cluster role (see [`ServerConfig::role`]).
+    pub(crate) role: Role,
+    /// Replica miss policy (see [`ServerConfig::on_miss`]).
+    pub(crate) on_miss: MissPolicy,
+    /// Leader client address for proxied misses (see
+    /// [`ServerConfig::leader_addr`]).
+    pub(crate) leader_addr: Option<String>,
 }
 
 impl Shared {
@@ -185,7 +215,22 @@ impl Shared {
     fn new(cfg: &ServerConfig) -> std::io::Result<Shared> {
         let cache = ShardedCache::new(cfg.cache_capacity, cfg.cache_shards);
         let metrics = Arc::new(Metrics::new());
+        metrics.role.store(cfg.role.as_u64(), Ordering::Relaxed);
+        // A replica starts unready: it reports 503 on `/healthz` until
+        // its applier has connected and declared itself caught up.
+        if cfg.role == Role::Replica {
+            metrics.replica_ready.store(0, Ordering::Relaxed);
+        }
         let store = match &cfg.cache_path {
+            // Replicas never persist: the leader owns the only store,
+            // and the replicated entries land straight in the cache.
+            Some(_) if cfg.role == Role::Replica => {
+                eprintln!(
+                    "caz-service: --cache-path is ignored under --role replica \
+                     (replicas receive the leader's entries over replication)"
+                );
+                None
+            }
             Some(dir) => {
                 let (store, entries, report) = Store::open(dir, cfg.fsync)?;
                 for entry in entries {
@@ -201,7 +246,11 @@ impl Shared {
                 metrics
                     .store_recovered_truncated
                     .store(report.truncated_events, Ordering::Relaxed);
-                Some(Flusher::spawn(store, Arc::clone(&metrics)))
+                Some(Flusher::spawn(
+                    store,
+                    Arc::clone(&metrics),
+                    cfg.replication.clone(),
+                ))
             }
             None => None,
         };
@@ -220,6 +269,9 @@ impl Shared {
                 .then(|| std::time::Duration::from_millis(cfg.anytime_interval_ms.max(1))),
             http: cfg.http,
             wbuf_cap: cfg.max_wbuf_bytes,
+            role: cfg.role,
+            on_miss: cfg.on_miss,
+            leader_addr: cfg.leader_addr.clone(),
         })
     }
 
@@ -227,6 +279,38 @@ impl Shared {
     /// configured queue deadline (`None` when admission control is off).
     pub(crate) fn job_deadline(&self) -> Option<Instant> {
         self.queue_deadline.map(|d| Instant::now() + d)
+    }
+
+    /// The `/healthz` reply: status code plus a small text body. Ready
+    /// means 200 with `ok` as the first line; a replica whose applier
+    /// declared it unready (bootstrapping, or lagging past the
+    /// configured threshold) answers 503 with `unready`, which tells
+    /// routers to stop sending it traffic — it still serves whoever
+    /// asks. The remaining lines are the replication position, so a
+    /// router (or a human) can see role and lag without parsing the
+    /// full `stats` snapshot.
+    pub(crate) fn health(&self) -> (u16, String) {
+        use std::fmt::Write as _;
+        let m = &self.metrics;
+        let ready = m.replica_ready.load(Ordering::Relaxed) == 1;
+        let mut body = String::from(if ready { "ok\n" } else { "unready\n" });
+        let _ = writeln!(body, "role {}", self.role.name());
+        let _ = writeln!(
+            body,
+            "wal_offset {}",
+            m.replication_wal_offset.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            body,
+            "lag_records {}",
+            m.replica_lag_records.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            body,
+            "replicas_connected {}",
+            m.replicas_connected.load(Ordering::Relaxed)
+        );
+        (if ready { 200 } else { 503 }, body)
     }
 }
 
@@ -399,6 +483,57 @@ pub(crate) fn store_result(shared: &Shared, key: Option<&CacheKey>, text: &str) 
     }
 }
 
+/// How long a proxied miss may spend connecting to / talking to the
+/// leader before the replica gives up and computes locally.
+const PROXY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Forward one cache-missed job to the leader's client port: replay the
+/// session's setup lines, send the job, and serve the leader's final
+/// reply. Returns `None` on any transport trouble or protocol surprise
+/// — the caller then computes locally, so a dead or unreachable leader
+/// degrades a proxying replica to a computing one instead of an erroring
+/// one. `series` jobs never proxy (their chunked replies don't fit the
+/// one-line exchange); [`classify`] routes them elsewhere already.
+fn proxy_to_leader(addr: &str, session: &Session, ev: &EvalRequest) -> Option<JobResult> {
+    let word = match ev.kind {
+        EvalKind::Naive => "naive",
+        EvalKind::Certain => "certain",
+        EvalKind::Best => "best",
+        EvalKind::Mu => "mu",
+        EvalKind::Cond => "cond",
+        EvalKind::Compare => "compare",
+        EvalKind::Series => return None,
+    };
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(PROXY_TIMEOUT)).ok()?;
+    stream.set_write_timeout(Some(PROXY_TIMEOUT)).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut stream = stream;
+    let mut exchange = |line: &str| -> Option<WireFrame> {
+        stream.write_all(line.as_bytes()).ok()?;
+        stream.write_all(b"\n").ok()?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply).ok()?;
+        decode_frame(reply.trim_end_matches(['\r', '\n']))
+    };
+    // Replay the session state. Every setup line succeeded locally, so
+    // anything but `ok` from the leader is a protocol surprise: bail to
+    // local compute rather than serve a reply computed in the wrong
+    // state.
+    for line in session.setup_lines() {
+        match exchange(line)? {
+            WireFrame::Final(WireReply::Ok(_)) => {}
+            _ => return None,
+        }
+    }
+    match exchange(&format!("{word} {}", ev.args))? {
+        WireFrame::Final(WireReply::Ok(text)) => Some(Ok(text)),
+        WireFrame::Final(WireReply::Err(e)) => Some(Err(e)),
+        _ => None,
+    }
+}
+
 /// The whole evaluation pipeline for one `eval`/`mu`/`certain` job,
 /// run on a worker thread: canonicalize the cache key, resolve a hit,
 /// or evaluate and publish the result.
@@ -413,6 +548,35 @@ pub(crate) fn eval_on_worker(
     if let Some(text) = key.as_ref().and_then(|k| shared.cache.get(k)) {
         record_hit(shared, hit, start);
         return Ok(text);
+    }
+    // A proxying replica asks the leader first: the leader computes,
+    // persists, and replicates the entry back, so one miss warms the
+    // whole cluster. Accounted like a cache hit (the job did not
+    // execute locally, keeping the per-route counters summing to
+    // `jobs_executed_total`), plus `replication_proxied_total`. A
+    // leader error reply still counts in `errors_total`, which the
+    // hit-flagged settle path would otherwise skip.
+    if shared.role == Role::Replica && shared.on_miss == MissPolicy::Proxy {
+        if let Some(addr) = &shared.leader_addr {
+            if let Some(result) = proxy_to_leader(addr, session, ev) {
+                shared.metrics.replication_proxied.fetch_add(1, Ordering::Relaxed);
+                record_hit(shared, hit, start);
+                match result {
+                    Ok(text) => {
+                        // Warm the local cache: replication will bring
+                        // the same immutable entry anyway.
+                        if let Some(k) = key.as_ref() {
+                            shared.cache.insert(k, text.clone());
+                        }
+                        return Ok(text);
+                    }
+                    Err(e) => {
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+        }
     }
     // Note the route exactly once per executed job, even when
     // evaluation panics: the guard notes on drop, and unwinding runs
@@ -620,6 +784,20 @@ impl Server {
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The server's metrics registry. The cluster layer updates its
+    /// ship counters and gauges through this, so `stats` and
+    /// `/healthz` report replication state without a second registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The write side of this server as a read replica: the cluster
+    /// applier feeds replicated entries and readiness through the
+    /// returned handle while [`Server::run`] serves clients.
+    pub fn replica_handle(&self) -> ReplicaHandle {
+        ReplicaHandle { shared: Arc::clone(&self.shared) }
     }
 
     /// A handle to stop this server from another thread.

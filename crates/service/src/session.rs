@@ -39,6 +39,13 @@ pub struct Session {
     queries: BTreeMap<String, Query>,
     programs: BTreeMap<String, caz_datalog::Program>,
     sigma: ConstraintSet,
+    /// The raw state-mutating lines applied so far, in order, exactly
+    /// as a fresh session would need to replay them to reach this
+    /// state. A replica proxying a cache miss to the leader replays
+    /// these over the leader's client port before sending the job (see
+    /// [`crate::replication::MissPolicy::Proxy`]). `clear` resets it
+    /// along with everything else.
+    setup: Vec<String>,
 }
 
 /// Outcome of one command.
@@ -254,10 +261,12 @@ impl Session {
             Request::ShowDb => Ok(Reply::Text(format!("{}", self.db))),
             Request::ShowSigma => Ok(Reply::Text(format!("{}", self.sigma))),
             Request::Stats => Err("stats is only available in serve/batch mode".into()),
-            Request::AddFacts(src) => self.add_facts(src),
-            Request::DefineQuery(src) => self.add_query(src),
-            Request::DefineProgram(src) => self.add_program(src),
-            Request::AddConstraint(src) => self.add_constraint(src),
+            Request::AddFacts(src) => self.apply_logged("fact", src, Session::add_facts),
+            Request::DefineQuery(src) => self.apply_logged("query", src, Session::add_query),
+            Request::DefineProgram(src) => self.apply_logged("datalog", src, Session::add_program),
+            Request::AddConstraint(src) => {
+                self.apply_logged("constraint", src, Session::add_constraint)
+            }
             Request::Eval(ev) => self.eval(ev).map(Reply::Text),
             Request::Plan { explain, target } => {
                 self.plan_for(target).map(|r| Reply::Text(r.text(*explain)))
@@ -280,6 +289,25 @@ impl Session {
                 Ok(Reply::Text(out))
             }
         }
+    }
+
+    /// Apply one state mutation and, when it succeeds, record the raw
+    /// line (`word src`) in the replayable setup log.
+    fn apply_logged(
+        &mut self,
+        word: &str,
+        src: &str,
+        apply: fn(&mut Session, &str) -> Result<Reply, String>,
+    ) -> Result<Reply, String> {
+        let reply = apply(self, src)?;
+        self.setup.push(format!("{word} {src}"));
+        Ok(reply)
+    }
+
+    /// The raw state-mutating lines that rebuild this session's state
+    /// when replayed, in order, into a fresh session.
+    pub fn setup_lines(&self) -> &[String] {
+        &self.setup
     }
 
     /// Run a read-only evaluation request. Takes `&self`: a server clones

@@ -144,7 +144,8 @@ fn keep_alive_client_runs_eval_series_and_stats() {
 
     let health = c.request("GET", "/healthz", &[], b"");
     assert_eq!(health.status, 200);
-    assert_eq!(text(&health), "ok\n");
+    assert!(text(&health).starts_with("ok\n"), "{:?}", text(&health));
+    assert!(text(&health).contains("role single"), "{:?}", text(&health));
 
     let plan = c.request("GET", "/plan?q=mu%20Q%20(c0,%20_x0)", &[], b"");
     assert_eq!(plan.status, 200, "plan body {:?}", text(&plan));
@@ -256,7 +257,8 @@ fn routing_errors_keep_the_connection_alive() {
     // None of the above tore the connection down.
     let health = c.request("GET", "/healthz", &[], b"");
     assert_eq!(health.status, 200);
-    assert_eq!(text(&health), "ok\n");
+    assert!(text(&health).starts_with("ok\n"), "{:?}", text(&health));
+    assert!(text(&health).contains("role single"), "{:?}", text(&health));
 
     handle.shutdown();
     join.join().unwrap();
@@ -355,7 +357,7 @@ fn pipelined_requests_answer_in_order() {
     let mu = c.read();
     assert!(text(&mu).starts_with("ok "), "{:?}", text(&mu));
     let health = c.read();
-    assert_eq!(text(&health), "ok\n");
+    assert!(text(&health).starts_with("ok\n"), "{:?}", text(&health));
     let series = c.read();
     assert_eq!(
         exact_lines(&series).last().map(String::as_str),
@@ -444,7 +446,7 @@ fn line_protocol_and_http_share_the_listener() {
 
     // …and an HTTP client, concurrently, on the same port.
     let mut c = HttpClient::connect(addr);
-    assert_eq!(text(&c.request("GET", "/healthz", &[], b"")), "ok\n");
+    assert!(text(&c.request("GET", "/healthz", &[], b"")).starts_with("ok\n"));
 
     writer.write_all(b"help\n").unwrap();
     line.clear();

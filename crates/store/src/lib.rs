@@ -21,12 +21,28 @@
 //! The on-disk format is specified in `docs/PERSISTENCE.md`; the
 //! corruption-recovery behaviour is pinned down by
 //! `tests/recovery.rs`.
+//!
+//! Two consumers beyond the flusher read this crate's format directly:
+//! the store directory is guarded by an advisory `flock` (two
+//! processes pointed at one `--cache-path` fail fast instead of
+//! interleaving WAL appends), and [`StoreReader`] gives the
+//! replication layer lock-free, offset-addressable reads of the
+//! snapshot and WAL files so the exact on-disk bytes can be shipped to
+//! replicas. The record codec in [`format`] is public for the same
+//! reason: the replication wire format *is* the file format.
+//!
+//! `unsafe` is denied crate-wide and allowed only for the one-line
+//! `flock(2)` binding (std exposes no advisory file locking).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crc32;
 pub mod format;
 mod store;
 
-pub use store::{Entry, FsyncPolicy, RecoveryReport, Store};
+pub use format::{
+    encode_header, encode_record, header_is_current, parse_records, ParsedRecords, HEADER_BYTES,
+    SNAPSHOT_MAGIC, VERSION, WAL_MAGIC,
+};
+pub use store::{Entry, FsyncPolicy, RecoveryReport, Store, StoreReader, SNAPSHOT_FILE, WAL_FILE};

@@ -8,14 +8,46 @@ use crate::format::{
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 /// Snapshot file name inside the store directory.
-const SNAPSHOT_FILE: &str = "snapshot.caz";
+pub const SNAPSHOT_FILE: &str = "snapshot.caz";
 /// WAL file name inside the store directory.
-const WAL_FILE: &str = "wal.caz";
+pub const WAL_FILE: &str = "wal.caz";
 /// Scratch name the compactor writes before the atomic rename.
 const SNAPSHOT_TMP: &str = "snapshot.caz.tmp";
+/// Advisory lock file name inside the store directory.
+const LOCK_FILE: &str = "LOCK";
+
+/// The raw `flock(2)` binding. The workspace is std-only and std
+/// exposes no advisory file locking, so the one syscall is declared
+/// directly — the only `unsafe` in this crate, mirroring the service
+/// reactor's epoll bindings.
+mod sys {
+    #![allow(unsafe_code)]
+
+    /// `LOCK_EX`: request an exclusive lock.
+    const LOCK_EX: i32 = 2;
+    /// `LOCK_NB`: fail with `EWOULDBLOCK` instead of blocking.
+    const LOCK_NB: i32 = 4;
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    /// Try to take an exclusive advisory lock on `fd` without blocking.
+    pub fn try_lock_exclusive(fd: i32) -> std::io::Result<()> {
+        // SAFETY: `flock` only inspects the fd and the flag bits; it
+        // touches no memory we own.
+        let rc = unsafe { flock(fd, LOCK_EX | LOCK_NB) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::last_os_error())
+        }
+    }
+}
 
 /// Default compaction trigger: WAL body larger than this multiple of
 /// the snapshot body.
@@ -81,6 +113,9 @@ pub struct Store {
     fsync: FsyncPolicy,
     compact_ratio: u64,
     compact_min_wal: u64,
+    /// Holds the advisory `flock` on the directory's `LOCK` file for
+    /// the store's lifetime; dropping the store releases it.
+    _lock: File,
 }
 
 /// One file's recovered state: entries, logical length, and whether a
@@ -109,6 +144,7 @@ impl Store {
     ) -> std::io::Result<(Store, Vec<Entry>, RecoveryReport)> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let lock = lock_dir(&dir)?;
 
         let snapshot = load_file(&dir.join(SNAPSHOT_FILE), &SNAPSHOT_MAGIC, true)?;
         let wal_loaded = load_file(&dir.join(WAL_FILE), &WAL_MAGIC, true)?;
@@ -140,6 +176,7 @@ impl Store {
             fsync,
             compact_ratio: DEFAULT_COMPACT_RATIO,
             compact_min_wal: DEFAULT_COMPACT_MIN_WAL,
+            _lock: lock,
         };
         Ok((store, entries, report))
     }
@@ -235,6 +272,114 @@ impl Store {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+}
+
+/// Take the store directory's exclusive advisory lock, failing fast
+/// (never blocking) when another process already holds it. The lock
+/// lives on a dedicated `LOCK` file so compaction's snapshot rename
+/// can't disturb it, and is released automatically when the returned
+/// handle (and thus the [`Store`]) drops — including on crash, since
+/// `flock` locks die with their file descriptors.
+fn lock_dir(dir: &Path) -> std::io::Result<File> {
+    use std::os::unix::io::AsRawFd;
+    let lock = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join(LOCK_FILE))?;
+    sys::try_lock_exclusive(lock.as_raw_fd()).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock {
+            std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                format!(
+                    "store directory {} is locked by another process — two servers must \
+                     not share one --cache-path (each process needs its own store; \
+                     replicas receive the leader's entries over replication instead)",
+                    dir.display()
+                ),
+            )
+        } else {
+            e
+        }
+    })?;
+    Ok(lock)
+}
+
+/// A read-only, lock-free view of a store directory, offset-addressable
+/// by file byte position.
+///
+/// The [`Store`] is single-writer by design (one flusher thread owns it
+/// `&mut`), so anything that *ships* the persisted bytes — snapshot
+/// bootstrap, WAL tailing — reads the files directly through this
+/// handle instead. Reads use `pread` (via [`FileExt::read_at`]), so
+/// they never disturb the writer's append cursor, and reading a prefix
+/// of a file being appended to is safe: records are only ever added
+/// past previously returned offsets (compaction, which *does* rewrite
+/// history, is signalled out of band by the replication layer).
+#[derive(Clone, Debug)]
+pub struct StoreReader {
+    dir: PathBuf,
+}
+
+impl StoreReader {
+    /// A reader over the store directory `dir`. The directory need not
+    /// exist yet; reads of absent files behave as reads of empty ones.
+    pub fn new<P: AsRef<Path>>(dir: P) -> StoreReader {
+        StoreReader { dir: dir.as_ref().to_path_buf() }
+    }
+
+    /// Current byte length of the WAL file (0 when absent).
+    pub fn wal_len(&self) -> std::io::Result<u64> {
+        file_len(&self.dir.join(WAL_FILE))
+    }
+
+    /// Current byte length of the snapshot file (0 when absent).
+    pub fn snapshot_len(&self) -> std::io::Result<u64> {
+        file_len(&self.dir.join(SNAPSHOT_FILE))
+    }
+
+    /// Read up to `max` bytes of the WAL starting at byte `offset`.
+    /// Short (or empty) reads mean EOF at the current length.
+    pub fn read_wal_at(&self, offset: u64, max: usize) -> std::io::Result<Vec<u8>> {
+        read_at(&self.dir.join(WAL_FILE), offset, max)
+    }
+
+    /// Read up to `max` bytes of the snapshot starting at byte
+    /// `offset`. Short (or empty) reads mean EOF at the current length.
+    pub fn read_snapshot_at(&self, offset: u64, max: usize) -> std::io::Result<Vec<u8>> {
+        read_at(&self.dir.join(SNAPSHOT_FILE), offset, max)
+    }
+}
+
+/// Length of `path`, with absence reading as empty.
+fn file_len(path: &Path) -> std::io::Result<u64> {
+    match std::fs::metadata(path) {
+        Ok(m) => Ok(m.len()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// `pread` up to `max` bytes of `path` at `offset`, treating an absent
+/// file as empty and retrying partial reads until EOF or `max`.
+fn read_at(path: &Path, offset: u64, max: usize) -> std::io::Result<Vec<u8>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut buf = vec![0u8; max];
+    let mut filled = 0usize;
+    while filled < max {
+        match file.read_at(&mut buf[filled..], offset + filled as u64) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    buf.truncate(filled);
+    Ok(buf)
 }
 
 /// Read one store file tolerantly. Returns the surviving entries and
@@ -372,6 +517,62 @@ mod tests {
             "v2",
             "WAL overrides the snapshot"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_opener_fails_fast_while_the_lock_is_held() {
+        let dir = tmp_dir("flock");
+        let (store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        // A second open — same path, different file description, as a
+        // second process would produce — must fail fast, not block and
+        // not interleave appends.
+        let err = match Store::open(&dir, FsyncPolicy::Never) {
+            Ok(_) => panic!("second opener must fail while the lock is held"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        let msg = err.to_string();
+        assert!(msg.contains("locked by another process"), "{msg}");
+        assert!(msg.contains(dir.to_str().unwrap()), "{msg}");
+        // Releasing the first store releases the lock.
+        drop(store);
+        Store::open(&dir, FsyncPolicy::Never).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_reads_live_wal_bytes_at_offsets() {
+        let dir = tmp_dir("reader");
+        let reader = StoreReader::new(&dir);
+        assert_eq!(reader.wal_len().unwrap(), 0, "absent files read as empty");
+        assert!(reader.read_wal_at(0, 64).unwrap().is_empty());
+
+        let (mut store, _, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        store.append_batch(&[entry("a", 1, "va"), entry("b", 2, "vb")]).unwrap();
+        let wal_len = store.wal_len();
+        assert_eq!(reader.wal_len().unwrap(), wal_len);
+
+        // The shipped bytes are the on-disk bytes: header + records.
+        let body = reader.read_wal_at(HEADER_BYTES, 1 << 16).unwrap();
+        assert_eq!(body.len() as u64, wal_len - HEADER_BYTES);
+        let parsed = parse_records(&body);
+        assert!(!parsed.truncated);
+        assert_eq!(parsed.entries, vec![entry("a", 1, "va"), entry("b", 2, "vb")]);
+
+        // Offset-addressable: a resumed read from mid-file returns the
+        // exact suffix, and reads past EOF are empty, not errors.
+        let mid = HEADER_BYTES + 5;
+        let suffix = reader.read_wal_at(mid, 1 << 16).unwrap();
+        assert_eq!(suffix, body[5..]);
+        assert!(reader.read_wal_at(wal_len + 100, 16).unwrap().is_empty());
+
+        // Snapshot reads follow compaction.
+        store.set_compaction_policy(1, 1);
+        store.compact().unwrap();
+        let snap = reader.read_snapshot_at(0, 1 << 16).unwrap();
+        assert_eq!(snap.len() as u64, store.snapshot_len());
+        assert!(header_is_current(&snap, &SNAPSHOT_MAGIC));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

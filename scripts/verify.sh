@@ -224,6 +224,101 @@ for want in '^ok$' '^ok 2 fact(s) added$' '^ok query Q defined$' '^ok μ(Q, D) =
 done
 echo "    http smoke OK: healthz + chunked eval replies over a raw socket"
 
+# Cluster smoke stage: a real three-process topology — leader (owns
+# the store), replica (streams the WAL), router (health-checked
+# connection spreading) — over raw /dev/tcp. A job warmed on the
+# leader must answer through the router from the replica's replicated
+# cache with zero jobs executed on the replica, and killing the leader
+# must leave the replica serving reads (stale-but-correct by design;
+# see docs/CLUSTER.md).
+echo "==> cluster smoke (leader + replica + router, failover)"
+./target/release/caz serve --addr 127.0.0.1:0 --role leader \
+    --cache-path "$STORE_TMP/cluster-store" --replication-addr 127.0.0.1:0 \
+    --workers 2 --fsync always 2> "$STORE_TMP/leader.err" &
+LEADER_SRV=$!
+LEADER_ADDR=""; REPL_ADDR=""
+for _ in $(seq 100); do
+    LEADER_ADDR="$(sed -n 's/^caz-service listening on \([0-9.:]*\) .*/\1/p' "$STORE_TMP/leader.err")"
+    REPL_ADDR="$(sed -n 's/^caz-service replication listening on \([0-9.:]*\)$/\1/p' "$STORE_TMP/leader.err")"
+    [ -n "$LEADER_ADDR" ] && [ -n "$REPL_ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$LEADER_ADDR" ] && [ -n "$REPL_ADDR" ] \
+    || { echo "cluster smoke FAILED: leader did not start" >&2; exit 1; }
+# Warm one job on the leader over the line protocol.
+exec 3<>"/dev/tcp/127.0.0.1/${LEADER_ADDR##*:}"
+printf 'fact R(a, _x). R(a, _y).\nquery Q := exists u, v. R(u, v)\nmu Q\n' >&3
+read -r line <&3; read -r line <&3; read -r line <&3
+exec 3<&- 3>&-
+case "$line" in "ok μ(Q, D) = 1") ;; *)
+    echo "cluster smoke FAILED: leader warm reply: $line" >&2; exit 1 ;; esac
+./target/release/caz serve --addr 127.0.0.1:0 --role replica \
+    --leader-addr "$REPL_ADDR" --workers 2 2> "$STORE_TMP/replica.err" &
+REPLICA_SRV=$!
+REPLICA_ADDR=""
+for _ in $(seq 100); do
+    REPLICA_ADDR="$(sed -n 's/^caz-service listening on \([0-9.:]*\) .*/\1/p' "$STORE_TMP/replica.err")"
+    [ -n "$REPLICA_ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$REPLICA_ADDR" ] || { echo "cluster smoke FAILED: replica did not start" >&2; exit 1; }
+# Wait until the replica is ready AND has applied the warmed entry
+# (healthz turns 200 at lag 0; the entry count proves the ship).
+CLUSTER_OK=""
+for _ in $(seq 200); do
+    exec 3<>"/dev/tcp/127.0.0.1/${REPLICA_ADDR##*:}" 2>/dev/null || { sleep 0.05; continue; }
+    printf 'GET /stats HTTP/1.1\r\nHost: caz\r\nConnection: close\r\n\r\n' >&3
+    if tr -d '\r' <&3 | grep -qF 'replication_records_shipped_total 1\n'; then
+        CLUSTER_OK=yes
+    fi
+    exec 3<&- 3>&-
+    [ -n "$CLUSTER_OK" ] && break
+    sleep 0.05
+done
+[ -n "$CLUSTER_OK" ] || { echo "cluster smoke FAILED: entry never replicated" >&2; exit 1; }
+./target/release/caz route --addr 127.0.0.1:0 --member "$LEADER_ADDR" \
+    --member "$REPLICA_ADDR" --health-interval-ms 100 2> "$STORE_TMP/route.err" &
+ROUTE_SRV=$!
+ROUTE_ADDR=""
+for _ in $(seq 100); do
+    ROUTE_ADDR="$(sed -n 's/^caz-route listening on \([0-9.:]*\) .*/\1/p' "$STORE_TMP/route.err")"
+    [ -n "$ROUTE_ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ROUTE_ADDR" ] || { echo "cluster smoke FAILED: router did not start" >&2; exit 1; }
+# Through the router the ready replica gets the connection; the warmed
+# job must answer from its replicated cache.
+exec 3<>"/dev/tcp/127.0.0.1/${ROUTE_ADDR##*:}"
+printf 'fact R(a, _x). R(a, _y).\nquery Q := exists u, v. R(u, v)\nmu Q\n' >&3
+read -r line <&3; read -r line <&3; read -r line <&3
+exec 3<&- 3>&-
+case "$line" in "ok μ(Q, D) = 1") ;; *)
+    echo "cluster smoke FAILED: routed reply: $line" >&2; exit 1 ;; esac
+exec 3<>"/dev/tcp/127.0.0.1/${REPLICA_ADDR##*:}"
+printf 'GET /stats HTTP/1.1\r\nHost: caz\r\nConnection: close\r\n\r\n' >&3
+tr -d '\r' <&3 > "$STORE_TMP/replica-stats.out"
+exec 3<&- 3>&-
+grep -qF 'jobs_executed_total 0\n' "$STORE_TMP/replica-stats.out" \
+    || { echo "cluster smoke FAILED: replica executed a job instead of serving the replicated entry" >&2; exit 1; }
+grep -qF 'role 2\n' "$STORE_TMP/replica-stats.out" \
+    || { echo "cluster smoke FAILED: replica does not report role 2" >&2; exit 1; }
+# Failover: kill the leader; the synced replica must keep serving.
+kill "$LEADER_SRV" 2>/dev/null || true
+wait "$LEADER_SRV" 2>/dev/null || true
+sleep 0.5
+exec 3<>"/dev/tcp/127.0.0.1/${ROUTE_ADDR##*:}"
+printf 'fact R(a, _x). R(a, _y).\nquery Q := exists u, v. R(u, v)\nmu Q\n' >&3
+read -r line <&3; read -r line <&3; read -r line <&3
+exec 3<&- 3>&-
+case "$line" in "ok μ(Q, D) = 1") ;; *)
+    echo "cluster smoke FAILED: post-failover reply: $line" >&2; exit 1 ;; esac
+kill "$REPLICA_SRV" "$ROUTE_SRV" 2>/dev/null || true
+wait "$REPLICA_SRV" "$ROUTE_SRV" 2>/dev/null || true
+echo "    cluster OK: replicated cache hit through the router, reads survive leader death"
+
+echo "==> cargo clippy -p caz-cluster --all-targets -- -D warnings"
+cargo clippy -p caz-cluster --all-targets -- -D warnings
+
 echo "==> cargo clippy -p caz-core --all-targets -- -D warnings"
 cargo clippy -p caz-core --all-targets -- -D warnings
 

@@ -14,16 +14,21 @@
 //! Piping commands works without prompt noise: the banner and `caz>`
 //! prompt only appear when stdin is a terminal.
 
+use certain_answers::cluster::{Fanout, Leader, ReplicaConfig, Router, RouterConfig};
 use certain_answers::repl::{Reply, Session};
-use certain_answers::service::{run_batch, FsyncPolicy, Server, ServerConfig};
+use certain_answers::service::{
+    run_batch, FsyncPolicy, MissPolicy, Role, Server, ServerConfig,
+};
 use std::io::{BufRead, BufReader, BufWriter, IsTerminal, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage:
   caz                         interactive shell (reads commands from stdin)
   caz serve [options]         TCP evaluation server
   caz serve --batch <file>    evaluate a command file offline
+  caz route [options]         health-checked routing front-end for a cluster
 options for serve:
   --addr <host:port>          listen address       (default 127.0.0.1:3707)
   --workers <n>               worker threads       (default: CPU count)
@@ -65,13 +70,36 @@ options for serve:
                               reply bytes exceed <n> — a slow reader
                               on a streamed series no longer buffers
                               without bound (default 4194304; 0 =
-                              unbounded)";
+                              unbounded)
+  --role <leader|replica>     replication role (default: standalone).
+                              A leader requires --cache-path and ships
+                              its WAL to replicas; a replica requires
+                              --leader-addr and serves read-only from
+                              replicated state
+  --replication-addr <h:p>    leader: bind the replication listener
+                              here (default 127.0.0.1:3708)
+  --leader-addr <h:p>         replica: the leader's replication
+                              address to stream from
+  --proxy-misses <h:p>        replica: forward cache misses to the
+                              leader's *client* address instead of
+                              computing locally (series always
+                              computes locally — it streams)
+  --lag-threshold <n>         replica: records of replication lag past
+                              which /healthz answers 503 unready
+                              (default 10000)
+options for route:
+  --addr <host:port>          listen address       (default 127.0.0.1:3709)
+  --member <host:port>        a backend's *client* address; repeat for
+                              every cluster member (leader + replicas;
+                              roles are discovered via /healthz)
+  --health-interval-ms <n>    health poll cadence   (default 500)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None => repl(),
         Some("serve") => serve(&args[1..]),
+        Some("route") => route(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -123,6 +151,9 @@ fn repl() -> ExitCode {
 fn serve(args: &[String]) -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut batch_file: Option<String> = None;
+    let mut replication_addr = "127.0.0.1:3708".to_string();
+    let mut leader_addr: Option<String> = None;
+    let mut lag_threshold: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -172,6 +203,20 @@ fn serve(args: &[String]) -> ExitCode {
                 parse_num(value("--anytime-interval-ms"), &mut ms)
                     .map(|()| cfg.anytime_interval_ms = ms as u64)
             }
+            "--role" => value("--role").and_then(|v| Role::parse(&v).map(|r| cfg.role = r)),
+            "--replication-addr" => {
+                value("--replication-addr").map(|v| replication_addr = v)
+            }
+            "--leader-addr" => value("--leader-addr").map(|v| leader_addr = Some(v)),
+            "--proxy-misses" => value("--proxy-misses").map(|v| {
+                cfg.on_miss = MissPolicy::Proxy;
+                cfg.leader_addr = Some(v);
+            }),
+            "--lag-threshold" => {
+                let mut n = 0usize;
+                parse_num(value("--lag-threshold"), &mut n)
+                    .map(|()| lag_threshold = Some(n as u64))
+            }
             "--fsync" => value("--fsync").and_then(|v| match v.as_str() {
                 "always" => {
                     cfg.fsync = FsyncPolicy::Always;
@@ -190,6 +235,34 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // Role-dependent validation: a leader must have a durable store to
+    // ship; a replica must know where to stream from.
+    let fanout = match cfg.role {
+        Role::Leader => {
+            if cfg.cache_path.is_none() {
+                eprintln!("--role leader requires --cache-path (the WAL is what gets shipped)");
+                return ExitCode::FAILURE;
+            }
+            let fanout = Fanout::new();
+            cfg.replication = Some(fanout.clone());
+            Some(fanout)
+        }
+        Role::Replica => {
+            if leader_addr.is_none() {
+                eprintln!("--role replica requires --leader-addr");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+        Role::Single => {
+            if leader_addr.is_some() || cfg.on_miss == MissPolicy::Proxy {
+                eprintln!("--leader-addr/--proxy-misses only make sense with --role replica");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+    };
 
     if let Some(path) = batch_file {
         let file = match std::fs::File::open(&path) {
@@ -217,6 +290,33 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Replication sides start between bind (store recovery done) and
+    // run (no client appends yet can race the leader's priming read).
+    let _leader = if let Some(fanout) = fanout {
+        let store_dir = cfg.cache_path.as_deref().expect("leader has a cache path");
+        let epoch = leader_epoch();
+        match Leader::start(fanout, store_dir, &replication_addr, epoch, server.metrics()) {
+            Ok(leader) => {
+                eprintln!("caz-service replication listening on {}", leader.local_addr());
+                Some(leader)
+            }
+            Err(e) => {
+                eprintln!("cannot bind replication listener {replication_addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let _replica = leader_addr.map(|addr| {
+        let mut rcfg = ReplicaConfig { leader_addr: addr, ..ReplicaConfig::default() };
+        if let Some(n) = lag_threshold {
+            rcfg.lag_threshold = n;
+        }
+        certain_answers::cluster::start_replica(server.replica_handle(), rcfg)
+    });
+
     match server.local_addr() {
         Ok(addr) => eprintln!("caz-service listening on {addr} ({} workers)", cfg.workers),
         Err(_) => eprintln!("caz-service listening"),
@@ -225,6 +325,64 @@ fn serve(args: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A value overwhelmingly unlikely to repeat across leader restarts,
+/// so replicas never resume stale offsets against a new process.
+fn leader_epoch() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    (nanos ^ (u64::from(std::process::id()) << 32)).max(1)
+}
+
+fn route(args: &[String]) -> ExitCode {
+    let mut cfg = RouterConfig { addr: "127.0.0.1:3709".into(), ..RouterConfig::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| cfg.addr = v),
+            "--member" => value("--member").map(|v| cfg.members.push(v)),
+            "--health-interval-ms" => {
+                let mut ms = 0usize;
+                parse_num(value("--health-interval-ms"), &mut ms)
+                    .map(|()| cfg.health_interval = Duration::from_millis(ms as u64))
+            }
+            other => Err(format!("unknown option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let router = match Router::bind(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot start router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Probe everyone before accepting traffic so the first connection
+    // doesn't land on a member the poller hasn't classified yet.
+    router.poll_members_once();
+    eprintln!(
+        "caz-route listening on {} ({} members)",
+        router.local_addr(),
+        cfg.members.len()
+    );
+    match router.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("router error: {e}");
             ExitCode::FAILURE
         }
     }

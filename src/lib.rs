@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use caz_arith as arith;
+pub use caz_cluster as cluster;
 pub use caz_compare as compare;
 pub use caz_constraints as constraints;
 pub use caz_core as core;
